@@ -1,0 +1,128 @@
+// Command lppbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	lppbench                    # run everything at full size
+//	lppbench -exp table2,fig6   # run selected experiments
+//	lppbench -quick             # shrunken inputs (seconds, not minutes)
+//	lppbench -out results/      # also write CSV artifacts
+//	lppbench -list              # list experiments
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"lpp/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "comma-separated experiment names (default all)")
+		quick    = flag.Bool("quick", false, "shrink inputs for a fast run")
+		out      = flag.String("out", "", "directory for CSV/SVG artifacts")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Bool("j", false, "run experiments concurrently (output stays ordered)")
+		html     = flag.String("html", "", "write a self-contained HTML report to this file (needs -out)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		for _, e := range experiments.Extensions() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	var run []experiments.Experiment
+	if *exp == "" {
+		run = experiments.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			run = append(run, e)
+		}
+	}
+
+	if *html != "" {
+		if *out == "" {
+			fatal(fmt.Errorf("-html needs -out for the figure artifacts"))
+		}
+		f, err := os.Create(*html)
+		if err != nil {
+			fatal(err)
+		}
+		err = experiments.HTMLReport(f, run, experiments.Options{Quick: *quick, OutDir: *out})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *html)
+		return
+	}
+	if *parallel {
+		runParallel(run, *quick, *out)
+		return
+	}
+	opts := experiments.Options{W: os.Stdout, Quick: *quick, OutDir: *out}
+	for _, e := range run {
+		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
+		start := time.Now()
+		if err := e.Run(opts); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runParallel executes every experiment concurrently (they share no
+// state; all randomness is seeded) and prints the buffered reports in
+// the original order.
+func runParallel(run []experiments.Experiment, quick bool, out string) {
+	type result struct {
+		buf  bytes.Buffer
+		err  error
+		took time.Duration
+	}
+	results := make([]result, len(run))
+	var wg sync.WaitGroup
+	for i, e := range run {
+		wg.Add(1)
+		go func(i int, e experiments.Experiment) {
+			defer wg.Done()
+			start := time.Now()
+			results[i].err = e.Run(experiments.Options{
+				W: &results[i].buf, Quick: quick, OutDir: out,
+			})
+			results[i].took = time.Since(start)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, e := range run {
+		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
+		os.Stdout.Write(results[i].buf.Bytes())
+		if results[i].err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, results[i].err))
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.Name, results[i].took.Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lppbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+// Command lpptrace records, inspects, and analyzes trace files — the
+// portable stand-in for an ATOM-instrumented binary's output.
+//
+// Usage:
+//
+//	lpptrace -record tomcatv -o tomcatv.trace [-n 64 -steps 6 -seed 1]
+//	lpptrace -info tomcatv.trace
+//	lpptrace -analyze tomcatv.trace        # locality profile
+//	lpptrace -phases tomcatv.trace         # off-line phase detection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lpp/internal/cache"
+	"lpp/internal/core"
+	"lpp/internal/reuse"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+func main() {
+	var (
+		record  = flag.String("record", "", "benchmark to record (see lpp -list)")
+		out     = flag.String("o", "", "output trace file for -record")
+		info    = flag.String("info", "", "trace file to summarize")
+		analyze = flag.String("analyze", "", "trace file to profile (reuse distances, miss rates)")
+		phases  = flag.String("phases", "", "trace file to run phase detection on")
+		n       = flag.Int("n", 0, "problem size override for -record")
+		steps   = flag.Int("steps", 0, "step-count override for -record")
+		seed    = flag.Uint64("seed", 0, "seed override for -record")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if *out == "" {
+			fatal(fmt.Errorf("-record needs -o"))
+		}
+		if err := doRecord(*record, *out, *n, *steps, *seed); err != nil {
+			fatal(err)
+		}
+	case *info != "":
+		if err := doInfo(*info); err != nil {
+			fatal(err)
+		}
+	case *analyze != "":
+		if err := doAnalyze(*analyze); err != nil {
+			fatal(err)
+		}
+	case *phases != "":
+		if err := doPhases(*phases); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+	}
+}
+
+func doPhases(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := trace.NewRecorder(0, 0)
+	if _, _, err := trace.ReadFile(f, rec); err != nil {
+		return err
+	}
+	det, err := core.DetectTrace(&rec.T, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d phases across %d executions\n",
+		path, det.Selection.PhaseCount, len(det.Selection.Regions))
+	fmt.Printf("markers: %v\n", det.Selection.Markers)
+	fmt.Printf("hierarchy: %v\n", det.Hierarchy)
+	fmt.Printf("consistent: %v\n", det.Consistent())
+	for i, r := range det.Selection.Regions {
+		if i >= 10 {
+			fmt.Printf("  ... %d more executions\n", len(det.Selection.Regions)-10)
+			break
+		}
+		fmt.Printf("  phase %-3d instrs [%d, %d)\n", r.Phase, r.StartInstr, r.EndInstr)
+	}
+	return nil
+}
+
+func doRecord(bench, path string, n, steps int, seed uint64) error {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	p := spec.Train
+	if n > 0 {
+		p.N = n
+	}
+	if steps > 0 {
+		p.Steps = steps
+	}
+	if seed > 0 {
+		p.Seed = seed
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	spec.Make(p).Run(w)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s (N=%d steps=%d seed=%d): %d events, %d bytes (%.2f bytes/event)\n",
+		bench, p.N, p.Steps, p.Seed, w.Events(), st.Size(),
+		float64(st.Size())/float64(w.Events()))
+	return nil
+}
+
+func doInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var c trace.Counter
+	blocks, accesses, err := trace.ReadFile(f, &c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d block events, %d accesses, %d instructions\n",
+		path, blocks, accesses, c.Instructions)
+	return nil
+}
+
+func doAnalyze(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	an := reuse.NewAnalyzer()
+	hist := reuse.NewHistogram()
+	sim := cache.NewDefault()
+	prof := profiler{an: an, hist: hist, sim: sim}
+	if _, _, err := trace.ReadFile(f, &prof); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d accesses, %d distinct elements\n", path, hist.Total(), an.Distinct())
+	fmt.Printf("cold accesses: %d (%.2f%%)\n", hist.Cold(),
+		100*float64(hist.Cold())/float64(hist.Total()))
+	fmt.Println("fully-associative LRU miss rate by capacity (elements):")
+	for _, c := range []int64{512, 1024, 4096, 16384, 65536} {
+		fmt.Printf("  %7d: %6.2f%%\n", c, 100*hist.MissRate(c))
+	}
+	fmt.Println("set-associative miss rate (512 sets, 64B blocks):")
+	for a := 1; a <= cache.MaxAssoc; a++ {
+		fmt.Printf("  %4d KB: %6.2f%%\n", a*32, 100*sim.MissRate(a))
+	}
+	return nil
+}
+
+// profiler fans each access into the reuse analyzer, the histogram,
+// and the cache simulator.
+type profiler struct {
+	an   *reuse.Analyzer
+	hist *reuse.Histogram
+	sim  *cache.MultiAssoc
+}
+
+func (p *profiler) Block(trace.BlockID, int) {}
+
+func (p *profiler) Access(addr trace.Addr) {
+	p.hist.Add(p.an.Access(addr))
+	p.sim.Access(addr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordInfoAnalyzePhases(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	if err := doRecord("tomcatv", path, 32, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := doInfo(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := doAnalyze(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := doPhases(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordUnknownBenchmark(t *testing.T) {
+	if err := doRecord("nope", "/tmp/x", 0, 0, 0); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestInfoMissingFile(t *testing.T) {
+	if err := doInfo("/nonexistent/file.trace"); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := doPhases("/nonexistent/file.trace"); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := doAnalyze("/nonexistent/file.trace"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,71 @@
+// Deploy: the full production workflow — profile once, save the
+// run-time artifact, load it in a "deployed" process, and predict with
+// the policy that matches the program: exact prediction for consistent
+// programs, distribution prediction for input-dependent ones.
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lpp/internal/core"
+	"lpp/internal/predictor"
+	"lpp/internal/workload"
+)
+
+func main() {
+	for _, name := range []string{"swim", "gcc"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Profiling side: one training run, one artifact.
+		cfg := core.DefaultConfig()
+		if !spec.Predictable {
+			// Gcc-class programs need the irregular-sub-trace
+			// extension to get their boundaries marked at all.
+			cfg.KeepIrregular = true
+		}
+		train := spec.Train
+		train.Steps = min(train.Steps, 10)
+		det, err := core.Detect(spec.Make(train), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var artifact bytes.Buffer
+		if err := det.Save(&artifact); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: profile is %d bytes (%d markers, hierarchy %v, consistent=%v)\n",
+			name, artifact.Len(), len(det.Selection.Markers), det.Hierarchy, det.Consistent())
+
+		// Deployed side: load the artifact, pick the policy.
+		loaded, err := core.Load(&artifact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := spec.Ref
+		ref.Steps = min(ref.Steps, 20)
+		if loaded.Consistent() {
+			rep := core.Predict(spec.Make(ref), loaded, predictor.Strict)
+			fmt.Printf("  strict prediction: accuracy %.1f%%, coverage %.1f%%\n",
+				100*rep.Accuracy, 100*rep.Coverage)
+		} else {
+			rep := core.PredictStatistical(spec.Make(ref), loaded)
+			fmt.Printf("  statistical prediction (lengths as mean±2σ intervals): "+
+				"accuracy %.1f%%, coverage %.1f%%, %d predictions\n",
+				100*rep.Accuracy, 100*rep.Coverage, rep.Predictions)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+// Hierarchy: build a phase hierarchy from a raw phase sequence with
+// SEQUITUR grammar compression and regular-expression extraction
+// (Section 2.4), then use the compiled automaton to predict the next
+// phase at run time.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+
+	"lpp/internal/predictor"
+	"lpp/internal/regexphase"
+	"lpp/internal/sequitur"
+)
+
+func main() {
+	// A Tomcatv-like training run: an initialization phase, then
+	// time steps of five substeps each.
+	seq := []int{9}
+	for step := 0; step < 12; step++ {
+		seq = append(seq, 1, 2, 3, 4, 5)
+	}
+	fmt.Printf("phase sequence (%d executions): %v...\n", len(seq), seq[:11])
+
+	// SEQUITUR compresses the sequence into a context-free grammar.
+	g := sequitur.Build(seq)
+	fmt.Printf("\nSEQUITUR grammar (%d symbols on all right-hand sides):\n%s",
+		g.Size(), g)
+
+	// The hierarchy extraction converts the grammar into a regular
+	// expression, merging adjacent equivalent parts into repetitions.
+	h := regexphase.FromGrammar(g)
+	fmt.Printf("\nphase hierarchy: %v\n", h)
+
+	// The composite phase (one time step) contains five leaves.
+	fmt.Printf("largest composite phase: %d leaf phases\n",
+		regexphase.LargestComposite(h))
+
+	// The compiled automaton predicts the next phase at run time —
+	// even for a run with far more time steps than the training run.
+	np := predictor.NewNextPhase(h)
+	longRun := []int{9}
+	for step := 0; step < 100; step++ {
+		longRun = append(longRun, 1, 2, 3, 4, 5)
+	}
+	for _, ph := range longRun {
+		np.Observe(ph)
+	}
+	fmt.Printf("next-phase prediction over a 100-step run: %.1f%% of %d predictions correct\n",
+		100*np.Accuracy(), np.Predictions())
+}

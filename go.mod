@@ -1,0 +1,3 @@
+module lpp
+
+go 1.22

@@ -1,0 +1,198 @@
+// Package adapt implements the adaptive cache-resizing experiment of
+// Section 3.2: choose, per execution window, the smallest cache size
+// whose miss rate stays within a bound of the full-size (256KB) miss
+// rate, and compare how well phase-, interval-, and BBV-based methods
+// find that size. Exploration cost follows the paper's minimal-cost
+// model: each exploration takes exactly two trial windows, one at the
+// full cache size and one at half size, before the learned size is
+// used.
+package adapt
+
+import (
+	"lpp/internal/cache"
+	"lpp/internal/interval"
+)
+
+// BestAssoc returns the smallest associativity (1..8, i.e. 32KB units)
+// whose miss rate does not exceed the full-size miss rate by more than
+// bound (relative): bound 0 asks for no miss increase, 0.05 allows 5%.
+func BestAssoc(v cache.Vector, bound float64) int {
+	full := v.MissAt(cache.MaxAssoc)
+	limit := full * (1 + bound)
+	const eps = 1e-12
+	for a := 1; a <= cache.MaxAssoc; a++ {
+		if v.MissAt(a) <= limit+eps {
+			return a
+		}
+	}
+	return cache.MaxAssoc
+}
+
+// Result summarizes one resizing run.
+type Result struct {
+	// AvgBytes is the access-weighted average cache size in bytes.
+	AvgBytes float64
+	// Explorations counts exploration episodes (two trial windows
+	// each).
+	Explorations int
+	// MissIncrease is the relative increase in total misses over
+	// always running at full size, for the learned (non-exploration)
+	// windows — the steady-state cost of the chosen sizes.
+	MissIncrease float64
+}
+
+const bytesPerAssoc = cache.DefaultSets << cache.DefaultBlockBits // 32KB
+
+// score folds the per-window assigned associativities into a Result.
+// Exploration trial windows count toward the average size but not the
+// steady-state miss accounting.
+func score(wins []interval.Window, assigned []int, explore []bool) Result {
+	var bytesSum, lenSum float64
+	var misses, fullMisses float64
+	for i, w := range wins {
+		l := float64(w.Len())
+		bytesSum += float64(assigned[i]*bytesPerAssoc) * l
+		lenSum += l
+		if explore != nil && explore[i] {
+			continue
+		}
+		misses += w.Loc.MissAt(assigned[i]) * l
+		fullMisses += w.Loc.MissAt(cache.MaxAssoc) * l
+	}
+	r := Result{}
+	if lenSum > 0 {
+		r.AvgBytes = bytesSum / lenSum
+	}
+	if fullMisses > 0 {
+		r.MissIncrease = misses/fullMisses - 1
+	}
+	return r
+}
+
+// exploreRuns is the paper's exploration cost: one window at full
+// size, one at half size.
+var exploreSizes = []int{cache.MaxAssoc, cache.MaxAssoc / 2}
+
+// GroupedMethod resizes with a behavior label per window (phase IDs
+// for the phase method, cluster IDs for the BBV method): the first two
+// windows of each label are exploration trials; afterwards the label's
+// learned size — the largest best-size seen during its exploration —
+// is reused for every later window of that label.
+func GroupedMethod(labels []int, wins []interval.Window, bound float64) Result {
+	if len(labels) != len(wins) {
+		panic("adapt: labels/windows length mismatch")
+	}
+	type state struct {
+		seen    int
+		learned int
+	}
+	groups := make(map[int]*state)
+	assigned := make([]int, len(wins))
+	explore := make([]bool, len(wins))
+	explorations := 0
+	for i, w := range wins {
+		g := groups[labels[i]]
+		if g == nil {
+			g = &state{}
+			groups[labels[i]] = g
+			explorations++
+		}
+		if g.seen < len(exploreSizes) {
+			assigned[i] = exploreSizes[g.seen]
+			explore[i] = true
+			if b := BestAssoc(w.Loc, bound); b > g.learned {
+				g.learned = b
+			}
+			g.seen++
+			continue
+		}
+		assigned[i] = g.learned
+	}
+	r := score(wins, assigned, explore)
+	r.Explorations = explorations
+	return r
+}
+
+// IntervalMethod resizes with fixed windows and the paper's idealized
+// interval baseline: perfect phase-change detection (a change happens
+// whenever the next window's best size differs from the current one),
+// two exploration windows per change, then the best size until the
+// next change.
+func IntervalMethod(wins []interval.Window, bound float64) Result {
+	assigned := make([]int, len(wins))
+	explore := make([]bool, len(wins))
+	explorations := 0
+	i := 0
+	cur := -1
+	for i < len(wins) {
+		best := BestAssoc(wins[i].Loc, bound)
+		if best != cur {
+			// Phase change: explore.
+			explorations++
+			for t := 0; t < len(exploreSizes) && i < len(wins); t++ {
+				assigned[i] = exploreSizes[t]
+				explore[i] = true
+				i++
+			}
+			if i < len(wins) {
+				cur = BestAssoc(wins[i].Loc, bound)
+			}
+			continue
+		}
+		assigned[i] = cur
+		i++
+	}
+	r := score(wins, assigned, explore)
+	r.Explorations = explorations
+	return r
+}
+
+// FullSize returns the no-adaptation baseline: every window at 256KB.
+func FullSize(wins []interval.Window) Result {
+	assigned := make([]int, len(wins))
+	for i := range assigned {
+		assigned[i] = cache.MaxAssoc
+	}
+	return score(wins, assigned, nil)
+}
+
+// ClassPredictor is a next-window class predictor (interval.LastValue,
+// interval.Markov, or any equivalent).
+type ClassPredictor interface {
+	Predict() (int, bool)
+	Observe(class int)
+}
+
+// IntervalMethodPredicted is the interval method without the paper's
+// idealization: instead of perfect phase-change detection, a real
+// predictor forecasts the next window's best size and the window runs
+// at the forecast size (full size while unprimed). Mispredictions cost
+// real misses — the steady-state miss accounting includes every
+// window, since there is no separate exploration here.
+func IntervalMethodPredicted(wins []interval.Window, bound float64, pred ClassPredictor) Result {
+	assigned := make([]int, len(wins))
+	mispredictions := 0
+	for i, w := range wins {
+		best := BestAssoc(w.Loc, bound)
+		if forecast, ok := pred.Predict(); ok {
+			// Clamp defensively: classes fed in are 1..MaxAssoc,
+			// but the predictor is caller-supplied.
+			if forecast < 1 {
+				forecast = 1
+			}
+			if forecast > cache.MaxAssoc {
+				forecast = cache.MaxAssoc
+			}
+			assigned[i] = forecast
+			if forecast != best {
+				mispredictions++
+			}
+		} else {
+			assigned[i] = cache.MaxAssoc
+		}
+		pred.Observe(best)
+	}
+	r := score(wins, assigned, nil)
+	r.Explorations = mispredictions
+	return r
+}

@@ -1,0 +1,118 @@
+package adapt
+
+import (
+	"lpp/internal/interval"
+)
+
+// DVFSModel implements phase-based dynamic voltage and frequency
+// scaling, the other adaptation the paper's phase markers were built
+// to drive (Hsu & Kremer [17], Huang et al. [21], Magklis et al. [22]
+// all select program regions and set their voltage): a memory-bound
+// phase can run at a lower core frequency with little slowdown because
+// its time is dominated by frequency-independent memory stalls.
+//
+// Time model, normalized to full frequency: compute cycles scale as
+// 1/f, memory-stall time is constant. Dynamic energy scales as f²
+// (voltage tracks frequency) on the compute portion.
+type DVFSModel struct {
+	// Levels are the available relative frequencies in ascending
+	// order, each in (0, 1].
+	Levels []float64
+	// MissPenalty is the full-frequency cycles per cache miss that
+	// become frequency-independent memory time.
+	MissPenalty float64
+}
+
+// DefaultDVFS offers the half-to-full range in five steps.
+var DefaultDVFS = DVFSModel{
+	Levels:      []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+	MissPenalty: 100,
+}
+
+// times returns a window's compute cycles and memory time (both at
+// full frequency) from its length and locality, using the full-size
+// miss rate (the cache is not being resized here).
+func (m DVFSModel) times(w interval.Window) (compute, memory float64) {
+	n := float64(w.Len())
+	misses := n * w.Loc.MissAt(8)
+	return n, misses * m.MissPenalty
+}
+
+// Choose returns the lowest frequency whose slowdown stays within
+// bound (e.g. 0.05 for 5%): slowdown(f) = (compute/f + memory) /
+// (compute + memory).
+func (m DVFSModel) Choose(compute, memory, bound float64) float64 {
+	base := compute + memory
+	if base == 0 {
+		return 1
+	}
+	for _, f := range m.Levels {
+		t := compute/f + memory
+		if t/base <= 1+bound {
+			return f
+		}
+	}
+	return 1
+}
+
+// DVFSResult summarizes a phase-based frequency-scaling run.
+type DVFSResult struct {
+	// AvgFrequency is the time-weighted average relative frequency.
+	AvgFrequency float64
+	// EnergySavings is the relative dynamic-energy reduction against
+	// always running at full frequency.
+	EnergySavings float64
+	// Slowdown is the realized relative execution-time increase.
+	Slowdown float64
+}
+
+// GroupedDVFS scales frequency per behavior label with the same
+// learn-then-reuse discipline as cache resizing: the first two
+// executions of each label run at full frequency while its
+// memory-boundedness is measured (two, because the first runs on a
+// cold cache and overstates memory time), and later executions use the
+// frequency learned from the last warm trial.
+func (m DVFSModel) GroupedDVFS(labels []int, wins []interval.Window, bound float64) DVFSResult {
+	if len(labels) != len(wins) {
+		panic("adapt: GroupedDVFS length mismatch")
+	}
+	type state struct {
+		seen int
+		f    float64
+	}
+	learned := make(map[int]*state)
+	var baseTime, newTime, baseEnergy, newEnergy, freqTime float64
+	for i, w := range wins {
+		compute, memory := m.times(w)
+		var f float64
+		st := learned[labels[i]]
+		if st == nil {
+			st = &state{}
+			learned[labels[i]] = st
+		}
+		if st.seen < 2 {
+			st.f = m.Choose(compute, memory, bound)
+			st.seen++
+			f = 1
+		} else {
+			f = st.f
+		}
+		t := compute/f + memory
+		baseTime += compute + memory
+		newTime += t
+		freqTime += f * t
+		baseEnergy += compute // f = 1, f² = 1
+		newEnergy += compute * f * f
+	}
+	r := DVFSResult{AvgFrequency: 1}
+	if baseTime > 0 {
+		r.Slowdown = newTime/baseTime - 1
+	}
+	if newTime > 0 {
+		r.AvgFrequency = freqTime / newTime
+	}
+	if baseEnergy > 0 {
+		r.EnergySavings = 1 - newEnergy/baseEnergy
+	}
+	return r
+}

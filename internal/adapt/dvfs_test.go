@@ -1,0 +1,98 @@
+package adapt
+
+import (
+	"testing"
+
+	"lpp/internal/cache"
+	"lpp/internal/interval"
+)
+
+// memWin builds a window with the given full-size miss rate.
+func memWin(miss float64, length int64) interval.Window {
+	var v cache.Vector
+	for i := range v {
+		v[i] = miss
+	}
+	return interval.Window{EndAccess: length, Loc: v}
+}
+
+func TestDVFSChoose(t *testing.T) {
+	m := DefaultDVFS
+	// Pure compute: any slowdown bound below the level gap forces
+	// full frequency.
+	if f := m.Choose(1000, 0, 0.05); f != 1 {
+		t.Errorf("compute-bound frequency = %g, want 1", f)
+	}
+	// Heavily memory-bound: compute is 1% of time; even half
+	// frequency adds only ~1% — the lowest level qualifies.
+	if f := m.Choose(10, 990, 0.05); f != 0.5 {
+		t.Errorf("memory-bound frequency = %g, want 0.5", f)
+	}
+	// Empty window.
+	if f := m.Choose(0, 0, 0); f != 1 {
+		t.Errorf("empty choose = %g", f)
+	}
+}
+
+func TestDVFSSlowdownBoundRespected(t *testing.T) {
+	m := DefaultDVFS
+	for _, tc := range []struct{ compute, memory float64 }{
+		{1000, 0}, {500, 500}, {100, 900}, {10, 990},
+	} {
+		f := m.Choose(tc.compute, tc.memory, 0.05)
+		base := tc.compute + tc.memory
+		slow := (tc.compute/f + tc.memory) / base
+		if slow > 1.05+1e-12 {
+			t.Errorf("compute=%g memory=%g: f=%g slowdown %.4f > 1.05",
+				tc.compute, tc.memory, f, slow)
+		}
+	}
+}
+
+func TestGroupedDVFSSavesOnMemoryBoundPhase(t *testing.T) {
+	// Phase 0 memory-bound, phase 1 compute-bound, 10 executions
+	// each.
+	var wins []interval.Window
+	var labels []int
+	for i := 0; i < 10; i++ {
+		wins = append(wins, memWin(0.5, 1000)) // very memory-bound
+		labels = append(labels, 0)
+		wins = append(wins, memWin(0, 1000)) // pure compute
+		labels = append(labels, 1)
+	}
+	r := DefaultDVFS.GroupedDVFS(labels, wins, 0.05)
+	if r.EnergySavings <= 0.1 {
+		t.Errorf("energy savings = %g, want > 0.1", r.EnergySavings)
+	}
+	if r.Slowdown > 0.05+1e-9 {
+		t.Errorf("slowdown = %g exceeds the 5%% bound", r.Slowdown)
+	}
+	if r.AvgFrequency >= 1 || r.AvgFrequency < 0.5 {
+		t.Errorf("avg frequency = %g", r.AvgFrequency)
+	}
+}
+
+func TestGroupedDVFSComputeBoundStaysFast(t *testing.T) {
+	var wins []interval.Window
+	var labels []int
+	for i := 0; i < 10; i++ {
+		wins = append(wins, memWin(0, 1000))
+		labels = append(labels, 0)
+	}
+	r := DefaultDVFS.GroupedDVFS(labels, wins, 0.02)
+	if r.AvgFrequency != 1 {
+		t.Errorf("compute-bound avg frequency = %g, want 1", r.AvgFrequency)
+	}
+	if r.EnergySavings != 0 {
+		t.Errorf("compute-bound savings = %g, want 0", r.EnergySavings)
+	}
+}
+
+func TestGroupedDVFSMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DefaultDVFS.GroupedDVFS([]int{0}, nil, 0)
+}

@@ -1,0 +1,92 @@
+package adapt
+
+import (
+	"lpp/internal/cache"
+	"lpp/internal/interval"
+)
+
+// EnergyModel converts a resizing run into cache energy, the quantity
+// the paper's motivating studies optimize [2, 21]: dynamic energy per
+// access grows with the active cache size (more ways searched), static
+// leakage accrues per access-time-unit for the powered-on fraction,
+// and every miss pays a fixed penalty for the memory access.
+type EnergyModel struct {
+	// DynamicPerWay is the per-access energy of searching one way.
+	DynamicPerWay float64
+	// LeakagePerWay is the per-access-tick leakage of keeping one
+	// way powered.
+	LeakagePerWay float64
+	// MissEnergy is the energy of servicing one miss from memory.
+	MissEnergy float64
+}
+
+// DefaultEnergyModel uses ratios typical of the era's studies: a miss
+// costs ~50x a one-way access, leakage a tenth of dynamic.
+var DefaultEnergyModel = EnergyModel{
+	DynamicPerWay: 1,
+	LeakagePerWay: 0.1,
+	MissEnergy:    50,
+}
+
+// Energy returns the modeled energy of running the windows at the
+// given per-window associativities.
+func (m EnergyModel) Energy(wins []interval.Window, assigned []int) float64 {
+	if len(wins) != len(assigned) {
+		panic("adapt: Energy length mismatch")
+	}
+	var total float64
+	for i, w := range wins {
+		n := float64(w.Len())
+		ways := float64(assigned[i])
+		total += n * ways * m.DynamicPerWay
+		total += n * ways * m.LeakagePerWay
+		total += n * w.Loc.MissAt(assigned[i]) * m.MissEnergy
+	}
+	return total
+}
+
+// FullSizeEnergy returns the energy of running every window at the
+// largest cache.
+func (m EnergyModel) FullSizeEnergy(wins []interval.Window) float64 {
+	assigned := make([]int, len(wins))
+	for i := range assigned {
+		assigned[i] = cache.MaxAssoc
+	}
+	return m.Energy(wins, assigned)
+}
+
+// Savings reports the relative energy saved by a grouped (phase or
+// cluster) resizing run against always-full-size, using the same
+// assignment rules as GroupedMethod.
+func (m EnergyModel) Savings(labels []int, wins []interval.Window, bound float64) float64 {
+	if len(labels) != len(wins) {
+		panic("adapt: Savings length mismatch")
+	}
+	type state struct {
+		seen    int
+		learned int
+	}
+	groups := make(map[int]*state)
+	assigned := make([]int, len(wins))
+	for i, w := range wins {
+		g := groups[labels[i]]
+		if g == nil {
+			g = &state{}
+			groups[labels[i]] = g
+		}
+		if g.seen < len(exploreSizes) {
+			assigned[i] = exploreSizes[g.seen]
+			if b := BestAssoc(w.Loc, bound); b > g.learned {
+				g.learned = b
+			}
+			g.seen++
+			continue
+		}
+		assigned[i] = g.learned
+	}
+	full := m.FullSizeEnergy(wins)
+	if full == 0 {
+		return 0
+	}
+	return 1 - m.Energy(wins, assigned)/full
+}

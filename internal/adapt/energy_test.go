@@ -1,0 +1,72 @@
+package adapt
+
+import (
+	"testing"
+
+	"lpp/internal/interval"
+)
+
+func TestEnergyFullSizeBaseline(t *testing.T) {
+	m := EnergyModel{DynamicPerWay: 1, LeakagePerWay: 0, MissEnergy: 0}
+	wins := []interval.Window{win(3, 1000)}
+	if got := m.FullSizeEnergy(wins); got != 1000*8 {
+		t.Errorf("full-size energy = %g, want 8000", got)
+	}
+}
+
+func TestEnergySmallerCacheSavesWhenMissesEqual(t *testing.T) {
+	m := DefaultEnergyModel
+	// Knee at 2: running at 2 ways has the same misses as 8 ways but
+	// a quarter of the dynamic+leakage energy.
+	wins := []interval.Window{win(2, 1000), win(2, 1000), win(2, 1000), win(2, 1000)}
+	small := m.Energy(wins, []int{2, 2, 2, 2})
+	full := m.FullSizeEnergy(wins)
+	if small >= full {
+		t.Errorf("smaller cache did not save energy: %g vs %g", small, full)
+	}
+}
+
+func TestEnergyMissesCanOutweighSavings(t *testing.T) {
+	m := EnergyModel{DynamicPerWay: 1, LeakagePerWay: 0, MissEnergy: 1000}
+	// Knee at 8: shrinking to 1 way raises the miss rate a lot.
+	wins := []interval.Window{win(8, 1000)}
+	tiny := m.Energy(wins, []int{1})
+	full := m.FullSizeEnergy(wins)
+	if tiny <= full {
+		t.Errorf("thrashing cache should cost more: %g vs %g", tiny, full)
+	}
+}
+
+func TestEnergySavingsPhaseRun(t *testing.T) {
+	// Two well-behaved phases with knees below full size: the phase
+	// method must save energy.
+	var wins []interval.Window
+	var labels []int
+	for i := 0; i < 20; i++ {
+		wins = append(wins, win(2, 1000), win(4, 1000))
+		labels = append(labels, 0, 1)
+	}
+	s := DefaultEnergyModel.Savings(labels, wins, 0)
+	if s <= 0.2 {
+		t.Errorf("savings = %g, want > 0.2", s)
+	}
+	if s >= 1 {
+		t.Errorf("savings = %g, impossible", s)
+	}
+}
+
+func TestEnergyMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { DefaultEnergyModel.Energy(nil, []int{1}) },
+		func() { DefaultEnergyModel.Savings([]int{1}, nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

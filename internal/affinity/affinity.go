@@ -1,0 +1,177 @@
+// Package affinity implements reference-affinity analysis and
+// affinity-based array regrouping (Section 3.3, following Zhong et
+// al. [36]): arrays that tend to be accessed together are interleaved
+// element-by-element so that co-accessed elements share cache blocks.
+// The paper's contribution is doing this per locality phase — each
+// phase gets the layout its own affinity groups ask for, with the
+// remapping performed at the phase marker (by an Impulse-style memory
+// controller [34, 35], whose role the Remapper plays here).
+package affinity
+
+import (
+	"sort"
+
+	"lpp/internal/trace"
+)
+
+// Group is a set of indices into the array list that should be
+// interleaved together.
+type Group []int
+
+// Analyzer accumulates co-access counts between arrays over a sliding
+// window of recent accesses. Two arrays have reference affinity when
+// their *same-index* elements are accessed within the same short
+// window most of the time — the alignment element interleaving
+// actually exploits: a[i] and b[i] end up in one cache block, so
+// affinity between a[i] and b[j] for i ≠ j would be useless (and
+// grouping arrays of different roles, like an edge list with node
+// data, would wreck the denser array's spatial locality).
+type Analyzer struct {
+	arrays []trace.ArraySpan
+	window int
+
+	// ring buffer of recent (array, element index) pairs; array -1
+	// marks an access outside any known array.
+	recentArr  []int
+	recentElem []int64
+	pos        int
+	touches    []int64
+	co         [][]int64
+}
+
+// NewAnalyzer returns an Analyzer over the given arrays with the given
+// window size (in accesses); 0 takes a default of 32.
+func NewAnalyzer(arrays []trace.ArraySpan, window int) *Analyzer {
+	if window <= 0 {
+		window = 32
+	}
+	n := len(arrays)
+	if n > 64 {
+		// The per-access co-occurrence scan tracks arrays in a
+		// 64-bit set; more arrays than that means the caller should
+		// group-select first.
+		panic("affinity: more than 64 arrays unsupported")
+	}
+	a := &Analyzer{
+		arrays:     arrays,
+		window:     window,
+		recentArr:  make([]int, window),
+		recentElem: make([]int64, window),
+		touches:    make([]int64, n),
+		co:         make([][]int64, n),
+	}
+	for i := range a.recentArr {
+		a.recentArr[i] = -1
+	}
+	for i := range a.co {
+		a.co[i] = make([]int64, n)
+	}
+	return a
+}
+
+// arrayOf returns the index of the array containing addr, or -1.
+func arrayOf(arrays []trace.ArraySpan, addr trace.Addr) int {
+	// Arrays are few; binary search over bases.
+	i := sort.Search(len(arrays), func(i int) bool { return arrays[i].Base > addr })
+	if i == 0 {
+		return -1
+	}
+	if arrays[i-1].Contains(addr) {
+		return i - 1
+	}
+	return -1
+}
+
+// Block implements trace.Instrumenter.
+func (a *Analyzer) Block(trace.BlockID, int) {}
+
+// Access implements trace.Instrumenter.
+func (a *Analyzer) Access(addr trace.Addr) {
+	idx := arrayOf(a.arrays, addr)
+	var elem int64 = -1
+	if idx >= 0 {
+		sp := a.arrays[idx]
+		elem = int64(addr-sp.Base) / int64(sp.ElemSize)
+		a.touches[idx]++
+		// Same-index co-occurrence with the recent window; each
+		// (other array) counted at most once per access.
+		var seen uint64
+		for w := 0; w < a.window; w++ {
+			b := a.recentArr[w]
+			if b >= 0 && b != idx && a.recentElem[w] == elem && seen&(1<<uint(b)) == 0 {
+				seen |= 1 << uint(b)
+				a.co[idx][b]++
+			}
+		}
+	}
+	a.recentArr[a.pos] = idx
+	a.recentElem[a.pos] = elem
+	a.pos = (a.pos + 1) % a.window
+}
+
+// Groups derives affinity groups: arrays a and b are linked when their
+// co-access count is at least frac of the smaller touch count, and
+// groups are the connected components. Arrays never touched stay
+// ungrouped.
+func (a *Analyzer) Groups(frac float64) []Group {
+	n := len(a.arrays)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// Only same-shape arrays can be interleaved.
+			if a.arrays[i].Elems != a.arrays[j].Elems ||
+				a.arrays[i].ElemSize != a.arrays[j].ElemSize {
+				continue
+			}
+			min := a.touches[i]
+			if a.touches[j] < min {
+				min = a.touches[j]
+			}
+			if min == 0 {
+				continue
+			}
+			link := a.co[i][j] + a.co[j][i]
+			if float64(link) >= frac*float64(min) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	byRoot := make(map[int]Group)
+	for i := 0; i < n; i++ {
+		if a.touches[i] == 0 {
+			continue
+		}
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	var out []Group
+	for _, g := range byRoot {
+		if len(g) >= 2 {
+			sort.Ints(g)
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// AnalyzeTrace computes affinity groups over a slice of the access
+// stream.
+func AnalyzeTrace(accesses []trace.Addr, arrays []trace.ArraySpan, window int, frac float64) []Group {
+	a := NewAnalyzer(arrays, window)
+	for _, addr := range accesses {
+		a.Access(addr)
+	}
+	return a.Groups(frac)
+}

@@ -1,0 +1,134 @@
+package affinity
+
+import (
+	"sort"
+
+	"lpp/internal/trace"
+)
+
+// Remapper translates data addresses according to the current affinity
+// grouping before forwarding them downstream — the simulation stand-in
+// for the Impulse memory controller's shadow-address remapping [34,
+// 35]: data is "reorganized" without copying, by changing the address
+// the cache sees. Grouped arrays are interleaved element by element so
+// that co-accessed elements land in the same cache block; calling
+// SetGroups at a phase marker redoes the remapping for the next phase,
+// which is exactly the phase-based optimization of Table 5.
+type Remapper struct {
+	arrays     []trace.ArraySpan
+	downstream trace.Instrumenter
+
+	// Per array: identity or interleaved placement.
+	grouped []bool
+	base    []trace.Addr // interleave base for the array's group
+	member  []int        // member offset within the group
+	stride  []trace.Addr // group stride in bytes
+
+	// remapBase is where interleaved regions are placed; each group
+	// gets a disjoint, page-aligned region.
+	remapBase trace.Addr
+}
+
+// NewRemapper wraps downstream with an identity mapping over arrays.
+func NewRemapper(arrays []trace.ArraySpan, downstream trace.Instrumenter) *Remapper {
+	if downstream == nil {
+		downstream = trace.Null{}
+	}
+	sorted := append([]trace.ArraySpan(nil), arrays...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	var top trace.Addr = 1 << 40
+	for _, a := range sorted {
+		if a.End() > top {
+			top = a.End()
+		}
+	}
+	r := &Remapper{
+		arrays:     sorted,
+		downstream: downstream,
+		grouped:    make([]bool, len(sorted)),
+		base:       make([]trace.Addr, len(sorted)),
+		member:     make([]int, len(sorted)),
+		stride:     make([]trace.Addr, len(sorted)),
+		remapBase:  (top + 0xFFFF) &^ 0xFFFF,
+	}
+	return r
+}
+
+// SetGroups installs a new grouping (indices refer to the *sorted*
+// array order, which NewRemapper normalizes to base-address order —
+// use Arrays to translate names). Passing nil restores the identity
+// layout.
+func (r *Remapper) SetGroups(groups []Group) {
+	for i := range r.grouped {
+		r.grouped[i] = false
+	}
+	next := r.remapBase
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		stride := trace.Addr(0)
+		maxBytes := trace.Addr(0)
+		for _, ai := range g {
+			stride += trace.Addr(r.arrays[ai].ElemSize)
+			if b := r.arrays[ai].End() - r.arrays[ai].Base; b > maxBytes {
+				maxBytes = b
+			}
+		}
+		region := (maxBytes*trace.Addr(len(g)) + 0xFFFF) &^ 0xFFFF
+		offset := trace.Addr(0)
+		for _, ai := range g {
+			r.grouped[ai] = true
+			r.base[ai] = next + offset
+			r.stride[ai] = stride
+			offset += trace.Addr(r.arrays[ai].ElemSize)
+		}
+		next += region
+	}
+}
+
+// Arrays returns the remapper's (base-sorted) array order.
+func (r *Remapper) Arrays() []trace.ArraySpan { return r.arrays }
+
+// Block implements trace.Instrumenter.
+func (r *Remapper) Block(id trace.BlockID, instrs int) {
+	r.downstream.Block(id, instrs)
+}
+
+// Access implements trace.Instrumenter.
+func (r *Remapper) Access(addr trace.Addr) {
+	ai := arrayOf(r.arrays, addr)
+	if ai >= 0 && r.grouped[ai] {
+		a := &r.arrays[ai]
+		elem := (addr - a.Base) / trace.Addr(a.ElemSize)
+		within := (addr - a.Base) % trace.Addr(a.ElemSize)
+		addr = r.base[ai] + elem*r.stride[ai] + within
+	}
+	r.downstream.Access(addr)
+}
+
+// Model converts instruction and miss counts into execution time, the
+// way the paper's Table 5 reports seconds: a fixed cost per
+// instruction plus a fixed penalty per cache miss.
+type Model struct {
+	// CyclesPerInstr is the base cost of one instruction.
+	CyclesPerInstr float64
+	// MissPenalty is the additional cycles per cache miss.
+	MissPenalty float64
+}
+
+// DefaultModel is a Pentium-4-era memory-bound model.
+var DefaultModel = Model{CyclesPerInstr: 1, MissPenalty: 100}
+
+// Time returns the modeled cycle count.
+func (m Model) Time(instrs, misses uint64) float64 {
+	return m.CyclesPerInstr*float64(instrs) + m.MissPenalty*float64(misses)
+}
+
+// Speedup returns (base/improved - 1): 0.05 means 5% faster.
+func Speedup(base, improved float64) float64 {
+	if improved <= 0 {
+		return 0
+	}
+	return base/improved - 1
+}

@@ -1,0 +1,200 @@
+// Package bbv implements basic-block-vector phase analysis, the
+// strongest interval-based baseline the paper compares against
+// (Sherwood et al. [30]): execution is cut into fixed-length
+// instruction intervals; each interval is summarized by a basic-block
+// vector (per-block execution counts weighted by block size) randomly
+// projected to 32 dimensions; intervals are clustered by a distance
+// threshold; and a run-length-encoded Markov predictor forecasts the
+// next interval's cluster.
+package bbv
+
+import (
+	"lpp/internal/cache"
+	"lpp/internal/trace"
+)
+
+// Dims is the projected vector dimensionality used by Sherwood et al.
+const Dims = 32
+
+// Vector is a projected, normalized basic-block vector.
+type Vector [Dims]float64
+
+// Interval is one fixed-length window of execution.
+type Interval struct {
+	Vector                 Vector
+	StartInstr, EndInstr   int64
+	StartAccess, EndAccess int64
+	// Loc is the interval's measured locality vector when the
+	// Collector was built with locality measurement.
+	Loc cache.Vector
+}
+
+// Collector is a trace.Instrumenter that builds one projected BBV per
+// interval of intervalLen instructions.
+type Collector struct {
+	intervalLen int64
+	seed        uint64
+
+	projCache map[trace.BlockID]*Vector
+
+	cur        Vector
+	curWeight  float64
+	instrs     int64
+	accesses   int64
+	startInstr int64
+	startAcc   int64
+
+	sim  *cache.MultiAssoc
+	snap cache.Snapshot
+
+	intervals []Interval
+}
+
+// NewCollector returns a Collector with the given interval length in
+// instructions (Sherwood et al. use 10M; scale to taste) and a seed
+// for the random projection.
+func NewCollector(intervalLen int64, seed uint64) *Collector {
+	if intervalLen <= 0 {
+		panic("bbv: interval length must be positive")
+	}
+	return &Collector{
+		intervalLen: intervalLen,
+		seed:        seed,
+		projCache:   make(map[trace.BlockID]*Vector),
+	}
+}
+
+// NewCollectorWithLocality additionally measures each interval's
+// locality vector with the default multi-size cache simulator (warm
+// across intervals).
+func NewCollectorWithLocality(intervalLen int64, seed uint64) *Collector {
+	c := NewCollector(intervalLen, seed)
+	c.sim = cache.NewDefault()
+	c.snap = c.sim.Snapshot()
+	return c
+}
+
+// projection returns block id's random ±1 projection row, memoized.
+func (c *Collector) projection(id trace.BlockID) *Vector {
+	if v, ok := c.projCache[id]; ok {
+		return v
+	}
+	var v Vector
+	x := uint64(id)*0x9E3779B97F4A7C15 + c.seed
+	for d := 0; d < Dims; d++ {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		if z&1 == 0 {
+			v[d] = 1
+		} else {
+			v[d] = -1
+		}
+	}
+	c.projCache[id] = &v
+	return &v
+}
+
+// Block implements trace.Instrumenter.
+func (c *Collector) Block(id trace.BlockID, instrs int) {
+	w := float64(instrs)
+	p := c.projection(id)
+	for d := 0; d < Dims; d++ {
+		c.cur[d] += w * p[d]
+	}
+	c.curWeight += w
+	c.instrs += int64(instrs)
+	for c.instrs-c.startInstr >= c.intervalLen {
+		c.close()
+	}
+}
+
+// Access implements trace.Instrumenter.
+func (c *Collector) Access(addr trace.Addr) {
+	c.accesses++
+	if c.sim != nil {
+		c.sim.Access(addr)
+	}
+}
+
+// close finishes the current interval.
+func (c *Collector) close() {
+	iv := Interval{
+		StartInstr:  c.startInstr,
+		EndInstr:    c.startInstr + c.intervalLen,
+		StartAccess: c.startAcc,
+		EndAccess:   c.accesses,
+	}
+	if c.curWeight > 0 {
+		for d := 0; d < Dims; d++ {
+			iv.Vector[d] = c.cur[d] / c.curWeight
+		}
+	}
+	if c.sim != nil {
+		iv.Loc, _ = c.sim.Since(c.snap)
+		c.snap = c.sim.Snapshot()
+	}
+	c.intervals = append(c.intervals, iv)
+	c.cur = Vector{}
+	c.curWeight = 0
+	c.startInstr = iv.EndInstr
+	c.startAcc = c.accesses
+}
+
+// Intervals returns the completed intervals (a trailing partial
+// interval is discarded, as in the original).
+func (c *Collector) Intervals() []Interval {
+	return c.intervals
+}
+
+// manhattan returns the L1 distance between two vectors.
+func manhattan(a, b Vector) float64 {
+	var s float64
+	for d := 0; d < Dims; d++ {
+		diff := a[d] - b[d]
+		if diff < 0 {
+			diff = -diff
+		}
+		s += diff
+	}
+	return s
+}
+
+// Cluster groups interval vectors with leader–follower threshold
+// clustering: an interval joins the nearest existing cluster if its
+// Manhattan distance to the centroid is below threshold, otherwise it
+// founds a new cluster. Returns one cluster ID per interval.
+func Cluster(intervals []Interval, threshold float64) []int {
+	var centroids []Vector
+	var sizes []int
+	ids := make([]int, len(intervals))
+	for i, iv := range intervals {
+		best, bestDist := -1, threshold
+		for c, cent := range centroids {
+			if d := manhattan(iv.Vector, cent); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if best < 0 {
+			centroids = append(centroids, iv.Vector)
+			sizes = append(sizes, 1)
+			ids[i] = len(centroids) - 1
+			continue
+		}
+		// Update the centroid incrementally.
+		n := float64(sizes[best])
+		for d := 0; d < Dims; d++ {
+			centroids[best][d] = (centroids[best][d]*n + iv.Vector[d]) / (n + 1)
+		}
+		sizes[best]++
+		ids[i] = best
+	}
+	return ids
+}
+
+// DefaultThreshold is a clustering threshold that works well for the
+// ±1 projection: vectors of identical code regions differ by ~0 while
+// different regions differ by O(1) per dimension.
+const DefaultThreshold = 4.0

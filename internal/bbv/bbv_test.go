@@ -1,0 +1,188 @@
+package bbv
+
+import (
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+// emit drives a Collector with `reps` repetitions of a block pattern.
+func emit(c *Collector, pattern []trace.BlockID, instrsEach, reps int) {
+	for r := 0; r < reps; r++ {
+		for _, id := range pattern {
+			c.Block(id, instrsEach)
+		}
+	}
+}
+
+func TestCollectorIntervalBoundaries(t *testing.T) {
+	c := NewCollector(1000, 1)
+	emit(c, []trace.BlockID{1, 2}, 100, 10) // 2000 instructions
+	ivs := c.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(ivs))
+	}
+	if ivs[0].EndInstr != 1000 || ivs[1].StartInstr != 1000 {
+		t.Errorf("interval extents wrong: %+v", ivs)
+	}
+}
+
+func TestCollectorSameCodeSameVector(t *testing.T) {
+	c := NewCollector(1000, 1)
+	emit(c, []trace.BlockID{1, 2, 3, 4, 5}, 100, 12) // pattern divides the interval
+	ivs := c.Intervals()
+	if len(ivs) < 3 {
+		t.Fatal("expected several intervals")
+	}
+	d := manhattan(ivs[0].Vector, ivs[1].Vector)
+	if d > 1e-9 {
+		t.Errorf("identical code produced distance %g", d)
+	}
+}
+
+func TestCollectorDifferentCodeDifferentVector(t *testing.T) {
+	c := NewCollector(1000, 1)
+	emit(c, []trace.BlockID{1, 2}, 100, 5) // interval 1
+	emit(c, []trace.BlockID{7, 8}, 100, 5) // interval 2
+	ivs := c.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(ivs))
+	}
+	if d := manhattan(ivs[0].Vector, ivs[1].Vector); d < 1 {
+		t.Errorf("different code produced distance %g, want >= 1", d)
+	}
+}
+
+func TestCollectorPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCollector(0, 1)
+}
+
+func TestClusterGroupsAlternation(t *testing.T) {
+	c := NewCollector(1000, 1)
+	for r := 0; r < 6; r++ {
+		emit(c, []trace.BlockID{1, 2}, 100, 5) // code A
+		emit(c, []trace.BlockID{7, 8}, 100, 5) // code B
+	}
+	ids := Cluster(c.Intervals(), DefaultThreshold)
+	if len(ids) != 12 {
+		t.Fatalf("intervals = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != ids[i%2] {
+			t.Fatalf("alternating code not clustered consistently: %v", ids)
+		}
+	}
+	if ids[0] == ids[1] {
+		t.Error("distinct code clustered together")
+	}
+}
+
+func TestClusterThresholdExtremes(t *testing.T) {
+	c := NewCollector(1000, 1)
+	emit(c, []trace.BlockID{1, 2}, 100, 5)
+	emit(c, []trace.BlockID{7, 8}, 100, 5)
+	// Huge threshold: one cluster.
+	ids := Cluster(c.Intervals(), 1e9)
+	if ids[0] != ids[1] {
+		t.Error("huge threshold should merge everything")
+	}
+	// Tiny threshold: every distinct vector separate.
+	ids = Cluster(c.Intervals(), 1e-12)
+	if ids[0] == ids[1] {
+		t.Error("tiny threshold should split distinct vectors")
+	}
+}
+
+func TestRLEMarkovLearnsPeriodicPattern(t *testing.T) {
+	// Pattern AABB AABB ... : last-value fails at every run end;
+	// RLE Markov learns the transitions.
+	var seq []int
+	for i := 0; i < 50; i++ {
+		seq = append(seq, 0, 0, 1, 1)
+	}
+	m := NewRLEMarkov()
+	var correctTail, totalTail int64
+	for i, id := range seq {
+		pred, ok := m.Predict()
+		if ok && i >= len(seq)/2 { // score the second half (learned)
+			totalTail++
+			if pred == id {
+				correctTail++
+			}
+		}
+		m.Observe(id)
+	}
+	if totalTail == 0 || float64(correctTail)/float64(totalTail) < 0.99 {
+		t.Errorf("learned accuracy = %d/%d, want ~1", correctTail, totalTail)
+	}
+}
+
+func TestRLEMarkovFallbackLastValue(t *testing.T) {
+	m := NewRLEMarkov()
+	m.Observe(5)
+	pred, ok := m.Predict()
+	if !ok || pred != 5 {
+		t.Errorf("fallback prediction = %d,%v, want 5,true", pred, ok)
+	}
+}
+
+func TestRLEMarkovAccuracyVacuous(t *testing.T) {
+	m := NewRLEMarkov()
+	if m.Accuracy() != 1 {
+		t.Error("vacuous accuracy should be 1")
+	}
+}
+
+func TestPredictSequence(t *testing.T) {
+	seq := []int{1, 1, 1, 1}
+	preds := PredictSequence(seq)
+	if preds[0] != -1 {
+		t.Error("first position has no prediction")
+	}
+	for _, p := range preds[1:] {
+		if p != 1 {
+			t.Errorf("steady sequence predictions = %v", preds)
+		}
+	}
+}
+
+func TestProjectionDeterministic(t *testing.T) {
+	c1 := NewCollector(1000, 42)
+	c2 := NewCollector(1000, 42)
+	v1 := c1.projection(7)
+	v2 := c2.projection(7)
+	if *v1 != *v2 {
+		t.Error("projection must be deterministic per seed")
+	}
+	c3 := NewCollector(1000, 43)
+	if *c3.projection(7) == *v1 {
+		t.Error("different seeds should give different projections (overwhelmingly)")
+	}
+}
+
+func TestCollectorWithLocality(t *testing.T) {
+	c := NewCollectorWithLocality(1000, 1)
+	for r := 0; r < 20; r++ {
+		c.Block(1, 100)
+		for i := 0; i < 10; i++ {
+			c.Access(trace.Addr(i) * 64)
+		}
+	}
+	ivs := c.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(ivs))
+	}
+	// First interval is cold, second fully warm.
+	if ivs[0].Loc.MissAt(8) <= ivs[1].Loc.MissAt(8) {
+		t.Errorf("locality not measured per interval: %v vs %v",
+			ivs[0].Loc.MissAt(8), ivs[1].Loc.MissAt(8))
+	}
+	if ivs[1].Loc.MissAt(8) != 0 {
+		t.Errorf("warm interval miss rate = %g, want 0", ivs[1].Loc.MissAt(8))
+	}
+}

@@ -1,0 +1,140 @@
+package bbv
+
+import "lpp/internal/stats"
+
+// KMeans clusters interval vectors with Lloyd's algorithm, the
+// clustering SimPoint uses on basic-block vectors (Sherwood et al.
+// [29, 30]); it is the off-line alternative to the on-line
+// leader–follower Cluster. Seeding is k-means++-style from a
+// deterministic generator; empty clusters are reseeded from the
+// farthest point.
+func KMeans(intervals []Interval, k int, seed uint64) []int {
+	n := len(intervals)
+	ids := make([]int, n)
+	if n == 0 || k <= 1 {
+		return ids
+	}
+	if k > n {
+		k = n
+	}
+	rng := stats.NewRNG(seed)
+
+	// k-means++ seeding.
+	centroids := make([]Vector, 0, k)
+	centroids = append(centroids, intervals[rng.Intn(n)].Vector)
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var sum float64
+		for i, iv := range intervals {
+			best := manhattan(iv.Vector, centroids[0])
+			for _, c := range centroids[1:] {
+				if d := manhattan(iv.Vector, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			sum += d2[i]
+		}
+		if sum == 0 {
+			// All points coincide with a centroid already.
+			centroids = append(centroids, intervals[rng.Intn(n)].Vector)
+			continue
+		}
+		target := rng.Float64() * sum
+		pick := 0
+		for i, w := range d2 {
+			target -= w
+			if target <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, intervals[pick].Vector)
+	}
+
+	// Lloyd iterations.
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, iv := range intervals {
+			best, bestD := 0, manhattan(iv.Vector, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := manhattan(iv.Vector, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if ids[i] != best {
+				ids[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		var sums [][Dims]float64
+		sums = make([][Dims]float64, k)
+		counts := make([]int, k)
+		for i, iv := range intervals {
+			c := ids[i]
+			counts[c]++
+			for d := 0; d < Dims; d++ {
+				sums[c][d] += iv.Vector[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Reseed an empty cluster from the farthest point.
+				far, farD := 0, -1.0
+				for i, iv := range intervals {
+					if d := manhattan(iv.Vector, centroids[ids[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = intervals[far].Vector
+				continue
+			}
+			for d := 0; d < Dims; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ids
+}
+
+// Inertia returns the total Manhattan distance of each interval to its
+// cluster centroid under the given assignment — the k-means objective,
+// usable to pick k.
+func Inertia(intervals []Interval, ids []int) float64 {
+	if len(intervals) == 0 {
+		return 0
+	}
+	k := 0
+	for _, id := range ids {
+		if id+1 > k {
+			k = id + 1
+		}
+	}
+	sums := make([][Dims]float64, k)
+	counts := make([]int, k)
+	for i, iv := range intervals {
+		c := ids[i]
+		counts[c]++
+		for d := 0; d < Dims; d++ {
+			sums[c][d] += iv.Vector[d]
+		}
+	}
+	centroids := make([]Vector, k)
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for d := 0; d < Dims; d++ {
+			centroids[c][d] = sums[c][d] / float64(counts[c])
+		}
+	}
+	var total float64
+	for i, iv := range intervals {
+		total += manhattan(iv.Vector, centroids[ids[i]])
+	}
+	return total
+}

@@ -1,0 +1,98 @@
+package bbv
+
+import (
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+// twoCodeIntervals builds intervals from two clearly distinct code
+// regions, alternating.
+func twoCodeIntervals(reps int) []Interval {
+	c := NewCollector(1000, 1)
+	for r := 0; r < reps; r++ {
+		emit(c, []trace.BlockID{1, 2}, 100, 5)
+		emit(c, []trace.BlockID{7, 8}, 100, 5)
+	}
+	return c.Intervals()
+}
+
+func TestKMeansSeparatesCode(t *testing.T) {
+	ivs := twoCodeIntervals(8)
+	ids := KMeans(ivs, 2, 42)
+	// All even intervals in one cluster, all odd in the other.
+	for i, id := range ids {
+		if id != ids[i%2] {
+			t.Fatalf("inconsistent clustering: %v", ids)
+		}
+	}
+	if ids[0] == ids[1] {
+		t.Error("distinct code should split into two clusters")
+	}
+}
+
+func TestKMeansAgreesWithLeaderFollower(t *testing.T) {
+	ivs := twoCodeIntervals(10)
+	km := KMeans(ivs, 2, 42)
+	lf := Cluster(ivs, DefaultThreshold)
+	// Same partition up to label renaming: build the mapping.
+	mapping := map[int]int{}
+	for i := range ivs {
+		if want, ok := mapping[km[i]]; ok {
+			if lf[i] != want {
+				t.Fatalf("partitions differ at %d", i)
+			}
+		} else {
+			mapping[km[i]] = lf[i]
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	ivs := twoCodeIntervals(6)
+	a := KMeans(ivs, 2, 7)
+	b := KMeans(ivs, 2, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give the same clustering")
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if got := KMeans(nil, 3, 1); len(got) != 0 {
+		t.Error("empty input")
+	}
+	ivs := twoCodeIntervals(2)
+	// k = 1: all in cluster 0.
+	for _, id := range KMeans(ivs, 1, 1) {
+		if id != 0 {
+			t.Error("k=1 must put everything in cluster 0")
+		}
+	}
+	// k > n: must not panic, must produce a valid assignment.
+	ids := KMeans(ivs[:2], 10, 1)
+	for _, id := range ids {
+		if id < 0 || id >= 2 {
+			t.Errorf("invalid cluster id %d", id)
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	ivs := twoCodeIntervals(10)
+	i1 := Inertia(ivs, KMeans(ivs, 1, 3))
+	i2 := Inertia(ivs, KMeans(ivs, 2, 3))
+	if i2 >= i1 {
+		t.Errorf("inertia did not decrease: k=1 %.3f, k=2 %.3f", i1, i2)
+	}
+	if i2 > 1e-9 {
+		t.Errorf("two perfect clusters should have ~0 inertia, got %g", i2)
+	}
+}
+
+func TestInertiaEmpty(t *testing.T) {
+	if Inertia(nil, nil) != 0 {
+		t.Error("empty inertia should be 0")
+	}
+}

@@ -1,0 +1,101 @@
+package bbv
+
+// RLEMarkov is the run-length-encoded Markov predictor of Sherwood et
+// al. [30], the best of their predictors: the state is the pair
+// (current cluster ID, length of the current run of that ID), and the
+// table remembers the cluster that followed that state last time. When
+// the state has never been seen, it falls back to last-value
+// prediction (the run continues).
+type RLEMarkov struct {
+	table map[rleKey]int
+
+	cur    int
+	runLen int
+	primed bool
+
+	predictions int64
+	correct     int64
+}
+
+type rleKey struct {
+	id  int
+	run int
+}
+
+// maxRun caps the run length used in the state so the table stays
+// small, as in hardware implementations.
+const maxRun = 64
+
+// NewRLEMarkov returns an empty predictor.
+func NewRLEMarkov() *RLEMarkov {
+	return &RLEMarkov{table: make(map[rleKey]int)}
+}
+
+// Predict returns the predicted cluster of the next interval.
+func (m *RLEMarkov) Predict() (int, bool) {
+	if !m.primed {
+		return 0, false
+	}
+	if next, ok := m.table[m.key()]; ok {
+		return next, true
+	}
+	return m.cur, true // last-value fallback
+}
+
+func (m *RLEMarkov) key() rleKey {
+	run := m.runLen
+	if run > maxRun {
+		run = maxRun
+	}
+	return rleKey{m.cur, run}
+}
+
+// Observe feeds the actual cluster of the next interval, scoring the
+// outstanding prediction and updating the table.
+func (m *RLEMarkov) Observe(id int) {
+	if m.primed {
+		if pred, ok := m.Predict(); ok {
+			m.predictions++
+			if pred == id {
+				m.correct++
+			}
+		}
+		if id != m.cur {
+			// Record that this (id, run) state ended the run.
+			m.table[m.key()] = id
+			m.cur = id
+			m.runLen = 1
+		} else {
+			m.runLen++
+		}
+		return
+	}
+	m.primed = true
+	m.cur = id
+	m.runLen = 1
+}
+
+// Accuracy returns the fraction of correct predictions (1 if none).
+func (m *RLEMarkov) Accuracy() float64 {
+	if m.predictions == 0 {
+		return 1
+	}
+	return float64(m.correct) / float64(m.predictions)
+}
+
+// PredictSequence replays a cluster sequence through a fresh predictor
+// and returns the prediction for each position from the second onward
+// (position i holds the prediction made before observing ids[i]).
+func PredictSequence(ids []int) []int {
+	m := NewRLEMarkov()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		if pred, ok := m.Predict(); ok {
+			out[i] = pred
+		} else {
+			out[i] = -1
+		}
+		m.Observe(id)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package bbv
+
+// SimPoint is one representative interval: simulate only it and weight
+// its behavior by its cluster's share of the execution — the
+// simulation-point methodology of Sherwood et al. [29, 30] that the
+// paper's BBV baseline comes from.
+type SimPoint struct {
+	// Index of the representative interval.
+	Index int
+	// Cluster it represents.
+	Cluster int
+	// Weight is the cluster's fraction of all intervals.
+	Weight float64
+}
+
+// SimPoints picks, for every cluster, the interval closest to the
+// cluster centroid, weighted by cluster size. ids must be a clustering
+// of ivs (from Cluster or KMeans).
+func SimPoints(ivs []Interval, ids []int) []SimPoint {
+	if len(ivs) != len(ids) {
+		panic("bbv: SimPoints length mismatch")
+	}
+	if len(ivs) == 0 {
+		return nil
+	}
+	k := 0
+	for _, id := range ids {
+		if id+1 > k {
+			k = id + 1
+		}
+	}
+	// Centroids.
+	sums := make([][Dims]float64, k)
+	counts := make([]int, k)
+	for i, iv := range ivs {
+		c := ids[i]
+		counts[c]++
+		for d := 0; d < Dims; d++ {
+			sums[c][d] += iv.Vector[d]
+		}
+	}
+	centroids := make([]Vector, k)
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for d := 0; d < Dims; d++ {
+			centroids[c][d] = sums[c][d] / float64(counts[c])
+		}
+	}
+	// Closest interval per cluster.
+	best := make([]int, k)
+	bestD := make([]float64, k)
+	for c := range best {
+		best[c] = -1
+	}
+	for i, iv := range ivs {
+		c := ids[i]
+		d := manhattan(iv.Vector, centroids[c])
+		if best[c] < 0 || d < bestD[c] {
+			best[c], bestD[c] = i, d
+		}
+	}
+	var out []SimPoint
+	for c := 0; c < k; c++ {
+		if best[c] < 0 {
+			continue
+		}
+		out = append(out, SimPoint{
+			Index:   best[c],
+			Cluster: c,
+			Weight:  float64(counts[c]) / float64(len(ivs)),
+		})
+	}
+	return out
+}
+
+// Estimate computes the weighted sum of a per-interval metric over the
+// simulation points — the whole-program estimate one would get by
+// simulating only the representatives.
+func Estimate(points []SimPoint, metric func(intervalIndex int) float64) float64 {
+	var sum float64
+	for _, p := range points {
+		sum += p.Weight * metric(p.Index)
+	}
+	return sum
+}

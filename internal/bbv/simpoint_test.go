@@ -1,0 +1,71 @@
+package bbv
+
+import (
+	"math"
+	"testing"
+
+	"lpp/internal/workload"
+)
+
+func TestSimPointsOnePerCluster(t *testing.T) {
+	ivs := twoCodeIntervals(8)
+	ids := Cluster(ivs, DefaultThreshold)
+	pts := SimPoints(ivs, ids)
+	if len(pts) != 2 {
+		t.Fatalf("simpoints = %d, want 2", len(pts))
+	}
+	var totalW float64
+	for _, p := range pts {
+		totalW += p.Weight
+		if ids[p.Index] != p.Cluster {
+			t.Error("representative not in its own cluster")
+		}
+	}
+	if math.Abs(totalW-1) > 1e-12 {
+		t.Errorf("weights sum to %g, want 1", totalW)
+	}
+}
+
+func TestSimPointEstimateMatchesTrueAverage(t *testing.T) {
+	// On a real phased workload: estimate the overall miss rate from
+	// per-cluster representatives and compare with the truth.
+	spec, _ := workload.ByName("tomcatv")
+	col := NewCollectorWithLocality(15_000, 7)
+	spec.Make(workload.Params{N: 48, Steps: 8, Seed: 1}).Run(col)
+	ivs := col.Intervals()
+	if len(ivs) < 20 {
+		t.Fatalf("only %d intervals", len(ivs))
+	}
+	// Fixed-length windows cut the substeps at varying offsets, so
+	// leader-follower fragments; k-means with a budget of k mirrors
+	// SimPoint's usage.
+	ids := KMeans(ivs, 8, 42)
+	pts := SimPoints(ivs, ids)
+	if len(pts) > 8 {
+		t.Fatalf("simpoints (%d) exceed k", len(pts))
+	}
+	if len(pts) >= len(ivs)/3 {
+		t.Fatalf("simpoints (%d) should be far fewer than intervals (%d)", len(pts), len(ivs))
+	}
+	est := Estimate(pts, func(i int) float64 { return ivs[i].Loc.MissAt(1) })
+	var truth float64
+	for _, iv := range ivs {
+		truth += iv.Loc.MissAt(1)
+	}
+	truth /= float64(len(ivs))
+	if diff := math.Abs(est - truth); diff > 0.05 {
+		t.Errorf("simpoint estimate %.4f vs true %.4f (diff %.4f)", est, truth, diff)
+	}
+}
+
+func TestSimPointsDegenerate(t *testing.T) {
+	if pts := SimPoints(nil, nil); pts != nil {
+		t.Error("empty input should give nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatch")
+		}
+	}()
+	SimPoints(make([]Interval, 2), []int{0})
+}

@@ -1,0 +1,55 @@
+package cache
+
+import "lpp/internal/stats"
+
+// NoiseModel perturbs simulated miss rates the way a real machine does
+// in Figure 4 of the paper: operating-system interference adds a small
+// number of extra misses per phase execution, so short executions and
+// low miss rates show proportionally more variation than long ones.
+type NoiseModel struct {
+	rng *stats.RNG
+	// ExtraMissesPerRun is the expected number of interference misses
+	// an execution suffers regardless of its length (TLB shootdowns,
+	// interrupts, context switches touching the cache).
+	ExtraMissesPerRun float64
+	// FirstRunColdFactor inflates the very first execution of a phase
+	// (cold libraries, page faults), the effect visible for Phase 1
+	// in Figure 4.
+	FirstRunColdFactor float64
+}
+
+// NewNoiseModel returns a deterministic noise model.
+func NewNoiseModel(seed uint64) *NoiseModel {
+	return &NoiseModel{
+		rng:                stats.NewRNG(seed),
+		ExtraMissesPerRun:  2000,
+		FirstRunColdFactor: 1.5,
+	}
+}
+
+// Perturb converts a simulated miss rate into a "measured" one for a
+// phase execution with the given number of accesses; first reports
+// whether this is the first execution of the phase. The perturbation
+// shrinks as executions get longer, matching the observation that
+// Phase 2 of Compress (shorter, lower miss rate) varies more than
+// Phase 1 on the Power 4.
+func (n *NoiseModel) Perturb(missRate float64, accesses int64, first bool) float64 {
+	if accesses <= 0 {
+		return missRate
+	}
+	extra := n.ExtraMissesPerRun * (1 + 0.5*n.rng.NormFloat64())
+	if extra < 0 {
+		extra = 0
+	}
+	m := missRate + extra/float64(accesses)
+	if first {
+		m *= n.FirstRunColdFactor
+	}
+	if m < 0 {
+		m = 0
+	}
+	if m > 1 {
+		m = 1
+	}
+	return m
+}

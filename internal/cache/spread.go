@@ -1,0 +1,44 @@
+package cache
+
+import "lpp/internal/stats"
+
+// Spread measures how tightly a set of locality vectors clusters: the
+// per-dimension population standard deviation of the miss rates,
+// averaged over the eight cache sizes. It is the statistic of Table 4,
+// computed for all executions of one phase (or all intervals of one
+// BBV cluster).
+func Spread(vs []Vector) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	dim := make([]float64, len(vs))
+	total := 0.0
+	for d := 0; d < MaxAssoc; d++ {
+		for i, v := range vs {
+			dim[i] = v[d]
+		}
+		total += stats.StdDev(dim)
+	}
+	return total / MaxAssoc
+}
+
+// WeightedSpread aggregates Spread across groups, weighting each
+// group's spread by its weight (the paper weights by phase or cluster
+// size). Groups with non-positive weight are ignored.
+func WeightedSpread(groups [][]Vector, weights []float64) float64 {
+	if len(groups) != len(weights) {
+		panic("cache: WeightedSpread length mismatch")
+	}
+	var sum, wsum float64
+	for i, g := range groups {
+		if weights[i] <= 0 {
+			continue
+		}
+		sum += Spread(g) * weights[i]
+		wsum += weights[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lpp/internal/predictor"
+	"lpp/internal/workload"
+)
+
+// TestDetectPredictConcurrent verifies the library has no hidden
+// shared state: detections and predictions for different programs can
+// run in parallel (as cmd/lppbench -j does) and produce the same
+// results as serial runs.
+func TestDetectPredictConcurrent(t *testing.T) {
+	cases := pipelineCases()[:4]
+
+	type outcome struct {
+		phases   int
+		accuracy float64
+		coverage float64
+	}
+	run := func(c pipelineCase) outcome {
+		spec, _ := workload.ByName(c.name)
+		det, err := Detect(spec.Make(c.train), DefaultConfig())
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			return outcome{}
+		}
+		rep := Predict(spec.Make(c.ref), det, predictor.Strict)
+		return outcome{det.Selection.PhaseCount, rep.Accuracy, rep.Coverage}
+	}
+
+	serial := make([]outcome, len(cases))
+	for i, c := range cases {
+		serial[i] = run(c)
+	}
+
+	parallel := make([]outcome, len(cases))
+	var wg sync.WaitGroup
+	for i, c := range cases {
+		wg.Add(1)
+		go func(i int, c pipelineCase) {
+			defer wg.Done()
+			parallel[i] = run(c)
+		}(i, c)
+	}
+	wg.Wait()
+
+	for i := range cases {
+		if serial[i] != parallel[i] {
+			t.Errorf("%s: concurrent run differs: %+v vs %+v",
+				cases[i].name, serial[i], parallel[i])
+		}
+	}
+}

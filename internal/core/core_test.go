@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"lpp/internal/predictor"
+	"lpp/internal/regexphase"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+func detectWorkload(t *testing.T, name string, p workload.Params) *Detection {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Detect(spec.Make(p), DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return det
+}
+
+func TestDetectTomcatv(t *testing.T) {
+	p := workload.Params{N: 48, Steps: 6, Seed: 1}
+	det := detectWorkload(t, "tomcatv", p)
+
+	if det.Selection.PhaseCount != 5 {
+		t.Errorf("tomcatv phases = %d, want 5 (markers %v)",
+			det.Selection.PhaseCount, det.Selection.Markers)
+	}
+	if got := len(det.Selection.Regions); got != 5*p.Steps {
+		t.Errorf("tomcatv phase executions = %d, want %d", got, 5*p.Steps)
+	}
+	// The boundaries must roughly match the substep structure: at
+	// least one detected boundary per time step.
+	if len(det.Boundaries) < p.Steps {
+		t.Errorf("boundaries = %d, want >= %d", len(det.Boundaries), p.Steps)
+	}
+	// Sampling parity with the paper: a bounded sample budget
+	// reached in a handful of threshold adjustments ("15 thousand to
+	// 30 thousand samples in less than 20 adjustments").
+	if n := len(det.Samples.Samples); n < 1000 || n > 45000 {
+		t.Errorf("samples = %d, want a bounded budget", n)
+	}
+	if det.Samples.Adjustments >= 20 {
+		t.Errorf("threshold adjustments = %d, want < 20", det.Samples.Adjustments)
+	}
+	// The hierarchy must generalize: it matches the training phase
+	// sequence extended by extra time steps.
+	d := regexphase.Compile(det.Hierarchy)
+	if !d.Matches(det.PhaseSeq) {
+		t.Fatalf("hierarchy %v rejects its own training sequence %v",
+			det.Hierarchy, det.PhaseSeq)
+	}
+	longer := append(append([]int{}, det.PhaseSeq...), det.PhaseSeq[len(det.PhaseSeq)-5:]...)
+	if !d.Matches(longer) {
+		t.Errorf("hierarchy %v does not generalize to more time steps", det.Hierarchy)
+	}
+}
+
+func TestPredictTomcatvStrict(t *testing.T) {
+	train := workload.Params{N: 48, Steps: 6, Seed: 1}
+	ref := workload.Params{N: 96, Steps: 10, Seed: 2}
+	det := detectWorkload(t, "tomcatv", train)
+	spec, _ := workload.ByName("tomcatv")
+	rep := Predict(spec.Make(ref), det, predictor.Strict)
+
+	if rep.Accuracy < 0.999 {
+		t.Errorf("strict accuracy = %g, want ~1", rep.Accuracy)
+	}
+	if rep.Coverage < 0.5 {
+		t.Errorf("strict coverage = %g, want > 0.5", rep.Coverage)
+	}
+	if rep.PhaseCount() != 5 {
+		t.Errorf("phases observed = %d, want 5", rep.PhaseCount())
+	}
+	if got := len(rep.Executions); got != 5*ref.Steps {
+		t.Errorf("executions = %d, want %d", got, 5*ref.Steps)
+	}
+	// Locality must be essentially identical across executions of a
+	// phase: the defining property of locality phases.
+	if s := rep.LocalitySpread(); s > 1e-3 {
+		t.Errorf("locality spread = %g, want < 1e-3", s)
+	}
+	// Composite phase prediction: the hierarchy automaton should
+	// track the run nearly perfectly.
+	if rep.NextPhaseAccuracy < 0.99 {
+		t.Errorf("next-phase accuracy = %g", rep.NextPhaseAccuracy)
+	}
+}
+
+func TestPredictTomcatvRelaxedCoverage(t *testing.T) {
+	train := workload.Params{N: 48, Steps: 6, Seed: 1}
+	ref := workload.Params{N: 96, Steps: 10, Seed: 2}
+	det := detectWorkload(t, "tomcatv", train)
+	spec, _ := workload.ByName("tomcatv")
+	rep := Predict(spec.Make(ref), det, predictor.Relaxed)
+	// First executions of each phase are unpredicted warmup; with
+	// only 10 time steps that is ~10% of the run, plus the partial
+	// tail. The paper's longer runs amortize this to 99%+.
+	if rep.Coverage < 0.85 {
+		t.Errorf("relaxed coverage = %g, want > 0.9", rep.Coverage)
+	}
+}
+
+func TestDetectSwim(t *testing.T) {
+	det := detectWorkload(t, "swim", workload.Params{N: 48, Steps: 6, Seed: 1})
+	if det.Selection.PhaseCount != 3 {
+		t.Errorf("swim phases = %d, want 3 (markers %v)",
+			det.Selection.PhaseCount, det.Selection.Markers)
+	}
+}
+
+func TestDetectEmptyProgramFails(t *testing.T) {
+	empty := trace.RunnerFunc(func(trace.Instrumenter) {})
+	if _, err := Detect(empty, DefaultConfig()); err == nil {
+		t.Error("expected error for empty program")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lpp/internal/predictor"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// TestCrossInputConsistency pins the paper's opening claim: "Given a
+// different input ... the locality of the new simulation may change
+// radically but it will be consistent within the same execution." One
+// training run's markers predict *any* input's execution, because
+// phase identity lives in the code while phase behavior is re-learned
+// per run.
+func TestCrossInputConsistency(t *testing.T) {
+	spec, _ := workload.ByName("tomcatv")
+	det, err := Detect(spec.Make(workload.Params{N: 48, Steps: 6, Seed: 1}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []workload.Params{
+		{N: 64, Steps: 8, Seed: 9},
+		{N: 96, Steps: 8, Seed: 10},
+		{N: 160, Steps: 8, Seed: 11},
+	}
+	var phaseLens []float64
+	for _, in := range inputs {
+		rep := Predict(spec.Make(in), det, predictor.Strict)
+		if rep.Accuracy < 0.999 {
+			t.Errorf("N=%d: strict accuracy %.3f — within-run consistency broken", in.N, rep.Accuracy)
+		}
+		if rep.PhaseCount() != 5 {
+			t.Errorf("N=%d: phases = %d, want 5", in.N, rep.PhaseCount())
+		}
+		_, avg := rep.LeafStats()
+		phaseLens = append(phaseLens, avg)
+	}
+	// Across inputs the phase length must change radically (with N²).
+	if phaseLens[2] < 4*phaseLens[0] {
+		t.Errorf("phase length did not scale across inputs: %v", phaseLens)
+	}
+}
+
+// TestCrossInputLocalityDiffers: the same phase has different locality
+// on different inputs (so nothing is hard-coded), while staying
+// identical within each run.
+func TestCrossInputLocalityDiffers(t *testing.T) {
+	spec, _ := workload.ByName("compress")
+	det, err := Detect(spec.Make(workload.Params{N: 8192, Steps: 5, Seed: 1}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA := Predict(spec.Make(workload.Params{N: 16384, Steps: 6, Seed: 2}), det, predictor.Relaxed)
+	repB := Predict(spec.Make(workload.Params{N: 65536, Steps: 6, Seed: 3}), det, predictor.Relaxed)
+	if repA.LocalitySpread() > 1e-6 || repB.LocalitySpread() > 1e-6 {
+		t.Error("within-run locality must stay identical")
+	}
+	// Compare the steady-state 32KB miss rate of the compression
+	// phase across inputs: the larger buffer misses more.
+	missOf := func(rep *RunReport) float64 {
+		var worst float64
+		for _, vs := range rep.PhaseLocality {
+			for _, v := range vs[1:] {
+				if m := v.MissAt(1); m > worst {
+					worst = m
+				}
+			}
+		}
+		return worst
+	}
+	a, b := missOf(repA), missOf(repB)
+	if math.Abs(a-b) < 1e-4 {
+		t.Errorf("different inputs produced identical locality (%g vs %g)", a, b)
+	}
+}
+
+// TestPredictWithForeignMarkers: markers from one program applied to
+// another never fire; the report must stay sane (no executions, no
+// predictions, zero coverage) rather than panicking.
+func TestPredictWithForeignMarkers(t *testing.T) {
+	tom, _ := workload.ByName("tomcatv")
+	det, err := Detect(tom.Make(workload.Params{N: 48, Steps: 6, Seed: 1}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	swim, _ := workload.ByName("swim")
+	rep := Predict(swim.Make(workload.Params{N: 32, Steps: 3, Seed: 1}), det, predictor.Strict)
+	if len(rep.Executions) != 0 {
+		t.Errorf("foreign markers fired %d times", len(rep.Executions))
+	}
+	if rep.Coverage != 0 || rep.Predictions != 0 {
+		t.Errorf("coverage=%g predictions=%d, want 0", rep.Coverage, rep.Predictions)
+	}
+	if rep.Instructions == 0 {
+		t.Error("the run itself must still be measured")
+	}
+}
+
+// TestPredictEmptyProgram: predicting a program that emits nothing is
+// a no-op, not a crash.
+func TestPredictEmptyProgram(t *testing.T) {
+	spec, _ := workload.ByName("tomcatv")
+	det, err := Detect(spec.Make(workload.Params{N: 48, Steps: 6, Seed: 1}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Predict(trace.RunnerFunc(func(trace.Instrumenter) {}), det, predictor.Relaxed)
+	if len(rep.Executions) != 0 || rep.Instructions != 0 {
+		t.Errorf("empty program produced %+v", rep)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"lpp/internal/sampling"
+	"lpp/internal/wavelet"
+)
+
+// filterSubTrace decides which access samples of one data sample
+// survive filtering. Two complementary rules, both aimed at the
+// paper's goal — "the wavelet filtering removes reuses of the same
+// data within a phase" so that "the remaining is mainly accesses to
+// different data samples clustered at phase boundaries":
+//
+//  1. The paper's rule: keep accesses whose level-1 wavelet
+//     coefficient magnitude exceeds m + 3δ. This isolates abrupt
+//     jumps in sub-traces that otherwise drift gradually (the MolDyn
+//     shape of Figure 2).
+//
+//  2. A bimodal-distance rule for strongly periodic programs: when a
+//     sub-trace alternates between short within-phase reuses and long
+//     boundary-crossing reuses (the Tomcatv shape of Figure 1), every
+//     long reuse marks a phase change but none is a statistical
+//     outlier among the coefficients. If the distances split cleanly
+//     into two modes (largest log-space gap, upper mean ≥ 8× lower
+//     mean), the upper mode is kept.
+//
+//  3. A flat-signal rule: every access sample exists because its
+//     reuse distance exceeded the sampler's temporal threshold, so a
+//     sub-trace whose distances are uniformly long and nearly equal
+//     (low coefficient of variation) is one boundary crossing per
+//     recurrence — e.g. a Swim element reused once per time step.
+//     All its samples are kept.
+//
+//  4. (Extension, opt-in via Config.KeepIrregular — the Gcc extension
+//     of Section 3.1.2.) A sub-trace that is irregular but untrended —
+//     high coefficient of variation, near-zero lag-1 autocorrelation —
+//     is one boundary crossing per recurrence with an input-dependent
+//     period, like a token buffer reused once per compiled function.
+//     All its samples are kept so the boundaries can be marked even
+//     though their lengths will not be predictable.
+func filterSubTrace(dists []float64, fam wavelet.Family, keepIrregular bool) []bool {
+	if len(dists) >= 4 && coefVar(dists) < 0.25 {
+		keep := make([]bool, len(dists))
+		for i := range keep {
+			keep[i] = true
+		}
+		return keep
+	}
+	if keepIrregular && len(dists) >= 4 {
+		if ac := lag1Autocorr(dists); ac < 0.3 && ac > -0.3 {
+			keep := make([]bool, len(dists))
+			for i := range keep {
+				keep[i] = true
+			}
+			return keep
+		}
+	}
+	keep := wavelet.Keep(dists, fam)
+	if cut, ok := bimodalSplit(dists); ok && alternations(dists, cut) >= 4 {
+		// Only an *alternating* bimodal signal means every long
+		// reuse crosses a boundary. A single level shift (one
+		// contiguous upper block) is an abrupt change whose jump
+		// point the wavelet rule already isolates; keeping the
+		// whole plateau would flood the partitioner with
+		// recurrences.
+		for i, d := range dists {
+			if d >= cut {
+				keep[i] = true
+			}
+		}
+	}
+	return keep
+}
+
+// alternations counts how many times the signal crosses the mode
+// threshold between consecutive samples.
+func alternations(vals []float64, cut float64) int {
+	n := 0
+	for i := 1; i < len(vals); i++ {
+		if (vals[i] >= cut) != (vals[i-1] >= cut) {
+			n++
+		}
+	}
+	return n
+}
+
+// bimodalSplit finds a two-mode split of positive values: the largest
+// gap between consecutive sorted values in log space. It returns the
+// smallest upper-mode value and true when the modes are well separated
+// (upper mean at least 8× lower mean and at least a 4× jump at the
+// gap).
+func bimodalSplit(vals []float64) (float64, bool) {
+	if len(vals) < 4 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if sorted[0] <= 0 {
+		return 0, false
+	}
+	// Largest multiplicative gap.
+	bestIdx, bestRatio := -1, 1.0
+	for i := 0; i+1 < len(sorted); i++ {
+		r := sorted[i+1] / sorted[i]
+		if r > bestRatio {
+			bestRatio, bestIdx = r, i
+		}
+	}
+	if bestIdx < 0 || bestRatio < 4 {
+		return 0, false
+	}
+	lower, upper := sorted[:bestIdx+1], sorted[bestIdx+1:]
+	lm, um := mean(lower), mean(upper)
+	if math.IsNaN(lm) || lm <= 0 || um < 8*lm {
+		return 0, false
+	}
+	return upper[0], true
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// lag1Autocorr returns the lag-1 autocorrelation of xs (0 when the
+// variance vanishes). Trended signals (gradual drift) score near 1;
+// independent per-recurrence values score near 0.
+func lag1Autocorr(xs []float64) float64 {
+	m := mean(xs)
+	var num, den float64
+	for i := range xs {
+		d := xs[i] - m
+		den += d * d
+		if i > 0 {
+			num += (xs[i-1] - m) * d
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// coefVar returns the coefficient of variation (stddev/mean).
+func coefVar(xs []float64) float64 {
+	m := mean(xs)
+	if m == 0 {
+		return 0
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - m
+		sq += d * d
+	}
+	return math.Sqrt(sq/float64(len(xs))) / m
+}
+
+// FilterSamples applies per-data-sample filtering (Section 2.2.2) and
+// recompiles the survivors in time order, returning indices into
+// res.Samples. Data samples with fewer than minSubTrace access samples
+// are dropped as noise.
+func FilterSamples(res sampling.Result, fam wavelet.Family, minSubTrace int) []int {
+	return filterSamples(res, fam, minSubTrace, false)
+}
+
+// FilterSamplesIrregular is FilterSamples with the Gcc extension of
+// Section 3.1.2 enabled: untrended irregular sub-traces are kept whole
+// so input-dependent phase boundaries can still be marked.
+func FilterSamplesIrregular(res sampling.Result, fam wavelet.Family, minSubTrace int) []int {
+	return filterSamples(res, fam, minSubTrace, true)
+}
+
+func filterSamples(res sampling.Result, fam wavelet.Family, minSubTrace int, keepIrregular bool) []int {
+	var filtered []int
+	for _, sub := range res.SubTraces() {
+		if len(sub) < minSubTrace {
+			continue
+		}
+		signal := make([]float64, len(sub))
+		for i, si := range sub {
+			signal[i] = float64(res.Samples[si].Dist)
+		}
+		for i, k := range filterSubTrace(signal, fam, keepIrregular) {
+			if k {
+				filtered = append(filtered, sub[i])
+			}
+		}
+	}
+	sort.Ints(filtered)
+	return filtered
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"lpp/internal/predictor"
+	"lpp/internal/workload"
+)
+
+// TestFullScalePipeline runs detection and prediction at the full
+// input sizes of DESIGN.md. It takes tens of seconds, so it only runs
+// when LPP_FULL is set:
+//
+//	LPP_FULL=1 go test ./internal/core -run TestFullScalePipeline -v
+func TestFullScalePipeline(t *testing.T) {
+	if os.Getenv("LPP_FULL") == "" {
+		t.Skip("set LPP_FULL=1 to run the full-scale pipeline test")
+	}
+	want := map[string]int{
+		"fft": 3, "applu": 4, "compress": 3, "tomcatv": 5,
+		"swim": 3, "mesh": 2, "moldyn": 3,
+	}
+	for _, spec := range workload.Predictable() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			det, err := Detect(spec.Make(spec.Train), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if det.Selection.PhaseCount != want[spec.Name] {
+				t.Errorf("phases = %d, want %d (hierarchy %v)",
+					det.Selection.PhaseCount, want[spec.Name], det.Hierarchy)
+			}
+			rep := Predict(spec.Make(spec.Ref), det, predictor.Strict)
+			if rep.Accuracy < 0.92 {
+				t.Errorf("strict accuracy = %.3f", rep.Accuracy)
+			}
+			if spec.Name != "moldyn" && rep.Coverage < 0.75 {
+				t.Errorf("strict coverage = %.3f", rep.Coverage)
+			}
+		})
+	}
+}

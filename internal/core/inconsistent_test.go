@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"lpp/internal/marker"
+	"lpp/internal/predictor"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// TestGccExtensionMarksButDeclines reproduces the Section 3.1.2
+// behavior: with the irregular-sub-trace extension, Gcc's phases (one
+// per compiled function) are detected and marked, flagged
+// inconsistent, and the run-time predictor declines every prediction —
+// no false predictions.
+func TestGccExtensionMarksButDeclines(t *testing.T) {
+	spec, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.KeepIrregular = true
+	train := workload.Params{N: 40, Steps: 25, Seed: 1}
+	det, err := Detect(spec.Make(train), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Selection.PhaseCount < 2 {
+		t.Fatalf("gcc extension found %d phases, want >= 2", det.Selection.PhaseCount)
+	}
+	if det.Consistent() {
+		t.Error("gcc phases should be flagged inconsistent")
+	}
+	rep := Predict(spec.Make(workload.Params{N: 40, Steps: 40, Seed: 5}), det, predictor.Relaxed)
+	if rep.Predictions != 0 {
+		t.Errorf("made %d predictions on inconsistent phases, want 0", rep.Predictions)
+	}
+	if rep.Coverage != 0 {
+		t.Errorf("coverage = %g, want 0 (nothing predicted)", rep.Coverage)
+	}
+	if rep.InconsistentPhases != det.Selection.PhaseCount {
+		t.Errorf("inconsistent phases = %d of %d", rep.InconsistentPhases, det.Selection.PhaseCount)
+	}
+	// Phase executions are still observed (the markers fire) even
+	// though none is predicted.
+	if len(rep.Executions) == 0 {
+		t.Error("markers should still fire")
+	}
+}
+
+// TestGccBaseDetectionFails documents why the extension exists: the
+// base pipeline cannot find Gcc's input-dependent phase boundaries.
+func TestGccBaseDetectionFails(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	train := workload.Params{N: 40, Steps: 25, Seed: 1}
+	if _, err := Detect(spec.Make(train), DefaultConfig()); err == nil {
+		t.Skip("base detection succeeded on this input; extension merely unnecessary")
+	}
+}
+
+// TestVortexDetectsBuildThenQuery checks Vortex's structure from
+// Section 3.1.2: the transition from database construction to query
+// processing is visible and detected.
+func TestVortexDetectsBuildThenQuery(t *testing.T) {
+	spec, _ := workload.ByName("vortex")
+	train := workload.Params{N: 1 << 13, Steps: 6, Seed: 1}
+	det, err := Detect(spec.Make(train), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Selection.PhaseCount != 2 {
+		t.Errorf("vortex phases = %d, want 2 (build, query)", det.Selection.PhaseCount)
+	}
+}
+
+// TestConsistencyFlagOnRegularProgram: regular programs must have all
+// phases flagged consistent, so prediction proceeds.
+func TestConsistencyFlagOnRegularProgram(t *testing.T) {
+	spec, _ := workload.ByName("tomcatv")
+	det, err := Detect(spec.Make(workload.Params{N: 48, Steps: 6, Seed: 1}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Consistent() {
+		t.Errorf("tomcatv flagged inconsistent: %v", det.PhaseConsistent)
+	}
+	rep := Predict(spec.Make(workload.Params{N: 96, Steps: 10, Seed: 2}), det, predictor.Strict)
+	if rep.Predictions == 0 {
+		t.Error("consistent phases should be predicted")
+	}
+}
+
+func TestPhaseConsistencyHelper(t *testing.T) {
+	// Direct unit test of the CV rule.
+	sel := selectionWithLengths(1000, 1000, 1000)
+	if cons := phaseConsistency(sel, 0.5); !cons[0] {
+		t.Error("identical lengths should be consistent")
+	}
+	sel = selectionWithLengths(100, 5000, 40, 9000)
+	if cons := phaseConsistency(sel, 0.5); cons[0] {
+		t.Error("wildly varying lengths should be inconsistent")
+	}
+}
+
+// selectionWithLengths builds a single-phase Selection whose regions
+// have the given instruction lengths.
+func selectionWithLengths(lengths ...int64) marker.Selection {
+	sel := marker.Selection{Markers: map[trace.BlockID]marker.PhaseID{1: 0}, PhaseCount: 1}
+	var at int64
+	for _, l := range lengths {
+		sel.Regions = append(sel.Regions, marker.Region{
+			Marker: 1, Phase: 0, StartInstr: at, EndInstr: at + l,
+		})
+		at += l
+	}
+	return sel
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"lpp/internal/marker"
+	"lpp/internal/regexphase"
+	"lpp/internal/trace"
+)
+
+// DetectMulti correlates marker selection across multiple training
+// runs — one of the improvements Section 2.3 names ("correlate marker
+// selection across multiple runs"). Each run is analyzed
+// independently; only marker blocks selected in *every* run survive,
+// which filters out markers that only happened to precede a blank
+// region under one input. Phase IDs, regions, and the hierarchy come
+// from the first run, restricted to the surviving markers.
+func DetectMulti(progs []trace.Runner, cfg Config) (*Detection, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("core: DetectMulti needs at least one training run")
+	}
+	dets := make([]*Detection, len(progs))
+	for i, p := range progs {
+		d, err := Detect(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: training run %d: %w", i, err)
+		}
+		dets[i] = d
+	}
+	if len(dets) == 1 {
+		return dets[0], nil
+	}
+
+	// Intersect marker blocks across runs.
+	surviving := make(map[trace.BlockID]bool)
+	for id := range dets[0].Selection.Markers {
+		surviving[id] = true
+	}
+	for _, d := range dets[1:] {
+		for id := range surviving {
+			if _, ok := d.Selection.Markers[id]; !ok {
+				delete(surviving, id)
+			}
+		}
+	}
+	if len(surviving) == 0 {
+		return nil, fmt.Errorf("core: no marker block survives all %d training runs", len(progs))
+	}
+
+	base := dets[0]
+	if len(surviving) == len(base.Selection.Markers) {
+		return base, nil // full agreement
+	}
+
+	// Rebuild the first run's selection restricted to the surviving
+	// markers: renumber phases densely and drop regions whose marker
+	// was eliminated (their span merges into the preceding phase at
+	// run time, since the eliminated marker no longer fires).
+	sel := marker.Selection{
+		Markers:   make(map[trace.BlockID]marker.PhaseID),
+		Frequency: base.Selection.Frequency,
+	}
+	renumber := make(map[marker.PhaseID]marker.PhaseID)
+	for _, r := range base.Selection.Regions {
+		if !surviving[r.Marker] {
+			continue
+		}
+		newID, ok := renumber[r.Phase]
+		if !ok {
+			newID = marker.PhaseID(sel.PhaseCount)
+			sel.PhaseCount++
+			renumber[r.Phase] = newID
+			sel.Markers[r.Marker] = newID
+		}
+		nr := r
+		nr.Phase = newID
+		sel.Regions = append(sel.Regions, nr)
+	}
+
+	seq := sel.PhaseSequence()
+	consistent := phaseConsistency(sel, 0.5)
+	out := *base
+	out.Selection = sel
+	out.PhaseSeq = seq
+	out.Hierarchy = regexphase.BuildHierarchy(seq)
+	out.PhaseConsistent = consistent
+	return &out, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"lpp/internal/predictor"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+func TestDetectMultiAgreementKeepsEverything(t *testing.T) {
+	// Tomcatv's markers are input-independent: two different
+	// training inputs select the same blocks, so correlation changes
+	// nothing.
+	spec, _ := workload.ByName("tomcatv")
+	det, err := DetectMulti([]trace.Runner{
+		spec.Make(workload.Params{N: 48, Steps: 6, Seed: 1}),
+		spec.Make(workload.Params{N: 64, Steps: 5, Seed: 3}),
+	}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Selection.PhaseCount != 5 {
+		t.Errorf("phases = %d, want 5", det.Selection.PhaseCount)
+	}
+	rep := Predict(spec.Make(workload.Params{N: 96, Steps: 10, Seed: 2}), det, predictor.Strict)
+	if rep.Accuracy < 0.999 {
+		t.Errorf("accuracy = %.3f", rep.Accuracy)
+	}
+}
+
+func TestDetectMultiSingleRun(t *testing.T) {
+	spec, _ := workload.ByName("swim")
+	det, err := DetectMulti([]trace.Runner{
+		spec.Make(workload.Params{N: 48, Steps: 6, Seed: 1}),
+	}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Selection.PhaseCount != 3 {
+		t.Errorf("phases = %d, want 3", det.Selection.PhaseCount)
+	}
+}
+
+func TestDetectMultiEmpty(t *testing.T) {
+	if _, err := DetectMulti(nil, DefaultConfig()); err == nil {
+		t.Error("expected error for no runs")
+	}
+}
+
+func TestDetectMultiDisjointPrograms(t *testing.T) {
+	// Two different programs share no marker blocks: correlation
+	// must fail loudly rather than produce an empty marker set.
+	tom, _ := workload.ByName("tomcatv")
+	swim, _ := workload.ByName("swim")
+	_, err := DetectMulti([]trace.Runner{
+		tom.Make(workload.Params{N: 48, Steps: 6, Seed: 1}),
+		swim.Make(workload.Params{N: 48, Steps: 6, Seed: 1}),
+	}, DefaultConfig())
+	if err == nil {
+		t.Error("expected error when no markers survive")
+	}
+}
+
+func TestDetectMultiFiltersInputDependentMarker(t *testing.T) {
+	// A synthetic program whose phase structure includes a marker
+	// block that only appears under odd seeds: correlating an odd-
+	// and an even-seed run must drop it.
+	mk := func(hasExtra bool) trace.Runner {
+		return trace.RunnerFunc(func(ins trace.Instrumenter) {
+			addr := trace.Addr(0)
+			emit := func(id trace.BlockID, accs int) {
+				ins.Block(id, 2+accs)
+				for a := 0; a < accs; a++ {
+					ins.Access(addr % (1 << 14))
+					addr += 64
+				}
+			}
+			for step := 0; step < 8; step++ {
+				emit(1, 0)
+				for b := 0; b < 50; b++ {
+					emit(100, 40)
+				}
+				if hasExtra {
+					emit(2, 0) // input-dependent boundary block
+				}
+				for b := 0; b < 50; b++ {
+					emit(101, 40)
+				}
+			}
+		})
+	}
+	cfg := DefaultConfig()
+	det, err := DetectMulti([]trace.Runner{mk(true), mk(false)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := det.Selection.Markers[2]; ok {
+		t.Errorf("input-dependent block 2 survived correlation: %v", det.Selection.Markers)
+	}
+	if _, ok := det.Selection.Markers[1]; !ok {
+		t.Errorf("stable marker 1 lost: %v", det.Selection.Markers)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"lpp/internal/marker"
+	"lpp/internal/regexphase"
+	"lpp/internal/trace"
+)
+
+// profileMagic versions the on-disk format.
+const profileMagic = "lpp-profile-v1"
+
+// persistProfile is the serialized form of everything the run-time
+// side needs: in the paper this state lives inside the rewritten
+// binary (the markers and the predictor's automaton); here it is a
+// small artifact that Save writes and Load restores, so a training run
+// happens once and its result ships with the program.
+type persistProfile struct {
+	Magic           string
+	Markers         map[trace.BlockID]marker.PhaseID
+	PhaseCount      int
+	Frequency       int
+	Hierarchy       regexphase.Expr
+	PhaseConsistent map[marker.PhaseID]bool
+	Accesses        int64
+	Instructions    int64
+}
+
+func init() {
+	// The hierarchy is an interface value; gob needs the concrete
+	// node types registered.
+	gob.Register(regexphase.Lit{})
+	gob.Register(regexphase.Concat{})
+	gob.Register(regexphase.Alt{})
+	gob.Register(regexphase.Repeat{})
+}
+
+// Save writes the detection's run-time profile (markers, hierarchy,
+// consistency flags) to w. Off-line artifacts — the sample trace,
+// boundaries, training regions — are not persisted; they are
+// reproducible from the training input.
+func (d *Detection) Save(w io.Writer) error {
+	p := persistProfile{
+		Magic:           profileMagic,
+		Markers:         d.Selection.Markers,
+		PhaseCount:      d.Selection.PhaseCount,
+		Frequency:       d.Selection.Frequency,
+		Hierarchy:       d.Hierarchy,
+		PhaseConsistent: d.PhaseConsistent,
+		Accesses:        d.Accesses,
+		Instructions:    d.Instructions,
+	}
+	if err := gob.NewEncoder(w).Encode(&p); err != nil {
+		return fmt.Errorf("core: save profile: %w", err)
+	}
+	return nil
+}
+
+// Load restores a run-time profile written by Save. The returned
+// Detection carries everything Predict, PredictAll, and
+// PredictStatistical need; off-line-only fields (Samples, Filtered,
+// Boundaries, training Regions) are empty.
+func Load(r io.Reader) (*Detection, error) {
+	var p persistProfile
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: load profile: %w", err)
+	}
+	if p.Magic != profileMagic {
+		return nil, fmt.Errorf("core: load profile: bad magic %q", p.Magic)
+	}
+	if len(p.Markers) == 0 {
+		return nil, fmt.Errorf("core: load profile: no markers")
+	}
+	if p.Hierarchy == nil {
+		return nil, fmt.Errorf("core: load profile: no hierarchy")
+	}
+	return &Detection{
+		Selection: marker.Selection{
+			Markers:    p.Markers,
+			PhaseCount: p.PhaseCount,
+			Frequency:  p.Frequency,
+		},
+		Hierarchy:       p.Hierarchy,
+		PhaseConsistent: p.PhaseConsistent,
+		Accesses:        p.Accesses,
+		Instructions:    p.Instructions,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lpp/internal/predictor"
+	"lpp/internal/regexphase"
+	"lpp/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec, _ := workload.ByName("tomcatv")
+	det, err := Detect(spec.Make(workload.Params{N: 48, Steps: 6, Seed: 1}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Selection.PhaseCount != det.Selection.PhaseCount {
+		t.Errorf("phase count %d != %d", loaded.Selection.PhaseCount, det.Selection.PhaseCount)
+	}
+	if len(loaded.Selection.Markers) != len(det.Selection.Markers) {
+		t.Error("markers lost")
+	}
+	if !regexphase.Equivalent(loaded.Hierarchy, det.Hierarchy) {
+		t.Errorf("hierarchy changed: %v vs %v", loaded.Hierarchy, det.Hierarchy)
+	}
+	if len(loaded.PhaseConsistent) != len(det.PhaseConsistent) {
+		t.Error("consistency flags lost")
+	}
+
+	// The loaded profile must drive prediction identically.
+	ref := workload.Params{N: 96, Steps: 10, Seed: 2}
+	a := Predict(spec.Make(ref), det, predictor.Strict)
+	b := Predict(spec.Make(ref), loaded, predictor.Strict)
+	if a.Accuracy != b.Accuracy || a.Coverage != b.Coverage {
+		t.Errorf("loaded profile predicts differently: %v/%v vs %v/%v",
+			a.Accuracy, a.Coverage, b.Accuracy, b.Coverage)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a profile")); err == nil {
+		t.Error("garbage should not load")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should not load")
+	}
+}
+
+func TestLoadRejectsEmptyProfile(t *testing.T) {
+	// A structurally valid gob with no markers must be rejected.
+	var buf bytes.Buffer
+	d := &Detection{Hierarchy: regexphase.Lit{Sym: 1}}
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("profile without markers should not load")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"lpp/internal/predictor"
+	"lpp/internal/regexphase"
+	"lpp/internal/workload"
+)
+
+// pipelineCase pins the expected phase structure of each benchmark at
+// test scale.
+type pipelineCase struct {
+	name       string
+	train, ref workload.Params
+	phases     int
+	// minStrictAcc is the strict-policy accuracy floor.
+	minStrictAcc float64
+	// minRelaxCov is the relaxed-policy coverage floor.
+	minRelaxCov float64
+}
+
+func pipelineCases() []pipelineCase {
+	return []pipelineCase{
+		{"fft", workload.Params{N: 512, Steps: 6, Seed: 1}, workload.Params{N: 1024, Steps: 10, Seed: 2}, 2, 0.99, 0.75},
+		{"compress", workload.Params{N: 8192, Steps: 5, Seed: 1}, workload.Params{N: 16384, Steps: 8, Seed: 2}, 4, 0.99, 0.8},
+		{"moldyn", workload.Params{N: 200, Steps: 6, Seed: 1}, workload.Params{N: 300, Steps: 10, Seed: 2}, 3, 0.85, 0.6},
+		{"mesh", workload.Params{N: 2048, Steps: 6, Seed: 1}, workload.Params{N: 2048, Steps: 6, Seed: 1, Variant: 1}, 2, 0.99, 0.7},
+		{"applu", workload.Params{N: 14, Steps: 5, Seed: 1}, workload.Params{N: 20, Steps: 8, Seed: 2}, 4, 0.99, 0.8},
+		{"tomcatv", workload.Params{N: 48, Steps: 6, Seed: 1}, workload.Params{N: 96, Steps: 10, Seed: 2}, 5, 0.99, 0.8},
+		{"swim", workload.Params{N: 48, Steps: 6, Seed: 1}, workload.Params{N: 96, Steps: 10, Seed: 2}, 3, 0.99, 0.8},
+	}
+}
+
+// TestPipelineAllBenchmarks runs the whole paper pipeline — detect on
+// the training input, predict the reference input — over all seven
+// predictable benchmarks and pins the phase structure, accuracy, and
+// coverage each must achieve.
+func TestPipelineAllBenchmarks(t *testing.T) {
+	for _, c := range pipelineCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := workload.ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			det, err := Detect(spec.Make(c.train), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if det.Selection.PhaseCount != c.phases {
+				t.Errorf("phases = %d, want %d (markers %v)",
+					det.Selection.PhaseCount, c.phases, det.Selection.Markers)
+			}
+			// The hierarchy must accept the training sequence.
+			if !regexphase.Compile(det.Hierarchy).Matches(det.PhaseSeq) {
+				t.Errorf("hierarchy %v rejects its training sequence", det.Hierarchy)
+			}
+
+			reps := PredictAll(spec.Make(c.ref), det, predictor.Strict, predictor.Relaxed)
+			strict, relaxed := reps[0], reps[1]
+			if strict.Accuracy < c.minStrictAcc {
+				t.Errorf("strict accuracy = %.3f, want >= %.2f", strict.Accuracy, c.minStrictAcc)
+			}
+			if relaxed.Coverage < c.minRelaxCov {
+				t.Errorf("relaxed coverage = %.3f, want >= %.2f", relaxed.Coverage, c.minRelaxCov)
+			}
+			if relaxed.Coverage < strict.Coverage {
+				t.Error("relaxing the policy must not reduce coverage")
+			}
+			// The composite-phase automaton must track the run.
+			if relaxed.NextPhaseAccuracy < 0.95 {
+				t.Errorf("next-phase accuracy = %.3f", relaxed.NextPhaseAccuracy)
+			}
+		})
+	}
+}
+
+// TestPipelinePhaseLengthScalesWithInput checks the paper's claim that
+// phase length changes in tune with program inputs: the same phase's
+// executions are longer on a larger input.
+func TestPipelinePhaseLengthScalesWithInput(t *testing.T) {
+	spec, _ := workload.ByName("tomcatv")
+	train := workload.Params{N: 48, Steps: 6, Seed: 1}
+	det, err := Detect(spec.Make(train), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := Predict(spec.Make(workload.Params{N: 64, Steps: 8, Seed: 2}), det, predictor.Relaxed)
+	large := Predict(spec.Make(workload.Params{N: 128, Steps: 8, Seed: 2}), det, predictor.Relaxed)
+	_, avgSmall := small.LeafStats()
+	_, avgLarge := large.LeafStats()
+	if avgLarge < 2*avgSmall {
+		t.Errorf("leaf size did not scale with input: %.0f vs %.0f", avgSmall, avgLarge)
+	}
+}
+
+// TestPipelineLocalityIdenticalAcrossExecutions pins the core property
+// of locality phases: executions of the same phase have (nearly)
+// identical locality, excluding the cold first execution.
+func TestPipelineLocalityIdenticalAcrossExecutions(t *testing.T) {
+	for _, name := range []string{"tomcatv", "swim", "compress"} {
+		spec, _ := workload.ByName(name)
+		c := pipelineCases()
+		var pc pipelineCase
+		for _, x := range c {
+			if x.name == name {
+				pc = x
+			}
+		}
+		det, err := Detect(spec.Make(pc.train), DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep := Predict(spec.Make(pc.ref), det, predictor.Relaxed)
+		if s := rep.LocalitySpread(); s > 1e-6 {
+			t.Errorf("%s: locality spread = %g, want ~0", name, s)
+		}
+	}
+}

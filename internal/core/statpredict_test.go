@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"lpp/internal/workload"
+)
+
+// TestStatisticalPredictsGcc: exact prediction declines on Gcc, but
+// the statistical predictor produces honest interval predictions —
+// the paper's proposed direction for input-dependent programs.
+func TestStatisticalPredictsGcc(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	cfg := DefaultConfig()
+	cfg.KeepIrregular = true
+	det, err := Detect(spec.Make(workload.Params{N: 40, Steps: 25, Seed: 1}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := PredictStatistical(spec.Make(workload.Params{N: 40, Steps: 40, Seed: 5}), det)
+	if rep.Predictions == 0 {
+		t.Fatal("statistical predictor made no predictions on gcc")
+	}
+	if rep.Accuracy < 0.4 {
+		t.Errorf("interval accuracy = %.3f, want >= 0.4", rep.Accuracy)
+	}
+	if rep.Coverage < 0.3 {
+		t.Errorf("coverage = %.3f, want >= 0.3", rep.Coverage)
+	}
+}
+
+// TestStatisticalOnRegularProgram: for a consistent program, interval
+// predictions are essentially always right (intervals collapse around
+// the repeating length).
+func TestStatisticalOnRegularProgram(t *testing.T) {
+	spec, _ := workload.ByName("tomcatv")
+	det, err := Detect(spec.Make(workload.Params{N: 48, Steps: 6, Seed: 1}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := PredictStatistical(spec.Make(workload.Params{N: 96, Steps: 10, Seed: 2}), det)
+	if rep.Accuracy < 0.99 {
+		t.Errorf("accuracy = %.3f, want ~1", rep.Accuracy)
+	}
+	if rep.Predictions == 0 {
+		t.Error("no predictions made")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lpp/internal/marker"
+	"lpp/internal/regexphase"
+	"lpp/internal/trace"
+)
+
+// SubPhases is the finer-grained structure found inside one parent
+// phase — the paper's "we can use a smaller threshold to find
+// sub-phases after we find large phases" (Section 2.3). MolDyn is the
+// canonical case: inside the neighbor-list phase, every per-particle
+// search is a sub-phase.
+type SubPhases struct {
+	Parent marker.PhaseID
+	// Selection holds the sub-phase markers and executions, with
+	// times rebased to the concatenation of the parent's segments.
+	Selection marker.Selection
+	// Hierarchy is the sub-phase hierarchy within one parent
+	// execution.
+	Hierarchy regexphase.Expr
+}
+
+// DetectSubPhases re-runs the training input and refines each detected
+// phase with a smaller blank-region threshold (the parent threshold
+// divided by divisor). Phases without internal structure are simply
+// absent from the result.
+func DetectSubPhases(prog trace.Runner, det *Detection, divisor int64) (map[marker.PhaseID]*SubPhases, error) {
+	if divisor <= 1 {
+		divisor = 8
+	}
+	rec := trace.NewRecorder(1<<20, 1<<16)
+	prog.Run(rec)
+	t := &rec.T
+	execs := marker.Executions(t, det.Selection.Markers)
+	if len(execs) == 0 {
+		return nil, fmt.Errorf("core: no phase executions in refinement run")
+	}
+
+	// Group execution segments by parent phase.
+	byPhase := make(map[marker.PhaseID][]marker.Execution)
+	for _, e := range execs {
+		byPhase[e.Phase] = append(byPhase[e.Phase], e)
+	}
+
+	threshold := det.Config.Marker.BlankThreshold / divisor
+	if threshold < 50 {
+		threshold = 50
+	}
+
+	out := make(map[marker.PhaseID]*SubPhases)
+	for ph, segs := range byPhase {
+		sub := concatSegments(t, segs)
+		if len(sub.Blocks) == 0 {
+			continue
+		}
+		// A segment cannot contain more executions than its length
+		// divided by the threshold; that bounds the frequency cutoff.
+		f := int(sub.Instructions / threshold)
+		if f < 2 {
+			continue
+		}
+		sel, err := marker.SelectBest(sub, nil, marker.Config{
+			BlankThreshold: threshold,
+			Frequency:      f,
+		})
+		if err != nil {
+			continue // no internal structure
+		}
+		// Refinement is only interesting when it subdivides: more
+		// executions than parent segments.
+		if len(sel.Regions) <= len(segs) {
+			continue
+		}
+		out[ph] = &SubPhases{
+			Parent:    ph,
+			Selection: sel,
+			Hierarchy: regexphase.BuildHierarchy(sel.PhaseSequence()),
+		}
+	}
+	return out, nil
+}
+
+// concatSegments builds a synthetic Recorded trace from the block
+// events inside the given executions, rebasing instruction and access
+// indices onto a contiguous timeline.
+func concatSegments(t *trace.Recorded, segs []marker.Execution) *trace.Recorded {
+	out := &trace.Recorded{}
+	var instrBase, accBase int64
+	for _, seg := range segs {
+		lo := sort.Search(len(t.Blocks), func(i int) bool {
+			return t.Blocks[i].InstrIndex >= seg.StartInstr
+		})
+		hi := sort.Search(len(t.Blocks), func(i int) bool {
+			return t.Blocks[i].InstrIndex >= seg.EndInstr
+		})
+		for _, b := range t.Blocks[lo:hi] {
+			out.Blocks = append(out.Blocks, trace.BlockEvent{
+				ID:          b.ID,
+				Instrs:      b.Instrs,
+				InstrIndex:  b.InstrIndex - seg.StartInstr + instrBase,
+				AccessIndex: b.AccessIndex - seg.StartAccess + accBase,
+			})
+		}
+		instrBase += seg.EndInstr - seg.StartInstr
+		accBase += seg.EndAccess - seg.StartAccess
+	}
+	out.Instructions = instrBase
+	// Accesses are not needed for marker selection; record only the
+	// count via a sparse slice boundary. Marker selection reads
+	// len(Accesses) for the final region extent, so size it.
+	out.Accesses = make([]trace.Addr, accBase)
+	return out
+}

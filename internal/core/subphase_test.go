@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"lpp/internal/workload"
+)
+
+// TestSubPhasesMolDynParticleSearch reproduces the paper's flagship
+// refinement case: within MolDyn's neighbor-list phase, each
+// per-particle search is its own (small) phase — which is exactly why
+// the automatic analysis disagrees with the programmer's coarse
+// marking in Table 6.
+func TestSubPhasesMolDynParticleSearch(t *testing.T) {
+	spec, _ := workload.ByName("moldyn")
+	train := workload.Params{N: 200, Steps: 6, Seed: 1}
+	det, err := Detect(spec.Make(train), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := DetectSubPhases(spec.Make(train), det, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) == 0 {
+		t.Fatal("no sub-phases found in any phase")
+	}
+	// At least one parent must split into far more executions than
+	// it has segments (the per-particle searches).
+	best := 0
+	for _, s := range subs {
+		if n := len(s.Selection.Regions); n > best {
+			best = n
+		}
+		if s.Hierarchy == nil {
+			t.Error("sub-phase hierarchy missing")
+		}
+	}
+	if best < 20 {
+		t.Errorf("largest refinement has %d executions, want many (per-particle)", best)
+	}
+}
+
+func TestSubPhasesTomcatvMostlyAtomic(t *testing.T) {
+	// Tomcatv's substeps are tight row loops; refinement should find
+	// at most the correction-revisit fragments, never explode.
+	spec, _ := workload.ByName("tomcatv")
+	train := workload.Params{N: 48, Steps: 6, Seed: 1}
+	det, err := Detect(spec.Make(train), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := DetectSubPhases(spec.Make(train), det, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ph, s := range subs {
+		if s.Selection.PhaseCount > 8 {
+			t.Errorf("phase %d over-refined into %d sub-phases", ph, s.Selection.PhaseCount)
+		}
+	}
+}
+
+func TestSubPhasesDegenerateDivisor(t *testing.T) {
+	spec, _ := workload.ByName("swim")
+	train := workload.Params{N: 32, Steps: 4, Seed: 1}
+	det, err := Detect(spec.Make(train), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// divisor <= 1 takes the default; must not error.
+	if _, err := DetectSubPhases(spec.Make(train), det, 0); err != nil {
+		t.Fatal(err)
+	}
+}

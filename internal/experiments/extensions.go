@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lpp/internal/adapt"
+	"lpp/internal/bbv"
+	"lpp/internal/interval"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// The experiments below go beyond the paper's evaluation section: they
+// exercise the adaptations the paper motivates (energy, frequency
+// scaling) and the baselines' own machinery (SimPoint, interval
+// predictors) on this repository's workloads. They are clearly labeled
+// extensions — EXPERIMENTS.md covers only the paper's own tables and
+// figures.
+
+// XEnergy reports the cache energy saved by phase-based resizing under
+// the adapt.EnergyModel, per benchmark.
+func XEnergy(o Options) error {
+	w := o.out()
+	fmt.Fprintln(w, "Extension: cache energy savings from phase-based resizing")
+	fmt.Fprintf(w, "%-10s %16s %16s\n", "Benchmark", "0%-bound savings", "5%-bound savings")
+	var rows []string
+	for _, spec := range workload.Predictable() {
+		a, err := o.analyze(spec)
+		if err != nil {
+			return err
+		}
+		wins, labels := collectPhaseIntervals(
+			spec.Make(a.ref), a.det.Selection.Markers, phaseIntervalLen)
+		s0 := adapt.DefaultEnergyModel.Savings(labels, wins, 0)
+		s5 := adapt.DefaultEnergyModel.Savings(labels, wins, 0.05)
+		fmt.Fprintf(w, "%-10s %15.1f%% %15.1f%%\n", spec.Name, 100*s0, 100*s5)
+		rows = append(rows, fmt.Sprintf("%s,%g,%g", spec.Name, s0, s5))
+	}
+	fmt.Fprintln(w, "expectation: positive savings wherever Fig. 6 shrinks the cache;",
+		"energy amplifies the benefit because unused ways stop burning power.")
+	return o.csv("xenergy.csv", "benchmark,savings_0,savings_5", rows)
+}
+
+// XDVFS reports phase-based frequency scaling: energy saved and
+// realized slowdown under a 5% bound.
+func XDVFS(o Options) error {
+	w := o.out()
+	fmt.Fprintln(w, "Extension: phase-based DVFS (5% slowdown bound)")
+	fmt.Fprintf(w, "%-10s %12s %14s %12s\n", "Benchmark", "avg freq", "energy saved", "slowdown")
+	var rows []string
+	for _, spec := range workload.Predictable() {
+		a, err := o.analyze(spec)
+		if err != nil {
+			return err
+		}
+		wins, labels := collectPhaseIntervals(
+			spec.Make(a.ref), a.det.Selection.Markers, phaseIntervalLen)
+		r := adapt.DefaultDVFS.GroupedDVFS(labels, wins, 0.05)
+		note := ""
+		if r.Slowdown > 0.051 {
+			note = "  (drifting behavior pushed past the bound)"
+		}
+		fmt.Fprintf(w, "%-10s %12.3f %13.1f%% %11.2f%%%s\n",
+			spec.Name, r.AvgFrequency, 100*r.EnergySavings, 100*r.Slowdown, note)
+		rows = append(rows, fmt.Sprintf("%s,%g,%g,%g",
+			spec.Name, r.AvgFrequency, r.EnergySavings, r.Slowdown))
+	}
+	fmt.Fprintln(w, "expectation: memory-bound programs scale down the most; the",
+		"slowdown bound is never violated because phases repeat exactly.")
+	return o.csv("xdvfs.csv", "benchmark,avg_freq,energy_saved,slowdown", rows)
+}
+
+// XSimPoint reports how well a handful of simulation points estimate
+// whole-run locality, per benchmark.
+func XSimPoint(o Options) error {
+	w := o.out()
+	fmt.Fprintln(w, "Extension: SimPoint-style estimation from BBV clusters")
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %12s %10s\n",
+		"Benchmark", "intervals", "simpoints", "true miss32", "est miss32", "abs err")
+	var rows []string
+	for _, spec := range workload.Predictable() {
+		_, ref := o.params(spec)
+		col := bbv.NewCollectorWithLocality(maxI64(refInstrsEstimate(o, spec)/150, 1000), 7)
+		spec.Make(ref).Run(col)
+		ivs := col.Intervals()
+		if len(ivs) < 10 {
+			continue
+		}
+		ids := bbv.KMeans(ivs, 8, 42)
+		pts := bbv.SimPoints(ivs, ids)
+		est := bbv.Estimate(pts, func(i int) float64 { return ivs[i].Loc.MissAt(1) })
+		var truth float64
+		for _, iv := range ivs {
+			truth += iv.Loc.MissAt(1)
+		}
+		truth /= float64(len(ivs))
+		errAbs := est - truth
+		if errAbs < 0 {
+			errAbs = -errAbs
+		}
+		fmt.Fprintf(w, "%-10s %10d %10d %11.2f%% %11.2f%% %9.2f%%\n",
+			spec.Name, len(ivs), len(pts), 100*truth, 100*est, 100*errAbs)
+		rows = append(rows, fmt.Sprintf("%s,%d,%d,%g,%g", spec.Name, len(ivs), len(pts), truth, est))
+	}
+	fmt.Fprintln(w, "expectation: a handful of representatives estimate the full-run",
+		"miss rate within a few percent — why SimPoint works, and why phase",
+		"markers (which need no clustering) are the pro-active version of it.")
+	return o.csv("xsimpoint.csv", "benchmark,intervals,simpoints,true_miss,est_miss", rows)
+}
+
+// XPredictors compares next-window predictors over BBV cluster
+// sequences: last-value, order-1/2 Markov, and RLE Markov.
+func XPredictors(o Options) error {
+	w := o.out()
+	fmt.Fprintln(w, "Extension: next-interval predictor accuracy on BBV cluster sequences")
+	fmt.Fprintf(w, "%-10s %12s %10s %10s %12s\n",
+		"Benchmark", "last-value", "markov-1", "markov-2", "RLE-markov")
+	var rows []string
+	for _, spec := range workload.Predictable() {
+		_, ref := o.params(spec)
+		col := bbv.NewCollector(maxI64(refInstrsEstimate(o, spec)/200, 1000), 7)
+		spec.Make(ref).Run(col)
+		ids := bbv.Cluster(col.Intervals(), bbv.DefaultThreshold)
+		if len(ids) < 10 {
+			continue
+		}
+		var lv interval.LastValue
+		m1, m2 := interval.NewMarkov(1), interval.NewMarkov(2)
+		rle := bbv.NewRLEMarkov()
+		for _, id := range ids {
+			lv.Observe(id)
+			m1.Observe(id)
+			m2.Observe(id)
+			rle.Observe(id)
+		}
+		fmt.Fprintf(w, "%-10s %11.1f%% %9.1f%% %9.1f%% %11.1f%%\n", spec.Name,
+			100*lv.Accuracy(), 100*m1.Accuracy(), 100*m2.Accuracy(), 100*rle.Accuracy())
+		rows = append(rows, fmt.Sprintf("%s,%g,%g,%g,%g", spec.Name,
+			lv.Accuracy(), m1.Accuracy(), m2.Accuracy(), rle.Accuracy()))
+	}
+	fmt.Fprintln(w, "expectation: RLE Markov (Sherwood et al.'s best) at or above",
+		"last-value and order-1 Markov — the ordering their paper reports.")
+	return o.csv("xpredictors.csv", "benchmark,last_value,markov1,markov2,rle_markov", rows)
+}
+
+// XIdealism quantifies the idealization the paper flags in its
+// interval baselines ("the results for interval and BBV methods are
+// idealistic because they use perfect phase-change detection [while]
+// the result of the phase-interval method is real"): the finest
+// interval method re-run with *real* next-window predictors. Perfect
+// detection never mispredicts a size; last-value and Markov do, and
+// every misprediction either wastes cache or pays misses.
+func XIdealism(o Options) error {
+	w := o.out()
+	fmt.Fprintln(w, "Extension: idealized vs real interval detection (finest interval, 0% bound)")
+	fmt.Fprintf(w, "%-10s | %10s | %10s %12s | %10s %12s | %10s\n",
+		"Benchmark", "perfect KB", "lastv KB", "miss incr", "markov KB", "miss incr", "phase KB")
+	var rows []string
+	for _, spec := range workload.Predictable() {
+		a, err := o.analyze(spec)
+		if err != nil {
+			return err
+		}
+		prof := interval.NewProfiler(interval.Lengths[0])
+		spec.Make(a.ref).Run(prof)
+		wins := prof.Windows()
+		if len(wins) < 4 {
+			continue
+		}
+		perfect := adapt.IntervalMethod(wins, 0)
+		var lv interval.LastValue
+		real := adapt.IntervalMethodPredicted(wins, 0, &lv)
+		mk := adapt.IntervalMethodPredicted(wins, 0, interval.NewMarkov(1))
+		phaseWins, labels := collectPhaseIntervals(
+			spec.Make(a.ref), a.det.Selection.Markers, phaseIntervalLen)
+		phase := adapt.GroupedMethod(labels, phaseWins, 0)
+		fmt.Fprintf(w, "%-10s | %10.1f | %10.1f %11.2f%% | %10.1f %11.2f%% | %10.1f\n",
+			spec.Name, perfect.AvgBytes/1024,
+			real.AvgBytes/1024, 100*real.MissIncrease,
+			mk.AvgBytes/1024, 100*mk.MissIncrease,
+			phase.AvgBytes/1024)
+		rows = append(rows, fmt.Sprintf("%s,%g,%g,%g,%g,%g,%g", spec.Name,
+			perfect.AvgBytes/1024, real.AvgBytes/1024, real.MissIncrease,
+			mk.AvgBytes/1024, mk.MissIncrease, phase.AvgBytes/1024))
+	}
+	fmt.Fprintln(w, "expectation: real predictors match the idealized size only by",
+		"paying a steady-state miss increase that the phase method (which explores",
+		"once and then *knows*) never pays.")
+	return o.csv("xidealism.csv",
+		"benchmark,perfect_kb,lastvalue_kb,lastvalue_missincr,markov_kb,markov_missincr,phase_kb", rows)
+}
+
+// refInstrsEstimate sizes interval lengths without a pre-pass: a cheap
+// counting run of the reference input.
+func refInstrsEstimate(o Options, spec workload.Spec) int64 {
+	_, ref := o.params(spec)
+	var c trace.Counter
+	spec.Make(ref).Run(&c)
+	return int64(c.Instructions)
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lpp/internal/bbv"
+	"lpp/internal/cache"
+	"lpp/internal/interval"
+	"lpp/internal/plot"
+	"lpp/internal/stats"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// Fig3 regenerates the prediction-accuracy comparison for Tomcatv and
+// Compress (Figure 3): detected phase boundaries and markers (a, b),
+// the locality of predicted phases — thousands of executions mapping
+// onto a handful of points (c, d) — against the irregular spread of
+// fixed-length intervals and the looser boxes of BBV clusters (e, f).
+func Fig3(o Options) error {
+	w := o.out()
+	for _, name := range []string{"tomcatv", "compress"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		a, err := o.analyze(spec)
+		if err != nil {
+			return err
+		}
+
+		// (a, b): detection.
+		fmt.Fprintf(w, "Figure 3 (%s)\n", name)
+		fmt.Fprintf(w, "(a/b) detection: %d boundaries found; markers at blocks %v\n",
+			len(a.det.Boundaries), a.det.Selection.Markers)
+		fmt.Fprintf(w, "      hierarchy: %v\n", a.det.Hierarchy)
+
+		// (c, d): locality of predicted phases. Every execution is a
+		// cross; report how tightly the crosses stack per phase.
+		execs := a.relaxed.Executions
+		fmt.Fprintf(w, "(c/d) prediction run: %d instructions, %d executions of %d phases\n",
+			a.relaxed.Instructions, len(execs), a.relaxed.PhaseCount())
+		fmt.Fprintf(w, "      %-6s %-8s %-22s %-22s %s\n",
+			"phase", "freq(%)", "len range (M inst)", "miss32KB range (%)", "miss256KB range (%)")
+		var phaseRows []string
+		var ph32, ph256 []float64
+		for _, id := range phaseOrder(a.relaxed.PhaseLocality) {
+			vs := a.relaxed.PhaseLocality[id]
+			lens := a.relaxed.PhaseLengths[id]
+			if len(vs) == 0 {
+				continue
+			}
+			var m32, m256, ls []float64
+			for i, v := range vs {
+				m32 = append(m32, 100*v.MissAt(1))
+				m256 = append(m256, 100*v.MissAt(8))
+				ls = append(ls, float64(lens[i])/1e6)
+			}
+			fmt.Fprintf(w, "      %-6d %-8.1f %8.3f..%-11.3f %8.3f..%-11.3f %8.3f..%-8.3f\n",
+				id, 100*float64(len(vs))/float64(len(execs)),
+				stats.Min(ls), stats.Max(ls),
+				stats.Min(m32), stats.Max(m32),
+				stats.Min(m256), stats.Max(m256))
+			for i := range vs {
+				phaseRows = append(phaseRows, fmt.Sprintf("%d,%g,%g,%g",
+					id, ls[i], m32[i], m256[i]))
+			}
+			ph32 = append(ph32, m32...)
+			ph256 = append(ph256, m256...)
+		}
+		if err := o.csv("fig3_"+name+"_phases.csv",
+			"phase,len_Minst,miss32,miss256", phaseRows); err != nil {
+			return err
+		}
+
+		// (e, f): fixed-length intervals and BBV clusters over the
+		// same prediction run. Window ~1% of the run mirrors the
+		// paper's 10M-instruction windows against its runs.
+		winLen := a.relaxed.Accesses / 100
+		if winLen < 1000 {
+			winLen = 1000
+		}
+		prof := interval.NewProfiler(winLen)
+		col := bbv.NewCollector(maxI64(a.relaxed.Instructions/100, 1000), 7)
+		spec.Make(a.ref).Run(teeIns{prof, col})
+		wins := prof.Windows()
+
+		var i32, i256 []float64
+		var intervalRows []string
+		for _, win := range wins {
+			i32 = append(i32, 100*win.Loc.MissAt(1))
+			i256 = append(i256, 100*win.Loc.MissAt(8))
+			intervalRows = append(intervalRows, fmt.Sprintf("%g,%g",
+				100*win.Loc.MissAt(1), 100*win.Loc.MissAt(8)))
+		}
+		fmt.Fprintf(w, "(e/f) %d fixed intervals (dots): miss32KB %.3f..%-8.3f miss256KB %.3f..%.3f\n",
+			len(wins), stats.Min(i32), stats.Max(i32), stats.Min(i256), stats.Max(i256))
+		fmt.Fprintf(w, "      interval spread (stddev of miss rates): 32KB %.4f  256KB %.4f\n",
+			stats.StdDev(i32), stats.StdDev(i256))
+
+		ivs := col.Intervals()
+		ids := bbv.Cluster(ivs, bbv.DefaultThreshold)
+		boxes := clusterBoxes(ivs, ids, wins)
+		fmt.Fprintf(w, "      BBV: %d clusters (boxes: freq%%, miss32 range, miss256 range)\n", len(boxes))
+		var boxRows []string
+		for _, b := range boxes {
+			fmt.Fprintf(w, "        cluster %-3d %6.1f%%  32KB %.3f..%-8.3f 256KB %.3f..%.3f\n",
+				b.id, b.freq*100, b.lo32, b.hi32, b.lo256, b.hi256)
+			boxRows = append(boxRows, fmt.Sprintf("%d,%g,%g,%g,%g,%g",
+				b.id, b.freq, b.lo32, b.hi32, b.lo256, b.hi256))
+		}
+		fmt.Fprintln(w, "shape check (paper): phase crosses stack onto a handful of",
+			"points while interval dots spread irregularly; BBV boxes are tighter than",
+			"raw intervals but looser than phases.")
+		fmt.Fprintln(w)
+		if err := o.csv("fig3_"+name+"_intervals.csv", "miss32,miss256", intervalRows); err != nil {
+			return err
+		}
+		if err := o.csv("fig3_"+name+"_bbv.csv",
+			"cluster,freq,lo32,hi32,lo256,hi256", boxRows); err != nil {
+			return err
+		}
+		chart := plot.Chart{
+			Title:  fmt.Sprintf("Figure 3 (%s): phase crosses vs interval dots", name),
+			XLabel: "32KB miss rate (%)",
+			YLabel: "256KB miss rate (%)",
+			Series: []plot.Series{
+				{Name: "intervals", X: i32, Y: i256, Color: "#999999", Radius: 2},
+				{Name: "phase executions", X: ph32, Y: ph256, Color: "#d62728", Radius: 4},
+			},
+		}
+		if err := o.svg("fig3_"+name+"_locality.svg", chart.Render); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// teeIns fans events out to two instrumenters without allocating a
+// trace.Tee slice per event.
+type teeIns struct {
+	a *interval.Profiler
+	b *bbv.Collector
+}
+
+func (t teeIns) Block(id trace.BlockID, instrs int) {
+	t.a.Block(id, instrs)
+	t.b.Block(id, instrs)
+}
+
+func (t teeIns) Access(addr trace.Addr) {
+	t.a.Access(addr)
+	t.b.Access(addr)
+}
+
+type box struct {
+	id                       int
+	freq                     float64
+	lo32, hi32, lo256, hi256 float64
+}
+
+// clusterBoxes computes each BBV cluster's bounding box in the
+// (32KB, 256KB) miss-rate plane, using the interval windows aligned by
+// position (both are ~1% of the run; counts can differ by one — the
+// shorter list bounds the pairing).
+func clusterBoxes(ivs []bbv.Interval, ids []int, wins []interval.Window) []box {
+	n := len(ivs)
+	if len(wins) < n {
+		n = len(wins)
+	}
+	agg := make(map[int]*box)
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		var loc cache.Vector = wins[i].Loc
+		b := agg[ids[i]]
+		if b == nil {
+			b = &box{id: ids[i],
+				lo32: 100 * loc.MissAt(1), hi32: 100 * loc.MissAt(1),
+				lo256: 100 * loc.MissAt(8), hi256: 100 * loc.MissAt(8)}
+			agg[ids[i]] = b
+		}
+		lo32, lo256 := 100*loc.MissAt(1), 100*loc.MissAt(8)
+		if lo32 < b.lo32 {
+			b.lo32 = lo32
+		}
+		if lo32 > b.hi32 {
+			b.hi32 = lo32
+		}
+		if lo256 < b.lo256 {
+			b.lo256 = lo256
+		}
+		if lo256 > b.hi256 {
+			b.hi256 = lo256
+		}
+		counts[ids[i]]++
+	}
+	var out []box
+	for id, b := range agg {
+		b.freq = float64(counts[id]) / float64(n)
+		out = append(out, *b)
+	}
+	sortBoxes(out)
+	return out
+}
+
+func sortBoxes(bs []box) {
+	// Descending frequency, ID as the deterministic tie-break.
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && less(bs[j], bs[j-1]); j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+func less(a, b box) bool {
+	if a.freq != b.freq {
+		return a.freq > b.freq
+	}
+	return a.id < b.id
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lpp/internal/cache"
+	"lpp/internal/marker"
+	"lpp/internal/stats"
+	"lpp/internal/workload"
+)
+
+// Fig4 regenerates the real-machine validation (Figure 4): the
+// measured L1 miss rate of each execution of Compress's two frequent
+// phases. The paper measured an IBM Power 4; here the simulator's
+// 32KB miss rates are perturbed by a deterministic OS-noise model, and
+// the same two shapes must emerge: all but the first execution of
+// phase 1 nearly identical, phase 2 (shorter, lower miss rate) showing
+// more relative variation.
+func Fig4(o Options) error {
+	w := o.out()
+	spec, err := workload.ByName("compress")
+	if err != nil {
+		return err
+	}
+	a, err := o.analyze(spec)
+	if err != nil {
+		return err
+	}
+
+	// The two most frequent phases (Figure 4 skips the others as
+	// "too infrequent to be interesting"). Ties break toward the
+	// lower phase ID for determinism.
+	counts := make(map[marker.PhaseID]int)
+	for _, e := range a.relaxed.Executions {
+		counts[e.Phase]++
+	}
+	pick := func(exclude marker.PhaseID, excludeValid bool) marker.PhaseID {
+		best, bestN := marker.PhaseID(-1), -1
+		for id, c := range counts {
+			if excludeValid && id == exclude {
+				continue
+			}
+			if c > bestN || (c == bestN && id < best) {
+				best, bestN = id, c
+			}
+		}
+		return best
+	}
+	var top [2]marker.PhaseID
+	top[0] = pick(0, false)
+	top[1] = pick(top[0], true)
+
+	noise := cache.NewNoiseModel(2026)
+	fmt.Fprintln(w, "Figure 4: measured miss rates of Compress phases (32KB, noisy machine)")
+	var rows []string
+	for rank, ph := range top {
+		fmt.Fprintf(w, "phase %d (rank %d):\n", ph, rank+1)
+		occ := 0
+		var measured []float64
+		for _, e := range a.relaxed.Executions {
+			if e.Phase != ph || e.Partial {
+				continue
+			}
+			m := noise.Perturb(e.Locality.MissAt(1), e.Accesses, occ == 0)
+			measured = append(measured, 100*m)
+			rows = append(rows, fmt.Sprintf("%d,%d,%g", ph, occ, 100*m))
+			fmt.Fprintf(w, "  occurrence %-3d measured miss rate %6.3f%%\n", occ, 100*m)
+			occ++
+		}
+		if len(measured) > 2 {
+			rest := measured[1:]
+			fmt.Fprintf(w, "  first: %.3f%%; rest: mean %.3f%% stddev %.4f\n",
+				measured[0], stats.Mean(rest), stats.StdDev(rest))
+		}
+	}
+	fmt.Fprintln(w, "shape check (paper): all but the first execution of phase 1 have",
+		"nearly identical miss rates; the shorter phase 2 varies more.")
+	return o.csv("fig4_compress_power4.csv", "phase,occurrence,miss_pct", rows)
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests pin the quick-mode CSV outputs of the headline tables.
+// Everything in the repository is deterministic, so any diff is a real
+// behavior change. Regenerate intentionally with:
+//
+//	LPP_UPDATE_GOLDEN=1 go test ./internal/experiments -run TestGolden
+func TestGoldenTables(t *testing.T) {
+	update := os.Getenv("LPP_UPDATE_GOLDEN") != ""
+	for _, name := range []string{"table2", "table4", "table6"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			var buf bytes.Buffer
+			if err := e.Run(Options{W: &buf, Quick: true, OutDir: dir}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(dir, name+".csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+"_quick.golden.csv")
+			if update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with LPP_UPDATE_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s quick output changed.\ngot:\n%s\nwant:\n%s", name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"lpp/internal/cache"
+	"lpp/internal/interval"
+	"lpp/internal/marker"
+	"lpp/internal/trace"
+)
+
+// phaseIntervalLen is the sub-window length used to capture behavior
+// variation inside a large phase, per Section 3.2 ("we divide it into
+// 10K intervals (called phase intervals)").
+const phaseIntervalLen = 10_000
+
+// phaseIntervals runs the program with markers installed and measures
+// the locality of every phase interval: the k-th 10K-access window of
+// each execution of phase p gets the label (p, k), so the adaptation
+// can learn a best size per position inside the phase during the first
+// executions and reuse it for all later ones.
+type phaseIntervals struct {
+	sim      *cache.MultiAssoc
+	every    int64
+	accesses int64
+	startAcc int64
+	snap     cache.Snapshot
+
+	phase   marker.PhaseID
+	subIdx  int
+	inPhase bool
+
+	wins   []interval.Window
+	labels []int
+}
+
+func newPhaseIntervals(every int64) *phaseIntervals {
+	p := &phaseIntervals{sim: cache.NewDefault(), every: every}
+	p.snap = p.sim.Snapshot()
+	return p
+}
+
+// label encodes (phase, position) collision-free.
+func (p *phaseIntervals) label() int { return int(p.phase)*1_000_000 + p.subIdx }
+
+func (p *phaseIntervals) closeWindow() {
+	if p.accesses == p.startAcc {
+		return
+	}
+	loc, _ := p.sim.Since(p.snap)
+	p.wins = append(p.wins, interval.Window{
+		StartAccess: p.startAcc,
+		EndAccess:   p.accesses,
+		Loc:         loc,
+	})
+	p.labels = append(p.labels, p.label())
+	p.startAcc = p.accesses
+	p.snap = p.sim.Snapshot()
+	p.subIdx++
+}
+
+// Block implements trace.Instrumenter.
+func (p *phaseIntervals) Block(trace.BlockID, int) {}
+
+// Access implements trace.Instrumenter.
+func (p *phaseIntervals) Access(addr trace.Addr) {
+	p.sim.Access(addr)
+	p.accesses++
+	if p.inPhase && p.accesses-p.startAcc >= p.every {
+		p.closeWindow()
+	}
+}
+
+// onMarker is the marker callback: close the tail window of the
+// previous phase and start labeling for the new one.
+func (p *phaseIntervals) onMarker(ph marker.PhaseID, _, _ int64) {
+	if p.inPhase {
+		p.closeWindow()
+	}
+	p.phase = ph
+	p.subIdx = 0
+	p.startAcc = p.accesses
+	p.snap = p.sim.Snapshot()
+	p.inPhase = true
+}
+
+// collectPhaseIntervals runs one marked execution and returns the
+// labeled phase-interval windows.
+func collectPhaseIntervals(run trace.Runner, markers map[trace.BlockID]marker.PhaseID, every int64) ([]interval.Window, []int) {
+	pi := newPhaseIntervals(every)
+	ins := marker.NewInstrumented(markers, pi, pi.onMarker)
+	run.Run(ins)
+	if pi.inPhase {
+		pi.closeWindow()
+	}
+	return pi.wins, pi.labels
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lpp/internal/workload"
+)
+
+// Table1 prints the benchmark suite (Table 1 of the paper) together
+// with this repository's training and prediction input sizes.
+func Table1(o Options) error {
+	w := o.out()
+	fmt.Fprintln(w, "Table 1: Benchmarks")
+	fmt.Fprintf(w, "%-10s %-58s %-10s %s\n", "Benchmark", "Description", "Source", "Predictable")
+	for _, s := range workload.All() {
+		fmt.Fprintf(w, "%-10s %-58s %-10s %v\n", s.Name, s.Description, s.Source, s.Predictable)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %28s %28s\n", "", "detection input (N/steps)", "prediction input (N/steps)")
+	for _, s := range workload.All() {
+		train, ref := o.params(s)
+		fmt.Fprintf(w, "%-10s %22d/%-5d %22d/%-5d\n", s.Name, train.N, train.Steps, ref.N, ref.Steps)
+	}
+	return nil
+}

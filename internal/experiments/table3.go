@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lpp/internal/regexphase"
+	"lpp/internal/workload"
+)
+
+// Table3 regenerates the number and size of phases in the detection
+// and prediction runs (Table 3): the phase length varies across
+// phases, programs, and inputs, and the prediction run's phases are
+// far larger than the detection run's — the property that defeats any
+// single interval length.
+func Table3(o Options) error {
+	w := o.out()
+	fmt.Fprintln(w, "Table 3: number and size of phases in detection and prediction runs")
+	fmt.Fprintf(w, "%-10s | %10s %12s %12s %14s | %10s %12s %12s %14s\n",
+		"", "det.leaves", "det.len(M)", "leaf sz(M)", "largest sz(M)",
+		"pred.leaves", "pred.len(M)", "leaf sz(M)", "largest sz(M)")
+
+	var rows []string
+	for _, spec := range workload.Predictable() {
+		a, err := o.analyze(spec)
+		if err != nil {
+			return err
+		}
+		composite := regexphase.LargestComposite(a.det.Hierarchy)
+
+		detLeaves := len(a.det.Selection.Regions)
+		detLen := float64(a.det.Instructions) / 1e6
+		detLeafSize := detLen / float64(max(detLeaves, 1))
+		detLargest := detLeafSize * float64(composite)
+
+		predLeaves := len(a.relaxed.Executions)
+		predLen := float64(a.relaxed.Instructions) / 1e6
+		predLeafSize := predLen / float64(max(predLeaves, 1))
+		predLargest := predLeafSize * float64(composite)
+
+		fmt.Fprintf(w, "%-10s | %10d %12.2f %12.4f %14.4f | %10d %12.2f %12.4f %14.4f\n",
+			spec.Name, detLeaves, detLen, detLeafSize, detLargest,
+			predLeaves, predLen, predLeafSize, predLargest)
+		rows = append(rows, fmt.Sprintf("%s,%d,%g,%g,%g,%d,%g,%g,%g", spec.Name,
+			detLeaves, detLen, detLeafSize, detLargest,
+			predLeaves, predLen, predLeafSize, predLargest))
+	}
+	fmt.Fprintln(w, "shape check (paper): prediction runs are much longer with many",
+		"more and larger phase executions; sizes differ per phase, program, and input,",
+		"so no single interval length fits.")
+	return o.csv("table3.csv",
+		"benchmark,det_leaves,det_Minst,det_leaf_M,det_largest_M,pred_leaves,pred_Minst,pred_leaf_M,pred_largest_M",
+		rows)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+// Package interval provides fixed-length-window profiling, the
+// baseline analysis the paper contrasts with locality phases: an
+// execution is cut into windows of a fixed number of memory accesses,
+// and each window's locality vector is measured with the multi-size
+// cache simulator (warm across windows, as in a real adaptive cache).
+package interval
+
+import (
+	"lpp/internal/cache"
+	"lpp/internal/trace"
+)
+
+// Window is one fixed-length (or externally delimited) execution
+// window and its measured locality.
+type Window struct {
+	StartAccess, EndAccess int64
+	StartInstr, EndInstr   int64
+	Loc                    cache.Vector
+}
+
+// Len returns the window length in accesses.
+func (w Window) Len() int64 { return w.EndAccess - w.StartAccess }
+
+// Profiler measures per-window locality vectors over windows of a
+// fixed number of data accesses. It implements trace.Instrumenter.
+type Profiler struct {
+	sim   *cache.MultiAssoc
+	every int64
+
+	accesses   int64
+	instrs     int64
+	startAcc   int64
+	startInstr int64
+	snap       cache.Snapshot
+
+	windows []Window
+}
+
+// NewProfiler returns a Profiler with windows of `everyAccesses` data
+// accesses, measuring locality with the paper's default cache
+// geometry.
+func NewProfiler(everyAccesses int64) *Profiler {
+	if everyAccesses <= 0 {
+		panic("interval: window length must be positive")
+	}
+	p := &Profiler{sim: cache.NewDefault(), every: everyAccesses}
+	p.snap = p.sim.Snapshot()
+	return p
+}
+
+// Block implements trace.Instrumenter.
+func (p *Profiler) Block(_ trace.BlockID, instrs int) {
+	p.instrs += int64(instrs)
+}
+
+// Access implements trace.Instrumenter.
+func (p *Profiler) Access(addr trace.Addr) {
+	p.sim.Access(addr)
+	p.accesses++
+	if p.accesses-p.startAcc >= p.every {
+		p.close()
+	}
+}
+
+func (p *Profiler) close() {
+	loc, _ := p.sim.Since(p.snap)
+	p.windows = append(p.windows, Window{
+		StartAccess: p.startAcc,
+		EndAccess:   p.accesses,
+		StartInstr:  p.startInstr,
+		EndInstr:    p.instrs,
+		Loc:         loc,
+	})
+	p.startAcc = p.accesses
+	p.startInstr = p.instrs
+	p.snap = p.sim.Snapshot()
+}
+
+// Windows returns the completed windows; a trailing partial window is
+// discarded, matching interval-based methods.
+func (p *Profiler) Windows() []Window { return p.windows }
+
+// Lengths are the interval lengths (in memory accesses) the paper
+// evaluates for cache resizing, scaled down 10× to match this
+// repository's scaled-down traces (the paper's runs are tens of
+// billions of accesses; ours are tens of millions).
+var Lengths = []int64{1_000, 100_000, 1_000_000, 4_000_000, 10_000_000}
+
+// LengthNames labels Lengths in the paper's units for reporting.
+var LengthNames = []string{"Intvl-10k", "Intvl-1M", "Intvl-10M", "Intvl-40M", "Intvl-100M"}

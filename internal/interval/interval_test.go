@@ -1,0 +1,73 @@
+package interval
+
+import (
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+func TestProfilerWindows(t *testing.T) {
+	p := NewProfiler(100)
+	for i := 0; i < 250; i++ {
+		p.Block(1, 2)
+		p.Access(trace.Addr(i) * 64)
+	}
+	ws := p.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2 (partial tail discarded)", len(ws))
+	}
+	if ws[0].Len() != 100 || ws[1].Len() != 100 {
+		t.Errorf("window lengths = %d, %d", ws[0].Len(), ws[1].Len())
+	}
+	if ws[1].StartAccess != 100 {
+		t.Errorf("second window starts at %d", ws[1].StartAccess)
+	}
+	if ws[0].EndInstr == 0 {
+		t.Error("instruction extents not tracked")
+	}
+	// All-cold accesses: miss rate 1 at every size.
+	if ws[0].Loc.MissAt(8) != 1 {
+		t.Errorf("cold window miss rate = %g, want 1", ws[0].Loc.MissAt(8))
+	}
+}
+
+func TestProfilerWarmAcrossWindows(t *testing.T) {
+	p := NewProfiler(100)
+	// Touch 50 blocks twice per window, same blocks every window:
+	// the first window is cold, later windows hit.
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 100; i++ {
+			p.Access(trace.Addr(i%50) * 64)
+		}
+	}
+	ws := p.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].Loc.MissAt(8) <= ws[1].Loc.MissAt(8) {
+		t.Error("first window should be colder than later ones")
+	}
+	if ws[2].Loc.MissAt(8) != 0 {
+		t.Errorf("steady-state window miss rate = %g, want 0", ws[2].Loc.MissAt(8))
+	}
+}
+
+func TestProfilerPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewProfiler(0)
+}
+
+func TestLengthsTable(t *testing.T) {
+	if len(Lengths) != len(LengthNames) {
+		t.Fatal("Lengths and LengthNames must align")
+	}
+	for i := 1; i < len(Lengths); i++ {
+		if Lengths[i] <= Lengths[i-1] {
+			t.Error("Lengths must ascend")
+		}
+	}
+}

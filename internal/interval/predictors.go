@@ -1,0 +1,108 @@
+package interval
+
+// Run-time predictors for interval methods. The paper's interval
+// baselines classify past windows and predict the next one "using
+// methods such as last-value and Markov models" [2, 9, 30]; these are
+// the two standard predictors, generic over any integer behavior class
+// (best cache size, BBV cluster, phase ID).
+
+// LastValue predicts that the next window behaves like the current
+// one.
+type LastValue struct {
+	cur    int
+	primed bool
+
+	predictions int64
+	correct     int64
+}
+
+// Predict returns the predicted class of the next window.
+func (l *LastValue) Predict() (int, bool) {
+	return l.cur, l.primed
+}
+
+// Observe feeds the actual class of the next window.
+func (l *LastValue) Observe(class int) {
+	if l.primed {
+		l.predictions++
+		if class == l.cur {
+			l.correct++
+		}
+	}
+	l.cur = class
+	l.primed = true
+}
+
+// Accuracy returns the fraction of correct predictions (1 if none).
+func (l *LastValue) Accuracy() float64 {
+	if l.predictions == 0 {
+		return 1
+	}
+	return float64(l.correct) / float64(l.predictions)
+}
+
+// Markov is an order-k Markov predictor: the state is the last k
+// classes, and the table remembers the class that followed that state
+// most recently. Unseen states fall back to last-value.
+type Markov struct {
+	order int
+	hist  []int
+	table map[string]int
+
+	predictions int64
+	correct     int64
+}
+
+// NewMarkov returns an order-k Markov predictor (k >= 1).
+func NewMarkov(order int) *Markov {
+	if order < 1 {
+		order = 1
+	}
+	return &Markov{order: order, table: make(map[string]int)}
+}
+
+func (m *Markov) key() string {
+	b := make([]byte, 0, 4*len(m.hist))
+	for _, c := range m.hist {
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(b)
+}
+
+// Predict returns the predicted class of the next window.
+func (m *Markov) Predict() (int, bool) {
+	if len(m.hist) == 0 {
+		return 0, false
+	}
+	if len(m.hist) == m.order {
+		if next, ok := m.table[m.key()]; ok {
+			return next, true
+		}
+	}
+	return m.hist[len(m.hist)-1], true // last-value fallback
+}
+
+// Observe feeds the actual class of the next window.
+func (m *Markov) Observe(class int) {
+	if pred, ok := m.Predict(); ok {
+		m.predictions++
+		if pred == class {
+			m.correct++
+		}
+	}
+	if len(m.hist) == m.order {
+		m.table[m.key()] = class
+		copy(m.hist, m.hist[1:])
+		m.hist[m.order-1] = class
+	} else {
+		m.hist = append(m.hist, class)
+	}
+}
+
+// Accuracy returns the fraction of correct predictions (1 if none).
+func (m *Markov) Accuracy() float64 {
+	if m.predictions == 0 {
+		return 1
+	}
+	return float64(m.correct) / float64(m.predictions)
+}

@@ -1,0 +1,82 @@
+package interval
+
+import "testing"
+
+func TestLastValueSteadyState(t *testing.T) {
+	var l LastValue
+	if _, ok := l.Predict(); ok {
+		t.Error("unprimed predictor must not predict")
+	}
+	for i := 0; i < 10; i++ {
+		l.Observe(3)
+	}
+	if l.Accuracy() != 1 {
+		t.Errorf("steady accuracy = %g", l.Accuracy())
+	}
+	l.Observe(4)
+	if l.Accuracy() == 1 {
+		t.Error("change must be mispredicted")
+	}
+}
+
+func TestLastValueFailsOnAlternation(t *testing.T) {
+	var l LastValue
+	for i := 0; i < 20; i++ {
+		l.Observe(i % 2)
+	}
+	if l.Accuracy() > 0.01 {
+		t.Errorf("alternation accuracy = %g, want ~0", l.Accuracy())
+	}
+}
+
+func TestMarkovLearnsAlternation(t *testing.T) {
+	m := NewMarkov(1)
+	for i := 0; i < 40; i++ {
+		m.Observe(i % 2)
+	}
+	// After the first cycle the order-1 table knows 0->1 and 1->0.
+	if m.Accuracy() < 0.9 {
+		t.Errorf("markov alternation accuracy = %g", m.Accuracy())
+	}
+}
+
+func TestMarkovOrder2BeatsOrder1(t *testing.T) {
+	// Pattern 0 0 1: order-1 cannot disambiguate what follows 0.
+	run := func(order int) float64 {
+		m := NewMarkov(order)
+		for i := 0; i < 60; i++ {
+			for _, c := range []int{0, 0, 1} {
+				m.Observe(c)
+			}
+		}
+		return m.Accuracy()
+	}
+	a1, a2 := run(1), run(2)
+	if a2 <= a1 {
+		t.Errorf("order-2 (%g) should beat order-1 (%g) on 001 pattern", a2, a1)
+	}
+	if a2 < 0.9 {
+		t.Errorf("order-2 accuracy = %g", a2)
+	}
+}
+
+func TestMarkovFallback(t *testing.T) {
+	m := NewMarkov(3)
+	m.Observe(5)
+	pred, ok := m.Predict()
+	if !ok || pred != 5 {
+		t.Errorf("fallback = %d,%v", pred, ok)
+	}
+}
+
+func TestMarkovBadOrder(t *testing.T) {
+	if NewMarkov(0).order != 1 {
+		t.Error("order must clamp to 1")
+	}
+}
+
+func TestVacuousAccuracies(t *testing.T) {
+	if (&LastValue{}).Accuracy() != 1 || NewMarkov(1).Accuracy() != 1 {
+		t.Error("vacuous accuracy should be 1")
+	}
+}

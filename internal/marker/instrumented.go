@@ -1,0 +1,83 @@
+package marker
+
+import "lpp/internal/trace"
+
+// Callback is invoked when a marker block executes: phase is the phase
+// the marker begins, and accesses/instrs are the logical times of the
+// firing.
+type Callback func(phase PhaseID, accesses, instrs int64)
+
+// Instrumented is the run-time counterpart of the paper's binary
+// rewriting: it wraps the event stream of a running program, fires the
+// marker callback whenever a marked basic block executes, and forwards
+// every event to an optional downstream consumer (typically a cache
+// simulator). The cost mirrors the paper's: one map lookup per block
+// execution, nothing per access beyond the forward.
+type Instrumented struct {
+	markers    map[trace.BlockID]PhaseID
+	downstream trace.Instrumenter
+	onMarker   Callback
+	accesses   int64
+	instrs     int64
+}
+
+// NewInstrumented wraps downstream (may be nil) with marker firing.
+func NewInstrumented(markers map[trace.BlockID]PhaseID, downstream trace.Instrumenter, cb Callback) *Instrumented {
+	if downstream == nil {
+		downstream = trace.Null{}
+	}
+	return &Instrumented{markers: markers, downstream: downstream, onMarker: cb}
+}
+
+// Block implements trace.Instrumenter.
+func (r *Instrumented) Block(id trace.BlockID, instrs int) {
+	if ph, ok := r.markers[id]; ok && r.onMarker != nil {
+		r.onMarker(ph, r.accesses, r.instrs)
+	}
+	r.instrs += int64(instrs)
+	r.downstream.Block(id, instrs)
+}
+
+// Access implements trace.Instrumenter.
+func (r *Instrumented) Access(addr trace.Addr) {
+	r.accesses++
+	r.downstream.Access(addr)
+}
+
+// Accesses returns the logical time so far.
+func (r *Instrumented) Accesses() int64 { return r.accesses }
+
+// Instructions returns the dynamic instruction count so far.
+func (r *Instrumented) Instructions() int64 { return r.instrs }
+
+// Execution is one phase execution observed at run time: from its
+// marker firing to the next marker firing (or the end of the run).
+type Execution struct {
+	Phase                  PhaseID
+	StartAccess, EndAccess int64
+	StartInstr, EndInstr   int64
+}
+
+// Executions replays a recorded trace against a marker set and returns
+// the phase executions in order. The prelude before the first marker
+// firing is not part of any execution.
+func Executions(t *trace.Recorded, markers map[trace.BlockID]PhaseID) []Execution {
+	var out []Execution
+	open := false
+	var cur Execution
+	ins := NewInstrumented(markers, nil, func(ph PhaseID, acc, instr int64) {
+		if open {
+			cur.EndAccess, cur.EndInstr = acc, instr
+			out = append(out, cur)
+		}
+		cur = Execution{Phase: ph, StartAccess: acc, StartInstr: instr}
+		open = true
+	})
+	t.Replay(ins)
+	if open {
+		cur.EndAccess = int64(len(t.Accesses))
+		cur.EndInstr = t.Instructions
+		out = append(out, cur)
+	}
+	return out
+}

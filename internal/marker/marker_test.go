@@ -1,0 +1,174 @@
+package marker
+
+import (
+	"testing"
+
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// synthetic builds a trace shaped like a phased program: each of
+// `steps` time steps runs `phases` substeps; every substep is a rare
+// header block followed by many hot body blocks.
+func synthetic(steps, phases, bodyLen int) *trace.Recorded {
+	r := trace.NewRecorder(0, 0)
+	addr := trace.Addr(0)
+	for s := 0; s < steps; s++ {
+		r.Block(1, 4) // step header
+		for p := 0; p < phases; p++ {
+			r.Block(trace.BlockID(10+p), 3) // substep header
+			for b := 0; b < bodyLen; b++ {
+				r.Block(trace.BlockID(100+p), 50) // hot body
+				for a := 0; a < 10; a++ {
+					r.Access(addr)
+					addr += 8
+				}
+			}
+		}
+	}
+	r.Block(2, 2) // exit
+	return &r.T
+}
+
+func TestSelectFindsSubstepMarkers(t *testing.T) {
+	tr := synthetic(6, 4, 100) // body = 5000 instrs per substep
+	// Detection found 6*4 = 24 phase executions => 23 boundaries.
+	boundaries := make([]int64, 23)
+	sel, err := Select(tr, boundaries, Config{BlankThreshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.PhaseCount != 4 {
+		t.Fatalf("PhaseCount = %d, want 4 (markers: %v)", sel.PhaseCount, sel.Markers)
+	}
+	for id := range sel.Markers {
+		if id < 10 || id >= 14 {
+			t.Errorf("unexpected marker block %d (want substep headers 10..13)", id)
+		}
+	}
+	if len(sel.Regions) != 24 {
+		t.Errorf("regions = %d, want 24", len(sel.Regions))
+	}
+	// The phase sequence must cycle 0,1,2,3.
+	seq := sel.PhaseSequence()
+	for i, ph := range seq {
+		if ph != i%4 {
+			t.Fatalf("phase sequence %v does not cycle", seq)
+		}
+	}
+}
+
+func TestSelectFrequencyFilterRemovesHotBlocks(t *testing.T) {
+	tr := synthetic(5, 3, 80)
+	sel, err := Select(tr, make([]int64, 14), Config{BlankThreshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range sel.Markers {
+		if id >= 100 {
+			t.Errorf("hot body block %d selected as marker", id)
+		}
+	}
+}
+
+func TestSelectBlankThresholdSuppressesShortRegions(t *testing.T) {
+	tr := synthetic(5, 3, 2) // tiny substeps: ~100 instrs each
+	_, err := Select(tr, make([]int64, 14), Config{BlankThreshold: 100000})
+	if err == nil {
+		t.Error("expected failure when no region clears the threshold")
+	}
+}
+
+func TestSelectEmptyTrace(t *testing.T) {
+	if _, err := Select(&trace.Recorded{}, nil, Config{}); err == nil {
+		t.Error("expected error on empty trace")
+	}
+}
+
+func TestMarkerTimesSorted(t *testing.T) {
+	tr := synthetic(4, 2, 50)
+	sel, err := Select(tr, make([]int64, 7), Config{BlankThreshold: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := sel.MarkerTimes()
+	prev := int64(-1)
+	for _, x := range times {
+		if x < prev {
+			t.Fatal("marker times not sorted")
+		}
+		prev = x
+	}
+}
+
+func TestInstrumentedFiresMarkers(t *testing.T) {
+	tr := synthetic(3, 2, 50)
+	sel, err := Select(tr, make([]int64, 5), Config{BlankThreshold: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []PhaseID
+	rec := trace.NewRecorder(0, 0)
+	ins := NewInstrumented(sel.Markers, rec, func(ph PhaseID, acc, instr int64) {
+		fired = append(fired, ph)
+	})
+	tr.Replay(ins)
+	if len(fired) != 6 {
+		t.Fatalf("markers fired %d times, want 6", len(fired))
+	}
+	// Downstream sees the full stream.
+	if len(rec.T.Accesses) != len(tr.Accesses) {
+		t.Error("downstream lost accesses")
+	}
+	if ins.Accesses() != int64(len(tr.Accesses)) {
+		t.Error("Accesses() wrong")
+	}
+	if ins.Instructions() != tr.Instructions {
+		t.Error("Instructions() wrong")
+	}
+}
+
+func TestExecutionsPartitionTheRun(t *testing.T) {
+	tr := synthetic(4, 3, 60)
+	sel, err := Select(tr, make([]int64, 11), Config{BlankThreshold: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := Executions(tr, sel.Markers)
+	if len(execs) != 12 {
+		t.Fatalf("executions = %d, want 12", len(execs))
+	}
+	for i := 1; i < len(execs); i++ {
+		if execs[i].StartAccess != execs[i-1].EndAccess {
+			t.Fatal("executions not contiguous in logical time")
+		}
+		if execs[i].StartInstr != execs[i-1].EndInstr {
+			t.Fatal("executions not contiguous in instructions")
+		}
+	}
+	if execs[len(execs)-1].EndInstr != tr.Instructions {
+		t.Error("last execution should end at the end of the run")
+	}
+}
+
+func TestSelectOnTomcatv(t *testing.T) {
+	// End-to-end sanity on the real workload: the five substep
+	// headers become the five markers.
+	spec, err := workload.ByName("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0, 0)
+	spec.Make(workload.Params{N: 48, Steps: 4, Seed: 1}).Run(rec)
+	// Detection would find 5 phases/step * 4 steps = 20 executions.
+	sel, err := Select(&rec.T, make([]int64, 19), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.PhaseCount != 5 {
+		t.Fatalf("tomcatv PhaseCount = %d, want 5 (markers %v)", sel.PhaseCount, sel.Markers)
+	}
+	if len(sel.Regions) != 20 {
+		t.Errorf("tomcatv regions = %d, want 20", len(sel.Regions))
+	}
+}

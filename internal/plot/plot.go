@@ -1,0 +1,234 @@
+// Package plot renders the repository's figures as standalone SVG
+// files using nothing but the standard library: scatter plots for the
+// reuse-distance traces (Figure 1, Figure 5) and the locality planes
+// (Figure 3), and grouped bar charts for the cache-resizing comparison
+// (Figure 6). It is deliberately small — axes, points, bars, labels —
+// not a general plotting system.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named set of XY points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Color  string
+	Radius float64 // point radius; 0 takes a default
+}
+
+// Chart is a scatter chart with linear axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	Width, Height int
+}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 50
+)
+
+var defaultColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2"}
+
+// Render writes the chart as an SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	if c.Width == 0 {
+		c.Width = 800
+	}
+	if c.Height == 0 {
+		c.Height = 480
+	}
+	minX, maxX, minY, maxY := bounds(c.Series)
+	sb := &strings.Builder{}
+	header(sb, c.Width, c.Height, c.Title)
+	axes(sb, c.Width, c.Height, minX, maxX, minY, maxY, c.XLabel, c.YLabel)
+
+	plotW := float64(c.Width - marginLeft - marginRight)
+	plotH := float64(c.Height - marginTop - marginBottom)
+	sx := func(x float64) float64 {
+		if maxX == minX {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (x-minX)/(maxX-minX)*plotW
+	}
+	sy := func(y float64) float64 {
+		if maxY == minY {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (y-minY)/(maxY-minY)*plotH
+	}
+
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		r := s.Radius
+		if r == 0 {
+			r = 2
+		}
+		for i := range s.X {
+			fmt.Fprintf(sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.7"/>`+"\n",
+				sx(s.X[i]), sy(s.Y[i]), r, color)
+		}
+		// Legend entry.
+		ly := marginTop + 16*si
+		fmt.Fprintf(sb, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`+"\n", c.Width-marginRight-120, ly, color)
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			c.Width-marginRight-110, ly+4, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Bars is a grouped bar chart: one group per label, one bar per series.
+type Bars struct {
+	Title  string
+	YLabel string
+	Labels []string    // group labels (benchmarks)
+	Names  []string    // series names (methods)
+	Values [][]float64 // Values[group][series]
+
+	Width, Height int
+}
+
+// Render writes the bar chart as an SVG document.
+func (b *Bars) Render(w io.Writer) error {
+	if b.Width == 0 {
+		b.Width = 900
+	}
+	if b.Height == 0 {
+		b.Height = 480
+	}
+	if len(b.Labels) != len(b.Values) {
+		return fmt.Errorf("plot: %d labels for %d value groups", len(b.Labels), len(b.Values))
+	}
+	maxY := 0.0
+	for _, group := range b.Values {
+		if len(group) != len(b.Names) {
+			return fmt.Errorf("plot: group has %d values for %d series", len(group), len(b.Names))
+		}
+		for _, v := range group {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	sb := &strings.Builder{}
+	header(sb, b.Width, b.Height, b.Title)
+	axes(sb, b.Width, b.Height, 0, float64(len(b.Labels)), 0, maxY, "", b.YLabel)
+
+	plotW := float64(b.Width - marginLeft - marginRight)
+	plotH := float64(b.Height - marginTop - marginBottom)
+	groupW := plotW / float64(len(b.Labels))
+	barW := groupW * 0.8 / float64(len(b.Names))
+
+	for gi, group := range b.Values {
+		gx := float64(marginLeft) + groupW*float64(gi) + groupW*0.1
+		for si, v := range group {
+			h := v / maxY * plotH
+			color := defaultColors[si%len(defaultColors)]
+			fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				gx+barW*float64(si), float64(marginTop)+plotH-h, barW, h, color)
+		}
+		fmt.Fprintf(sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW*0.4, b.Height-marginBottom+16, escape(b.Labels[gi]))
+	}
+	for si, name := range b.Names {
+		ly := marginTop + 16*si
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			b.Width-marginRight-130, ly-8, defaultColors[si%len(defaultColors)])
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			b.Width-marginRight-115, ly+2, escape(name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func header(sb *strings.Builder, w, h int, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(sb, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginLeft, escape(title))
+}
+
+func axes(sb *strings.Builder, w, h int, minX, maxX, minY, maxY float64, xLabel, yLabel string) {
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, h-marginBottom)
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := minY + (maxY-minY)*float64(i)/4
+		y := float64(h-marginBottom) - float64(h-marginTop-marginBottom)*float64(i)/4
+		fmt.Fprintf(sb, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+3, formatTick(v))
+		fmt.Fprintf(sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, w-marginRight, y)
+	}
+	// X ticks (skip when the caller labels groups itself).
+	if xLabel != "" {
+		for i := 0; i <= 4; i++ {
+			v := minX + (maxX-minX)*float64(i)/4
+			x := float64(marginLeft) + float64(w-marginLeft-marginRight)*float64(i)/4
+			fmt.Fprintf(sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x, h-marginBottom+14, formatTick(v))
+		}
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			(w+marginLeft-marginRight)/2, h-10, escape(xLabel))
+	}
+	fmt.Fprintf(sb, `<text x="14" y="%d" font-size="12" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		(h-marginBottom+marginTop)/2, (h-marginBottom+marginTop)/2, escape(yLabel))
+}
+
+func bounds(series []Series) (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return 0, 1, 0, 1
+	}
+	return minX, maxX, minY, maxY
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case a == math.Trunc(a):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

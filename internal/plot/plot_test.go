@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "Reuse distance trace",
+		XLabel: "logical time",
+		YLabel: "reuse distance",
+		Series: []Series{
+			{Name: "samples", X: []float64{0, 1, 2}, Y: []float64{10, 20, 15}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "circle", "Reuse distance trace", "logical time"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if n := strings.Count(svg, "<circle"); n < 3 {
+		t.Errorf("only %d circles for 3 points (+legend)", n)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty chart should still be a complete document")
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	// All points identical: no division by zero, point lands in the
+	// middle of the plot area.
+	c := Chart{Series: []Series{{Name: "x", X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("degenerate range produced NaN coordinates")
+	}
+}
+
+func TestChartEscapesMarkup(t *testing.T) {
+	c := Chart{Title: "<script>alert(1)</script>", Series: []Series{{Name: "a&b", X: []float64{1}, Y: []float64{1}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(buf.String(), "a&amp;b") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	b := Bars{
+		Title:  "Average cache size",
+		YLabel: "KB",
+		Labels: []string{"tomcatv", "swim"},
+		Names:  []string{"phase", "interval"},
+		Values: [][]float64{{138, 230}, {135, 220}},
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if n := strings.Count(svg, "<rect"); n < 5 { // bg + 4 bars + legend
+		t.Errorf("only %d rects", n)
+	}
+	for _, want := range []string{"tomcatv", "swim", "phase", "interval"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	b := Bars{Labels: []string{"a"}, Names: []string{"x"}, Values: [][]float64{{1, 2}}}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err == nil {
+		t.Error("mismatched group width should error")
+	}
+	b2 := Bars{Labels: []string{"a", "b"}, Values: [][]float64{{1}}}
+	if err := b2.Render(&buf); err == nil {
+		t.Error("label/value mismatch should error")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	b := Bars{Labels: []string{"a"}, Names: []string{"x"}, Values: [][]float64{{0}}}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("all-zero bars produced NaN")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		1500:    "1.5k",
+		42:      "42",
+		0.5:     "0.50",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package predictor
+
+import "lpp/internal/regexphase"
+
+// CompositeTrigger fires a callback once per execution of the largest
+// composite phase — the "programmer-inserted directive, which must be
+// executed once in each time step" that Ding and Kennedy's dynamic
+// data packing needed and that Section 3.4 says this work set out to
+// automate: "the largest composite phase in these four programs is the
+// time step loop. Therefore, the phase prediction should help to fully
+// automate dynamic data packing."
+type CompositeTrigger struct {
+	firstLeaf int
+	valid     bool
+	fires     int64
+	cb        func(occurrence int64)
+}
+
+// NewCompositeTrigger builds a trigger from the phase hierarchy. The
+// callback (may be nil) receives the 0-based occurrence count. If the
+// hierarchy has no determined composite entry point, the trigger never
+// fires and Valid reports false.
+func NewCompositeTrigger(h regexphase.Expr, cb func(occurrence int64)) *CompositeTrigger {
+	leaf, ok := regexphase.FirstLeafOfLargestComposite(h)
+	return &CompositeTrigger{firstLeaf: leaf, valid: ok, cb: cb}
+}
+
+// Valid reports whether the hierarchy determines a composite entry.
+func (c *CompositeTrigger) Valid() bool { return c.valid }
+
+// Observe feeds the next leaf phase; it fires the callback when the
+// phase begins a new composite execution.
+func (c *CompositeTrigger) Observe(phase int) {
+	if !c.valid || phase != c.firstLeaf {
+		return
+	}
+	if c.cb != nil {
+		c.cb(c.fires)
+	}
+	c.fires++
+}
+
+// Fires returns how many composite executions have begun.
+func (c *CompositeTrigger) Fires() int64 { return c.fires }

@@ -1,0 +1,219 @@
+// Package predictor implements the run-time side of locality phase
+// prediction (Section 2.4 and 3.1): once markers are in place, the
+// program uses the first few executions of each phase to predict the
+// length and locality of all its later executions. Two policies mirror
+// the paper's Table 2: Strict predicts only when the phase has
+// repeated exactly, so predictions are (nearly) always right but
+// coverage suffers; Relaxed predicts from the most recent execution,
+// trading a little accuracy for near-full coverage.
+package predictor
+
+import (
+	"lpp/internal/cache"
+	"lpp/internal/marker"
+)
+
+// Policy selects the prediction discipline of Table 2.
+type Policy int
+
+// Policies.
+const (
+	// Strict requires phase behavior to repeat exactly, including
+	// its length, before predicting.
+	Strict Policy = iota
+	// Relaxed predicts from the previous execution as soon as one
+	// exists.
+	Relaxed
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if p == Strict {
+		return "strict"
+	}
+	return "relaxed"
+}
+
+// Prediction is what the predictor announces when a phase begins.
+type Prediction struct {
+	// Instructions is the predicted execution length.
+	Instructions int64
+	// Locality is the predicted locality vector (miss rates at
+	// 32KB..256KB).
+	Locality cache.Vector
+}
+
+// Execution is one observed phase execution.
+type Execution struct {
+	Phase        marker.PhaseID
+	Instructions int64
+	Accesses     int64
+	Locality     cache.Vector
+	// Partial marks an execution cut off by the end of the program
+	// rather than by the next marker (it includes teardown code, so
+	// it is recorded but neither scored nor learned from).
+	Partial bool
+}
+
+// history is what the predictor remembers about one phase.
+type history struct {
+	lengths  []int64
+	locality []cache.Vector
+	instrSum int64
+}
+
+// Predictor learns phase behavior on line and scores its predictions.
+type Predictor struct {
+	policy Policy
+	// tolerance is the relative length error accepted as correct
+	// under Relaxed (Strict uses exact equality).
+	tolerance float64
+
+	phases map[marker.PhaseID]*history
+
+	pending map[marker.PhaseID]Prediction
+
+	predictions   int64
+	correct       int64
+	coveredInstrs int64
+	totalInstrs   int64
+}
+
+// New returns a Predictor with the given policy. A zero tolerance
+// defaults to 0.1% relative error for Relaxed ("accurate to at least
+// three significant digits").
+func New(policy Policy) *Predictor {
+	return &Predictor{
+		policy:    policy,
+		tolerance: 0.001,
+		phases:    make(map[marker.PhaseID]*history),
+		pending:   make(map[marker.PhaseID]Prediction),
+	}
+}
+
+// Begin is called when a phase execution starts. It returns the
+// prediction for this execution and whether one was made.
+func (p *Predictor) Begin(phase marker.PhaseID) (Prediction, bool) {
+	h := p.phases[phase]
+	if h == nil {
+		return Prediction{}, false
+	}
+	var pred Prediction
+	switch p.policy {
+	case Strict:
+		// Predict only once the behavior has repeated exactly.
+		n := len(h.lengths)
+		if n < 2 || h.lengths[n-1] != h.lengths[n-2] {
+			return Prediction{}, false
+		}
+		pred = Prediction{Instructions: h.lengths[n-1], Locality: h.locality[n-1]}
+	case Relaxed:
+		n := len(h.lengths)
+		if n < 1 {
+			return Prediction{}, false
+		}
+		pred = Prediction{Instructions: h.lengths[n-1], Locality: h.locality[n-1]}
+	}
+	p.pending[phase] = pred
+	return pred, true
+}
+
+// Complete is called when a phase execution ends with its observed
+// behavior. It scores any outstanding prediction and folds the
+// execution into the phase's history.
+func (p *Predictor) Complete(e Execution) {
+	p.totalInstrs += e.Instructions
+	if e.Partial {
+		// Truncated by program exit: the observed length includes
+		// teardown, so neither score the outstanding prediction nor
+		// learn from it.
+		delete(p.pending, e.Phase)
+		return
+	}
+	if pred, ok := p.pending[e.Phase]; ok {
+		delete(p.pending, e.Phase)
+		p.predictions++
+		p.coveredInstrs += e.Instructions
+		if p.lengthCorrect(pred.Instructions, e.Instructions) {
+			p.correct++
+		}
+	}
+	h := p.phases[e.Phase]
+	if h == nil {
+		h = &history{}
+		p.phases[e.Phase] = h
+	}
+	h.lengths = append(h.lengths, e.Instructions)
+	h.locality = append(h.locality, e.Locality)
+	h.instrSum += e.Instructions
+}
+
+func (p *Predictor) lengthCorrect(pred, actual int64) bool {
+	if p.policy == Strict {
+		return pred == actual
+	}
+	diff := pred - actual
+	if diff < 0 {
+		diff = -diff
+	}
+	return float64(diff) <= p.tolerance*float64(actual)
+}
+
+// Accuracy returns the fraction of predictions whose length was
+// correct (exact under Strict, within tolerance under Relaxed).
+func (p *Predictor) Accuracy() float64 {
+	if p.predictions == 0 {
+		return 1
+	}
+	return float64(p.correct) / float64(p.predictions)
+}
+
+// Coverage returns the fraction of observed execution time spent in
+// predicted phase executions. If totalRun is positive it is used as
+// the denominator (so unmarked preludes count against coverage).
+func (p *Predictor) Coverage(totalRun int64) float64 {
+	den := p.totalInstrs
+	if totalRun > 0 {
+		den = totalRun
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(p.coveredInstrs) / float64(den)
+}
+
+// Predictions returns the number of predictions made.
+func (p *Predictor) Predictions() int64 { return p.predictions }
+
+// PhaseLocality returns, for every phase, the locality vectors of all
+// its executions — the input to the Table 4 variance comparison.
+func (p *Predictor) PhaseLocality() map[marker.PhaseID][]cache.Vector {
+	out := make(map[marker.PhaseID][]cache.Vector, len(p.phases))
+	for id, h := range p.phases {
+		vs := make([]cache.Vector, len(h.locality))
+		copy(vs, h.locality)
+		out[id] = vs
+	}
+	return out
+}
+
+// PhaseWeights returns each phase's total observed instructions, used
+// to weight per-phase statistics.
+func (p *Predictor) PhaseWeights() map[marker.PhaseID]int64 {
+	out := make(map[marker.PhaseID]int64, len(p.phases))
+	for id, h := range p.phases {
+		out[id] = h.instrSum
+	}
+	return out
+}
+
+// PhaseLengths returns each phase's execution lengths in order.
+func (p *Predictor) PhaseLengths() map[marker.PhaseID][]int64 {
+	out := make(map[marker.PhaseID][]int64, len(p.phases))
+	for id, h := range p.phases {
+		ls := make([]int64, len(h.lengths))
+		copy(ls, h.lengths)
+		out[id] = ls
+	}
+	return out
+}

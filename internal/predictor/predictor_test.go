@@ -1,0 +1,170 @@
+package predictor
+
+import (
+	"testing"
+
+	"lpp/internal/cache"
+	"lpp/internal/marker"
+	"lpp/internal/regexphase"
+)
+
+func exec(ph marker.PhaseID, instrs int64) Execution {
+	return Execution{Phase: ph, Instructions: instrs}
+}
+
+func TestStrictPredictsOnlyAfterExactRepeat(t *testing.T) {
+	p := New(Strict)
+	if _, ok := p.Begin(0); ok {
+		t.Error("no history: must not predict")
+	}
+	p.Complete(exec(0, 1000))
+	if _, ok := p.Begin(0); ok {
+		t.Error("one execution: strict must not predict")
+	}
+	p.Complete(exec(0, 1000))
+	pred, ok := p.Begin(0)
+	if !ok || pred.Instructions != 1000 {
+		t.Fatalf("after exact repeat: pred=%v ok=%v", pred, ok)
+	}
+	p.Complete(exec(0, 1000))
+	if p.Accuracy() != 1 {
+		t.Errorf("accuracy = %g, want 1", p.Accuracy())
+	}
+}
+
+func TestStrictDeclinesOnVaryingLengths(t *testing.T) {
+	p := New(Strict)
+	p.Complete(exec(0, 100))
+	p.Complete(exec(0, 200))
+	if _, ok := p.Begin(0); ok {
+		t.Error("varying lengths: strict must decline")
+	}
+	// Coverage reflects the declines.
+	if p.Coverage(0) != 0 {
+		t.Errorf("coverage = %g, want 0", p.Coverage(0))
+	}
+}
+
+func TestRelaxedPredictsFromLastExecution(t *testing.T) {
+	p := New(Relaxed)
+	p.Complete(exec(3, 5000))
+	pred, ok := p.Begin(3)
+	if !ok || pred.Instructions != 5000 {
+		t.Fatalf("pred=%v ok=%v", pred, ok)
+	}
+	p.Complete(exec(3, 5001)) // within 0.1%
+	if p.Accuracy() != 1 {
+		t.Errorf("accuracy = %g, want 1 (within tolerance)", p.Accuracy())
+	}
+	_, _ = p.Begin(3)
+	p.Complete(exec(3, 9000)) // far off
+	if p.Accuracy() != 0.5 {
+		t.Errorf("accuracy = %g, want 0.5", p.Accuracy())
+	}
+}
+
+func TestCoverageAccounting(t *testing.T) {
+	p := New(Relaxed)
+	p.Complete(exec(0, 100)) // unpredicted
+	_, _ = p.Begin(0)
+	p.Complete(exec(0, 100)) // predicted
+	if got := p.Coverage(0); got != 0.5 {
+		t.Errorf("coverage = %g, want 0.5", got)
+	}
+	// With an external total (prelude included).
+	if got := p.Coverage(400); got != 0.25 {
+		t.Errorf("coverage(400) = %g, want 0.25", got)
+	}
+	if p.Predictions() != 1 {
+		t.Errorf("predictions = %d", p.Predictions())
+	}
+}
+
+func TestTwoPhasesIndependentHistories(t *testing.T) {
+	p := New(Strict)
+	for i := 0; i < 3; i++ {
+		p.Complete(exec(0, 111))
+		p.Complete(exec(1, 222))
+	}
+	pr0, ok0 := p.Begin(0)
+	pr1, ok1 := p.Begin(1)
+	if !ok0 || !ok1 || pr0.Instructions != 111 || pr1.Instructions != 222 {
+		t.Fatalf("independent histories broken: %v %v", pr0, pr1)
+	}
+}
+
+func TestPhaseLocalityAndWeights(t *testing.T) {
+	p := New(Relaxed)
+	v1 := cache.Vector{0.1, 0.05}
+	v2 := cache.Vector{0.1, 0.05}
+	p.Complete(Execution{Phase: 0, Instructions: 10, Locality: v1})
+	p.Complete(Execution{Phase: 0, Instructions: 10, Locality: v2})
+	locs := p.PhaseLocality()
+	if len(locs[0]) != 2 {
+		t.Fatalf("locality history = %v", locs)
+	}
+	if w := p.PhaseWeights()[0]; w != 20 {
+		t.Errorf("weight = %d, want 20", w)
+	}
+	if ls := p.PhaseLengths()[0]; len(ls) != 2 || ls[0] != 10 {
+		t.Errorf("lengths = %v", ls)
+	}
+}
+
+func TestAccuracyWithNoPredictions(t *testing.T) {
+	p := New(Strict)
+	if p.Accuracy() != 1 {
+		t.Error("vacuous accuracy should be 1")
+	}
+}
+
+func TestNextPhaseCycles(t *testing.T) {
+	// Hierarchy (1 2 3)+: after seeing 1, the next phases are
+	// determined.
+	n := NewNextPhase(regexphase.Repeat{E: regexphase.Seq(1, 2, 3), Min: 1})
+	seq := []int{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	for _, ph := range seq {
+		n.Observe(ph)
+	}
+	if n.Accuracy() != 1 {
+		t.Errorf("accuracy = %g, want 1 (predictions=%d)", n.Accuracy(), n.Predictions())
+	}
+	if n.Predictions() < 6 {
+		t.Errorf("predictions = %d, want >= 6", n.Predictions())
+	}
+	if n.Resyncs() != 0 {
+		t.Errorf("resyncs = %d, want 0", n.Resyncs())
+	}
+}
+
+func TestNextPhaseResync(t *testing.T) {
+	n := NewNextPhase(regexphase.Repeat{E: regexphase.Seq(1, 2), Min: 1})
+	n.Observe(1)
+	n.Observe(2)
+	n.Observe(9) // deviation
+	if n.Resyncs() == 0 {
+		t.Error("expected a resync after deviation")
+	}
+	// It should recover on the next well-formed steps.
+	n.Observe(1)
+	n.Observe(2)
+	if n.Predictions() == 0 {
+		t.Error("expected predictions after recovery")
+	}
+}
+
+func TestNextPhaseAmbiguousDeclines(t *testing.T) {
+	// (1 | 2)+: the next phase is never determined.
+	h := regexphase.Repeat{E: regexphase.Alt{Choices: []regexphase.Expr{
+		regexphase.Lit{Sym: 1}, regexphase.Lit{Sym: 2}}}, Min: 1}
+	n := NewNextPhase(h)
+	for _, ph := range []int{1, 2, 2, 1} {
+		n.Observe(ph)
+	}
+	if n.Predictions() != 0 {
+		t.Errorf("ambiguous hierarchy made %d predictions", n.Predictions())
+	}
+	if n.Accuracy() != 1 {
+		t.Error("vacuous accuracy should be 1")
+	}
+}

@@ -1,0 +1,155 @@
+package predictor
+
+import (
+	"math"
+
+	"lpp/internal/cache"
+	"lpp/internal/marker"
+)
+
+// Statistical implements the prediction strategy the paper proposes
+// for programs whose phase lengths are input-dependent ("Predictions
+// based on statistics may be helpful for these programs", Section
+// 3.1.2): instead of predicting an exact length, it predicts the
+// distribution of each phase's behavior — mean and standard deviation
+// of length, and mean locality — and scores a prediction correct when
+// the actual execution falls inside the predicted interval. Unlike the
+// Strict and Relaxed policies it is willing to predict phases flagged
+// inconsistent, because an interval prediction cannot be "falsely
+// exact".
+type Statistical struct {
+	// Sigmas is the half-width of the predicted interval in standard
+	// deviations (default 2).
+	Sigmas float64
+	// Warmup is the number of executions observed before predicting
+	// (default 3; a distribution needs more evidence than a value).
+	Warmup int
+
+	phases map[marker.PhaseID]*statHistory
+
+	predictions   int64
+	correct       int64
+	coveredInstrs int64
+	totalInstrs   int64
+	pending       map[marker.PhaseID]StatPrediction
+}
+
+type statHistory struct {
+	n          float64
+	sum, sumSq float64
+	locSum     cache.Vector
+	instrSum   int64
+}
+
+// StatPrediction is an interval prediction for one phase execution.
+type StatPrediction struct {
+	// MeanInstructions and StdDev describe the predicted length
+	// distribution; the predicted interval is Mean ± Sigmas·StdDev.
+	MeanInstructions float64
+	StdDev           float64
+	// Locality is the mean locality vector of past executions.
+	Locality cache.Vector
+}
+
+// Interval returns the predicted [lo, hi] length interval.
+func (p StatPrediction) Interval(sigmas float64) (lo, hi float64) {
+	w := sigmas * p.StdDev
+	// A distribution estimated from few samples needs slack: allow
+	// at least 10% of the mean.
+	if min := 0.1 * p.MeanInstructions; w < min {
+		w = min
+	}
+	return p.MeanInstructions - w, p.MeanInstructions + w
+}
+
+// NewStatistical returns a statistical predictor with defaults.
+func NewStatistical() *Statistical {
+	return &Statistical{
+		Sigmas:  2,
+		Warmup:  3,
+		phases:  make(map[marker.PhaseID]*statHistory),
+		pending: make(map[marker.PhaseID]StatPrediction),
+	}
+}
+
+// Begin is called when a phase execution starts; it returns the
+// distribution prediction if enough history exists.
+func (s *Statistical) Begin(phase marker.PhaseID) (StatPrediction, bool) {
+	h := s.phases[phase]
+	if h == nil || int(h.n) < s.Warmup {
+		return StatPrediction{}, false
+	}
+	mean := h.sum / h.n
+	variance := h.sumSq/h.n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	var loc cache.Vector
+	for d := range loc {
+		loc[d] = h.locSum[d] / h.n
+	}
+	pred := StatPrediction{
+		MeanInstructions: mean,
+		StdDev:           math.Sqrt(variance),
+		Locality:         loc,
+	}
+	s.pending[phase] = pred
+	return pred, true
+}
+
+// Complete is called when a phase execution ends; it scores any
+// outstanding prediction and folds the execution into the history.
+func (s *Statistical) Complete(e Execution) {
+	s.totalInstrs += e.Instructions
+	if e.Partial {
+		delete(s.pending, e.Phase)
+		return
+	}
+	if pred, ok := s.pending[e.Phase]; ok {
+		delete(s.pending, e.Phase)
+		s.predictions++
+		s.coveredInstrs += e.Instructions
+		lo, hi := pred.Interval(s.Sigmas)
+		if float64(e.Instructions) >= lo && float64(e.Instructions) <= hi {
+			s.correct++
+		}
+	}
+	h := s.phases[e.Phase]
+	if h == nil {
+		h = &statHistory{}
+		s.phases[e.Phase] = h
+	}
+	l := float64(e.Instructions)
+	h.n++
+	h.sum += l
+	h.sumSq += l * l
+	for d := range h.locSum {
+		h.locSum[d] += e.Locality[d]
+	}
+	h.instrSum += e.Instructions
+}
+
+// Accuracy returns the fraction of interval predictions that captured
+// the actual length (1 if none were made).
+func (s *Statistical) Accuracy() float64 {
+	if s.predictions == 0 {
+		return 1
+	}
+	return float64(s.correct) / float64(s.predictions)
+}
+
+// Coverage returns the fraction of observed instructions in predicted
+// executions; totalRun overrides the denominator when positive.
+func (s *Statistical) Coverage(totalRun int64) float64 {
+	den := s.totalInstrs
+	if totalRun > 0 {
+		den = totalRun
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(s.coveredInstrs) / float64(den)
+}
+
+// Predictions returns the number of interval predictions made.
+func (s *Statistical) Predictions() int64 { return s.predictions }

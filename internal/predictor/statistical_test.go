@@ -1,0 +1,121 @@
+package predictor
+
+import (
+	"testing"
+
+	"lpp/internal/stats"
+)
+
+func TestStatisticalWarmup(t *testing.T) {
+	s := NewStatistical()
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Begin(0); ok {
+			t.Fatal("must not predict during warmup")
+		}
+		s.Complete(exec(0, 1000))
+	}
+	s.Complete(exec(0, 1000))
+	if _, ok := s.Begin(0); !ok {
+		t.Fatal("should predict after warmup")
+	}
+}
+
+func TestStatisticalIntervalCapturesVariation(t *testing.T) {
+	// Lengths drawn from a stable distribution: interval predictions
+	// should capture nearly all executions even though exact
+	// prediction would fail.
+	s := NewStatistical()
+	rng := stats.NewRNG(11)
+	for i := 0; i < 200; i++ {
+		length := int64(10000 + rng.Intn(2000) - 1000) // 10000 ± 1000
+		s.Begin(0)
+		s.Complete(exec(0, length))
+	}
+	if s.Predictions() == 0 {
+		t.Fatal("no predictions made")
+	}
+	if s.Accuracy() < 0.9 {
+		t.Errorf("interval accuracy = %.3f, want >= 0.9", s.Accuracy())
+	}
+	// A strict predictor on the same stream would be hopeless.
+	p := New(Strict)
+	correctStrict := 0.0
+	rng = stats.NewRNG(11)
+	for i := 0; i < 200; i++ {
+		length := int64(10000 + rng.Intn(2000) - 1000)
+		p.Begin(0)
+		p.Complete(exec(0, length))
+	}
+	correctStrict = p.Accuracy()
+	if p.Predictions() > 0 && correctStrict > 0.5 {
+		t.Errorf("strict accuracy %.3f unexpectedly high on noisy lengths", correctStrict)
+	}
+}
+
+func TestStatisticalIntervalBounds(t *testing.T) {
+	p := StatPrediction{MeanInstructions: 1000, StdDev: 50}
+	lo, hi := p.Interval(2)
+	if lo != 900 || hi != 1100 {
+		t.Errorf("interval = [%g, %g], want [900, 1100]", lo, hi)
+	}
+	// Tiny stddev still gets the 10% slack.
+	p = StatPrediction{MeanInstructions: 1000, StdDev: 1}
+	lo, hi = p.Interval(2)
+	if lo != 900 || hi != 1100 {
+		t.Errorf("slack interval = [%g, %g], want [900, 1100]", lo, hi)
+	}
+}
+
+func TestStatisticalDistinguishesPhases(t *testing.T) {
+	s := NewStatistical()
+	for i := 0; i < 5; i++ {
+		s.Complete(exec(0, 100))
+		s.Complete(exec(1, 100000))
+	}
+	p0, ok0 := s.Begin(0)
+	p1, ok1 := s.Begin(1)
+	if !ok0 || !ok1 {
+		t.Fatal("both phases should predict")
+	}
+	if p0.MeanInstructions >= p1.MeanInstructions {
+		t.Error("phase histories mixed up")
+	}
+}
+
+func TestStatisticalPartialNotScored(t *testing.T) {
+	s := NewStatistical()
+	for i := 0; i < 4; i++ {
+		s.Complete(exec(0, 1000))
+	}
+	s.Begin(0)
+	e := exec(0, 999999)
+	e.Partial = true
+	s.Complete(e)
+	if s.Predictions() != 0 {
+		t.Error("partial execution must not be scored")
+	}
+}
+
+func TestStatisticalCoverage(t *testing.T) {
+	s := NewStatistical()
+	for i := 0; i < 3; i++ {
+		s.Complete(exec(0, 1000)) // warmup: uncovered
+	}
+	s.Begin(0)
+	s.Complete(exec(0, 1000)) // covered
+	if got := s.Coverage(0); got != 0.25 {
+		t.Errorf("coverage = %g, want 0.25", got)
+	}
+	if got := s.Coverage(8000); got != 0.125 {
+		t.Errorf("coverage(8000) = %g, want 0.125", got)
+	}
+	if s.Accuracy() != 1 {
+		t.Errorf("accuracy = %g", s.Accuracy())
+	}
+}
+
+func TestStatisticalVacuousAccuracy(t *testing.T) {
+	if NewStatistical().Accuracy() != 1 {
+		t.Error("vacuous accuracy should be 1")
+	}
+}

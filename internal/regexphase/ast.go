@@ -1,0 +1,129 @@
+// Package regexphase builds the phase hierarchy of Section 2.4: it
+// converts a SEQUITUR grammar of the detected phase sequence into a
+// regular expression over phase IDs, merging adjacent equivalent
+// sub-expressions into repetitions, and compiles the result into a
+// deterministic finite automaton the run-time predictor walks. The
+// regular-expression machinery — Thompson NFA construction, subset
+// construction, Hopcroft minimization, and the Hopcroft–Karp
+// equivalence test referenced in the paper [16] — is implemented from
+// scratch over an integer alphabet.
+package regexphase
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a regular expression over non-negative integer symbols
+// (phase IDs).
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// Lit matches exactly one symbol.
+type Lit struct{ Sym int }
+
+// Concat matches its parts in sequence. An empty Concat matches the
+// empty string.
+type Concat struct{ Parts []Expr }
+
+// Alt matches any one of its choices. It must have at least one choice.
+type Alt struct{ Choices []Expr }
+
+// Repeat matches E repeated Min or more times (Min 0 is Kleene star,
+// Min 1 is plus).
+type Repeat struct {
+	E   Expr
+	Min int
+}
+
+func (Lit) isExpr()    {}
+func (Concat) isExpr() {}
+func (Alt) isExpr()    {}
+func (Repeat) isExpr() {}
+
+// String renders the expression in a conventional notation, e.g.
+// "(1 2 3 4 5)+".
+func (l Lit) String() string { return fmt.Sprintf("%d", l.Sym) }
+
+func (c Concat) String() string {
+	if len(c.Parts) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (a Alt) String() string {
+	parts := make([]string, len(a.Choices))
+	for i, c := range a.Choices {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+func (r Repeat) String() string {
+	inner := r.E.String()
+	if _, ok := r.E.(Lit); !ok {
+		inner = "(" + inner + ")"
+	}
+	switch r.Min {
+	case 0:
+		return inner + "*"
+	case 1:
+		return inner + "+"
+	default:
+		return fmt.Sprintf("%s{%d,}", inner, r.Min)
+	}
+}
+
+// Seq is shorthand for a Concat of literals.
+func Seq(syms ...int) Expr {
+	parts := make([]Expr, len(syms))
+	for i, s := range syms {
+		parts[i] = Lit{s}
+	}
+	return Concat{parts}
+}
+
+// Alphabet returns the sorted set of symbols appearing in e.
+func Alphabet(e Expr) []int {
+	set := make(map[int]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case Lit:
+			set[v.Sym] = true
+		case Concat:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case Alt:
+			for _, c := range v.Choices {
+				walk(c)
+			}
+		case Repeat:
+			walk(v.E)
+		}
+	}
+	walk(e)
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: alphabets here are tiny (phase counts).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package regexphase
+
+import "fmt"
+
+// DFA is a deterministic finite automaton over an integer alphabet.
+// Transitions are total over Alphabet indices; the implicit dead state
+// is -1 (missing transition means reject).
+type DFA struct {
+	Alphabet []int   // sorted symbol set
+	Trans    [][]int // Trans[state][alphabetIndex] = next state or -1
+	Accept   []bool
+	Start    int
+
+	symIndex map[int]int
+}
+
+// NumStates returns the number of explicit states.
+func (d *DFA) NumStates() int { return len(d.Trans) }
+
+// SymbolIndex returns the alphabet index of sym, or -1 if sym is not in
+// the alphabet.
+func (d *DFA) SymbolIndex(sym int) int {
+	if d.symIndex == nil {
+		d.symIndex = make(map[int]int, len(d.Alphabet))
+		for i, s := range d.Alphabet {
+			d.symIndex[s] = i
+		}
+	}
+	if i, ok := d.symIndex[sym]; ok {
+		return i
+	}
+	return -1
+}
+
+// Step returns the successor of state on sym, or -1 (dead).
+func (d *DFA) Step(state, sym int) int {
+	if state < 0 {
+		return -1
+	}
+	i := d.SymbolIndex(sym)
+	if i < 0 {
+		return -1
+	}
+	return d.Trans[state][i]
+}
+
+// Matches reports whether the DFA accepts the sequence.
+func (d *DFA) Matches(seq []int) bool {
+	s := d.Start
+	for _, sym := range seq {
+		s = d.Step(s, sym)
+		if s < 0 {
+			return false
+		}
+	}
+	return d.Accept[s]
+}
+
+// Compile converts a regular expression into a DFA by Thompson
+// construction followed by subset construction.
+func Compile(e Expr) *DFA {
+	n := compileNFA(e)
+	alphabet := Alphabet(e)
+	index := make(map[int]int, len(alphabet))
+	for i, s := range alphabet {
+		index[s] = i
+	}
+
+	type stateSet string // canonical encoding of a sorted NFA state set
+	encode := func(states []int) stateSet {
+		b := make([]byte, 0, len(states)*3)
+		for _, s := range states {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return stateSet(b)
+	}
+
+	start := n.closure([]int{n.start})
+	ids := map[stateSet]int{encode(start): 0}
+	worklist := [][]int{start}
+	var trans [][]int
+	var accept []bool
+	trans = append(trans, newRow(len(alphabet)))
+	accept = append(accept, contains(start, n.accept))
+
+	for len(worklist) > 0 {
+		cur := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		curID := ids[encode(cur)]
+		// Gather successors per symbol.
+		succ := make(map[int][]int)
+		for _, s := range cur {
+			for sym, tos := range n.sym[s] {
+				succ[sym] = append(succ[sym], tos...)
+			}
+		}
+		for sym, raw := range succ {
+			next := n.closure(raw)
+			key := encode(next)
+			id, ok := ids[key]
+			if !ok {
+				id = len(trans)
+				ids[key] = id
+				trans = append(trans, newRow(len(alphabet)))
+				accept = append(accept, contains(next, n.accept))
+				worklist = append(worklist, next)
+			}
+			trans[curID][index[sym]] = id
+		}
+	}
+	return &DFA{Alphabet: alphabet, Trans: trans, Accept: accept, Start: 0}
+}
+
+func newRow(n int) []int {
+	row := make([]int, n)
+	for i := range row {
+		row[i] = -1
+	}
+	return row
+}
+
+func contains(sorted []int, x int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case sorted[mid] < x:
+			lo = mid + 1
+		case sorted[mid] > x:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the DFA for debugging.
+func (d *DFA) String() string {
+	out := fmt.Sprintf("DFA start=%d alphabet=%v\n", d.Start, d.Alphabet)
+	for s, row := range d.Trans {
+		mark := " "
+		if d.Accept[s] {
+			mark = "*"
+		}
+		out += fmt.Sprintf("%s%3d:", mark, s)
+		for i, t := range row {
+			if t >= 0 {
+				out += fmt.Sprintf(" %d->%d", d.Alphabet[i], t)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

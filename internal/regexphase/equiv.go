@@ -1,0 +1,138 @@
+package regexphase
+
+// Equivalent reports whether two regular expressions denote the same
+// language. The paper's hierarchy construction merges two adjacent
+// regular expressions when they are equivalent (citing the classic
+// test of Hopcroft and Ullman [16]); this implementation uses the
+// Hopcroft–Karp union-find algorithm on the two compiled DFAs, which
+// decides equivalence in near-linear time without full minimization.
+func Equivalent(a, b Expr) bool {
+	return EquivalentDFA(Compile(a), Compile(b))
+}
+
+// EquivalentDFA reports whether two DFAs accept the same language.
+func EquivalentDFA(a, b *DFA) bool {
+	// Union alphabet: a symbol in only one machine leads the other
+	// machine straight to its dead state.
+	alpha := unionAlphabet(a.Alphabet, b.Alphabet)
+
+	// State numbering: 0..na-1 = a's states, na..na+nb-1 = b's
+	// states, na+nb = a's dead, na+nb+1 = b's dead.
+	na, nb := a.NumStates(), b.NumStates()
+	deadA, deadB := na+nb, na+nb+1
+	uf := newUnionFind(na + nb + 2)
+
+	idA := func(s int) int {
+		if s < 0 {
+			return deadA
+		}
+		return s
+	}
+	idB := func(s int) int {
+		if s < 0 {
+			return deadB
+		}
+		return na + s
+	}
+	acceptOf := func(id int) bool {
+		switch {
+		case id == deadA || id == deadB:
+			return false
+		case id < na:
+			return a.Accept[id]
+		default:
+			return b.Accept[id-na]
+		}
+	}
+	stepOf := func(id, sym int) int {
+		switch {
+		case id == deadA:
+			return deadA
+		case id == deadB:
+			return deadB
+		case id < na:
+			return idA(a.Step(id, sym))
+		default:
+			return idB(b.Step(id-na, sym))
+		}
+	}
+
+	type pair struct{ p, q int }
+	start := pair{idA(a.Start), idB(b.Start)}
+	if acceptOf(start.p) != acceptOf(start.q) {
+		return false
+	}
+	uf.union(start.p, start.q)
+	stack := []pair{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sym := range alpha {
+			p, q := stepOf(cur.p, sym), stepOf(cur.q, sym)
+			if uf.find(p) == uf.find(q) {
+				continue
+			}
+			if acceptOf(p) != acceptOf(q) {
+				return false
+			}
+			uf.union(p, q)
+			stack = append(stack, pair{p, q})
+		}
+	}
+	return true
+}
+
+func unionAlphabet(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(x, y int) {
+	rx, ry := u.find(x), u.find(y)
+	if rx == ry {
+		return
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+}

@@ -1,0 +1,53 @@
+package regexphase
+
+import "testing"
+
+// FuzzParse checks that arbitrary input never panics the parser, and
+// that anything that parses renders back to an equivalent expression.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(0 1 2 3 4)+", "9 (1 2)+", "1{3,}", "5*", "(1 | 2)", "ε",
+		"((((", "1 2 | ", "{,}", "999999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("rendering of %q (%v) does not re-parse: %v", s, e, err)
+		}
+		// Equivalence on small alphabets only; large literals make
+		// DFA compilation expensive, so bound the check.
+		if len(Alphabet(e)) <= 6 && exprSize(e) <= 30 {
+			if !Equivalent(e, back) {
+				t.Fatalf("round trip changed language: %v vs %v", e, back)
+			}
+		}
+	})
+}
+
+func exprSize(e Expr) int {
+	switch v := e.(type) {
+	case Lit:
+		return 1
+	case Concat:
+		n := 1
+		for _, p := range v.Parts {
+			n += exprSize(p)
+		}
+		return n
+	case Alt:
+		n := 1
+		for _, c := range v.Choices {
+			n += exprSize(c)
+		}
+		return n
+	case Repeat:
+		return 1 + exprSize(v.E)
+	}
+	return 1
+}

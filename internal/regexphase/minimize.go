@@ -1,0 +1,179 @@
+package regexphase
+
+// Minimize returns the minimal DFA equivalent to d, computed by
+// Hopcroft's partition-refinement algorithm. The result contains only
+// states reachable from the start and no explicit dead state (rejecting
+// sink transitions are rendered as -1).
+func Minimize(d *DFA) *DFA {
+	n := d.NumStates()
+	k := len(d.Alphabet)
+	// Work on a total automaton: state n is the dead state.
+	total := n + 1
+	step := func(s, c int) int {
+		if s == n {
+			return n
+		}
+		t := d.Trans[s][c]
+		if t < 0 {
+			return n
+		}
+		return t
+	}
+
+	// Inverse transitions: inv[c][t] = states s with step(s,c)=t.
+	inv := make([][][]int32, k)
+	for c := 0; c < k; c++ {
+		inv[c] = make([][]int32, total)
+		for s := 0; s < total; s++ {
+			t := step(s, c)
+			inv[c][t] = append(inv[c][t], int32(s))
+		}
+	}
+
+	// Partition structures: class[s], members per class.
+	class := make([]int, total)
+	var classes [][]int32
+	var acc, rej []int32
+	for s := 0; s < total; s++ {
+		isAcc := s < n && d.Accept[s]
+		if isAcc {
+			acc = append(acc, int32(s))
+		} else {
+			rej = append(rej, int32(s))
+		}
+	}
+	add := func(members []int32) int {
+		id := len(classes)
+		classes = append(classes, members)
+		for _, s := range members {
+			class[s] = id
+		}
+		return id
+	}
+	if len(acc) > 0 {
+		add(acc)
+	}
+	if len(rej) > 0 {
+		add(rej)
+	}
+
+	// Worklist of (class, symbol) splitters.
+	type splitter struct{ cls, sym int }
+	var work []splitter
+	inWork := make(map[splitter]bool)
+	push := func(cls, sym int) {
+		sp := splitter{cls, sym}
+		if !inWork[sp] {
+			inWork[sp] = true
+			work = append(work, sp)
+		}
+	}
+	for cls := range classes {
+		for c := 0; c < k; c++ {
+			push(cls, c)
+		}
+	}
+
+	touched := make([]int32, 0, total) // classes touched by the preimage
+	hit := make(map[int][]int32, 8)    // class -> members in preimage
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		delete(inWork, sp)
+
+		// Preimage of the splitter class under symbol sp.sym.
+		touched = touched[:0]
+		for _, t := range classes[sp.cls] {
+			for _, s := range inv[sp.sym][t] {
+				cls := class[s]
+				if _, ok := hit[cls]; !ok {
+					touched = append(touched, int32(cls))
+				}
+				hit[cls] = append(hit[cls], s)
+			}
+		}
+		for _, tc := range touched {
+			cls := int(tc)
+			in := hit[cls]
+			delete(hit, cls)
+			if len(in) == len(classes[cls]) {
+				continue // class entirely inside the preimage
+			}
+			// Split: out = members not in the preimage.
+			inSet := make(map[int32]bool, len(in))
+			for _, s := range in {
+				inSet[s] = true
+			}
+			var out []int32
+			for _, s := range classes[cls] {
+				if !inSet[s] {
+					out = append(out, s)
+				}
+			}
+			classes[cls] = in
+			newID := add(out)
+			// Hopcroft rule: requeue the smaller part for every
+			// symbol; if (cls, c) is queued, both halves must be.
+			for c := 0; c < k; c++ {
+				if inWork[splitter{cls, c}] {
+					push(newID, c)
+				} else if len(in) <= len(out) {
+					push(cls, c)
+				} else {
+					push(newID, c)
+				}
+			}
+		}
+	}
+
+	// Rebuild a DFA over classes, dropping the dead class and any
+	// class unreachable from the start.
+	deadClass := class[n]
+	// A class is "dead" only if it is exactly the sink behavior:
+	// non-accepting and closed under all transitions. Hopcroft puts
+	// the dead state in such a class by construction.
+	remap := make([]int, len(classes))
+	for i := range remap {
+		remap[i] = -2 // unvisited
+	}
+	order := []int{class[d.Start]}
+	remap[class[d.Start]] = 0
+	count := 1
+	for i := 0; i < len(order); i++ {
+		cls := order[i]
+		rep := int(classes[cls][0])
+		for c := 0; c < k; c++ {
+			t := step(rep, c)
+			tc := class[t]
+			if tc == deadClass {
+				continue
+			}
+			if remap[tc] == -2 {
+				remap[tc] = count
+				count++
+				order = append(order, tc)
+			}
+		}
+	}
+
+	out := &DFA{
+		Alphabet: append([]int(nil), d.Alphabet...),
+		Trans:    make([][]int, count),
+		Accept:   make([]bool, count),
+		Start:    0,
+	}
+	for i, cls := range order {
+		rep := int(classes[cls][0])
+		row := newRow(k)
+		for c := 0; c < k; c++ {
+			t := step(rep, c)
+			tc := class[t]
+			if tc != deadClass && remap[tc] >= 0 {
+				row[c] = remap[tc]
+			}
+		}
+		out.Trans[i] = row
+		out.Accept[i] = rep < n && d.Accept[rep]
+	}
+	return out
+}

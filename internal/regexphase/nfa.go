@@ -1,0 +1,116 @@
+package regexphase
+
+// nfa is a Thompson-construction NFA: numbered states, ε-transitions,
+// and symbol transitions; exactly one accept state.
+type nfa struct {
+	eps    [][]int         // state -> ε-successors
+	sym    []map[int][]int // state -> symbol -> successors
+	start  int
+	accept int
+}
+
+func (n *nfa) newState() int {
+	n.eps = append(n.eps, nil)
+	n.sym = append(n.sym, nil)
+	return len(n.eps) - 1
+}
+
+func (n *nfa) addEps(from, to int) {
+	n.eps[from] = append(n.eps[from], to)
+}
+
+func (n *nfa) addSym(from, s, to int) {
+	if n.sym[from] == nil {
+		n.sym[from] = make(map[int][]int)
+	}
+	n.sym[from][s] = append(n.sym[from][s], to)
+}
+
+// compileNFA builds an NFA for e by Thompson's construction.
+func compileNFA(e Expr) *nfa {
+	n := &nfa{}
+	start, accept := n.build(e)
+	n.start, n.accept = start, accept
+	return n
+}
+
+// build returns the (start, accept) fragment for e.
+func (n *nfa) build(e Expr) (int, int) {
+	switch v := e.(type) {
+	case Lit:
+		s, a := n.newState(), n.newState()
+		n.addSym(s, v.Sym, a)
+		return s, a
+	case Concat:
+		if len(v.Parts) == 0 {
+			s := n.newState()
+			return s, s
+		}
+		s, a := n.build(v.Parts[0])
+		for _, p := range v.Parts[1:] {
+			ps, pa := n.build(p)
+			n.addEps(a, ps)
+			a = pa
+		}
+		return s, a
+	case Alt:
+		if len(v.Choices) == 0 {
+			panic("regexphase: Alt needs at least one choice")
+		}
+		s, a := n.newState(), n.newState()
+		for _, c := range v.Choices {
+			cs, ca := n.build(c)
+			n.addEps(s, cs)
+			n.addEps(ca, a)
+		}
+		return s, a
+	case Repeat:
+		if v.Min < 0 {
+			panic("regexphase: Repeat.Min must be non-negative")
+		}
+		// Mandatory prefix of Min copies, then a star.
+		s := n.newState()
+		a := s
+		for i := 0; i < v.Min; i++ {
+			cs, ca := n.build(v.E)
+			n.addEps(a, cs)
+			a = ca
+		}
+		// Star: loop fragment.
+		ls, la := n.build(v.E)
+		out := n.newState()
+		n.addEps(a, ls)
+		n.addEps(a, out)
+		n.addEps(la, ls)
+		n.addEps(la, out)
+		return s, out
+	default:
+		panic("regexphase: unknown expression type")
+	}
+}
+
+// closure expands a state set with ε-transitions, in place, returning
+// the canonical sorted set.
+func (n *nfa) closure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int(nil), states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}

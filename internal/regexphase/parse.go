@@ -1,0 +1,207 @@
+package regexphase
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the textual hierarchy notation produced by Expr.String —
+// space-separated phase IDs, parenthesized groups, `|` alternation,
+// and the `+`, `*`, `{n,}` repetition suffixes — so saved or
+// hand-written hierarchies can be loaded back:
+//
+//	Parse("9 (1 2 3 4 5)+")
+func Parse(s string) (Expr, error) {
+	p := &parser{input: s}
+	p.next()
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("regexphase: unexpected %q at %d", p.tok.text, p.tok.pos)
+	}
+	return e, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokLParen
+	tokRParen
+	tokPipe
+	tokPlus
+	tokStar
+	tokLBrace
+	tokEpsilon
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n') {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{tokEOF, "", start}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok = token{tokLParen, "(", start}
+	case c == ')':
+		p.pos++
+		p.tok = token{tokRParen, ")", start}
+	case c == '|':
+		p.pos++
+		p.tok = token{tokPipe, "|", start}
+	case c == '+':
+		p.pos++
+		p.tok = token{tokPlus, "+", start}
+	case c == '*':
+		p.pos++
+		p.tok = token{tokStar, "*", start}
+	case c == '{':
+		p.pos++
+		p.tok = token{tokLBrace, "{", start}
+	case strings.HasPrefix(p.input[p.pos:], "ε"):
+		p.pos += len("ε")
+		p.tok = token{tokEpsilon, "ε", start}
+	case unicode.IsDigit(rune(c)):
+		end := p.pos
+		for end < len(p.input) && unicode.IsDigit(rune(p.input[end])) {
+			end++
+		}
+		p.tok = token{tokNum, p.input[p.pos:end], start}
+		p.pos = end
+	default:
+		p.tok = token{tokEOF, string(c), start}
+		p.pos = len(p.input) // force termination; alt() will error
+	}
+}
+
+// alt := concat ('|' concat)*
+func (p *parser) alt() (Expr, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokPipe {
+		return first, nil
+	}
+	choices := []Expr{first}
+	for p.tok.kind == tokPipe {
+		p.next()
+		c, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		choices = append(choices, c)
+	}
+	return Alt{choices}, nil
+}
+
+// concat := term+
+func (p *parser) concat() (Expr, error) {
+	var parts []Expr
+	for p.tok.kind == tokNum || p.tok.kind == tokLParen || p.tok.kind == tokEpsilon {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, t)
+	}
+	switch len(parts) {
+	case 0:
+		return nil, fmt.Errorf("regexphase: expected expression at %d, got %q", p.tok.pos, p.tok.text)
+	case 1:
+		return parts[0], nil
+	default:
+		return Concat{parts}, nil
+	}
+}
+
+// term := atom quantifier*
+func (p *parser) term() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokPlus:
+			e = Repeat{E: e, Min: 1}
+			p.next()
+		case tokStar:
+			e = Repeat{E: e, Min: 0}
+			p.next()
+		case tokLBrace:
+			// Raw-parse "{digits,}" from the brace onward; the
+			// lexer has no comma token.
+			start := p.tok.pos
+			rest := p.input[start:]
+			if !strings.HasPrefix(rest, "{") {
+				return nil, fmt.Errorf("regexphase: malformed quantifier at %d", start)
+			}
+			end := strings.Index(rest, ",}")
+			if end < 2 {
+				return nil, fmt.Errorf("regexphase: malformed {n,} at %d", start)
+			}
+			n, err := strconv.Atoi(rest[1:end])
+			if err != nil {
+				return nil, fmt.Errorf("regexphase: bad count in {n,} at %d: %v", start, err)
+			}
+			p.pos = start + end + 2
+			p.next()
+			e = Repeat{E: e, Min: n}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// atom := NUMBER | 'ε' | '(' alt ')'
+func (p *parser) atom() (Expr, error) {
+	switch p.tok.kind {
+	case tokNum:
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil {
+			return nil, err
+		}
+		p.next()
+		return Lit{n}, nil
+	case tokEpsilon:
+		p.next()
+		return Concat{}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("regexphase: missing ')' at %d", p.tok.pos)
+		}
+		p.next()
+		return e, nil
+	default:
+		return nil, fmt.Errorf("regexphase: unexpected %q at %d", p.tok.text, p.tok.pos)
+	}
+}

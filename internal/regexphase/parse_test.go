@@ -1,0 +1,82 @@
+package regexphase
+
+import (
+	"testing"
+
+	"lpp/internal/stats"
+)
+
+func TestParseKnownForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Expr
+	}{
+		{"7", Lit{7}},
+		{"1 2 3", Seq(1, 2, 3)},
+		{"(1 2 3 4 5)+", Repeat{Seq(1, 2, 3, 4, 5), 1}},
+		{"9 (1 2)+", Concat{[]Expr{Lit{9}, Repeat{Seq(1, 2), 1}}}},
+		{"5*", Repeat{Lit{5}, 0}},
+		{"1{3,}", Repeat{Lit{1}, 3}},
+		{"(1 | 2)", Alt{[]Expr{Lit{1}, Lit{2}}}},
+		{"(0 (1 2)+)+", Repeat{Concat{[]Expr{Lit{0}, Repeat{Seq(1, 2), 1}}}, 1}},
+		{"ε", Concat{}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !Equivalent(got, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"", "(", ")", "1 (", "(1", "|", "1 |", "a b", "1{,}", "1{x,}", "1{3}", "+",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	// Property: Parse(e.String()) is language-equivalent to e.
+	rng := stats.NewRNG(41)
+	for trial := 0; trial < 150; trial++ {
+		e := randomExpr(rng, 3)
+		parsed, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e.String(), err)
+		}
+		if !Equivalent(e, parsed) {
+			t.Fatalf("round trip changed the language: %v -> %v", e, parsed)
+		}
+	}
+}
+
+func TestParseHierarchyFromRealPipelineShape(t *testing.T) {
+	// The shapes Detect actually produces.
+	for _, s := range []string{
+		"(0 1 2 3 4)+",
+		"(0 (1 2)+)+",
+		"0 1+",
+		"(0 1 2+)+",
+	} {
+		e, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := e.String(); got != s {
+			// Rendering need not be byte-identical, but must be
+			// re-parseable and equivalent.
+			back, err := Parse(got)
+			if err != nil || !Equivalent(back, e) {
+				t.Errorf("unstable rendering %q -> %q", s, got)
+			}
+		}
+	}
+}

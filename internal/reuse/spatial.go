@@ -1,0 +1,105 @@
+package reuse
+
+import "lpp/internal/trace"
+
+// SpatialProfile measures spatial locality alongside temporal
+// locality — the analysis the paper names as future work ("the current
+// analysis considers only temporal locality. The future work will
+// consider spatial locality in conjunction with temporal locality").
+// It runs reuse-distance analysis at both element and cache-block
+// granularity and tracks which bytes of each touched block were
+// actually used, yielding:
+//
+//   - block- vs element-level miss-rate histograms (how much a cache
+//     block's implicit prefetch helps), and
+//   - block utilization (how much of each fetched block the program
+//     touches — the headroom data reorganization can reclaim).
+type SpatialProfile struct {
+	blockBits int
+	elemBits  int
+
+	elem  *Analyzer
+	block *Analyzer
+
+	ElemHist  *Histogram
+	BlockHist *Histogram
+
+	touched map[trace.Addr]uint64 // block -> bitmask of touched words
+	words   int                   // words per block
+}
+
+// NewSpatialProfile returns a profile for the given block size
+// (log2 bytes, e.g. 6 for 64-byte blocks) and element size (log2
+// bytes, e.g. 3 for 8-byte words).
+func NewSpatialProfile(blockBits, elemBits int) *SpatialProfile {
+	if blockBits <= elemBits {
+		panic("reuse: block must be larger than element")
+	}
+	words := 1 << (blockBits - elemBits)
+	if words > 64 {
+		panic("reuse: more than 64 elements per block unsupported")
+	}
+	return &SpatialProfile{
+		blockBits: blockBits,
+		elemBits:  elemBits,
+		elem:      NewAnalyzer(),
+		block:     NewAnalyzer(),
+		ElemHist:  NewHistogram(),
+		BlockHist: NewHistogram(),
+		touched:   make(map[trace.Addr]uint64),
+		words:     words,
+	}
+}
+
+// Block implements trace.Instrumenter (ignored).
+func (s *SpatialProfile) Block(trace.BlockID, int) {}
+
+// Access feeds one data access.
+func (s *SpatialProfile) Access(addr trace.Addr) {
+	s.ElemHist.Add(s.elem.Access(addr >> s.elemBits))
+	blk := addr >> s.blockBits
+	s.BlockHist.Add(s.block.Access(blk))
+	word := (addr >> s.elemBits) & trace.Addr(s.words-1)
+	s.touched[blk] |= 1 << word
+}
+
+// Utilization returns the fraction of words in touched blocks that the
+// program ever referenced: 1.0 means every fetched byte was used;
+// low values are the headroom that array regrouping reclaims.
+func (s *SpatialProfile) Utilization() float64 {
+	if len(s.touched) == 0 {
+		return 0
+	}
+	var used int
+	for _, mask := range s.touched {
+		used += popcount(mask)
+	}
+	return float64(used) / float64(len(s.touched)*s.words)
+}
+
+// SpatialBenefit returns how much block granularity lowers the miss
+// rate at a given cache capacity (in bytes) relative to caching single
+// elements: missRateElems / missRateBlocks. Values near 1 mean no
+// spatial locality; large values mean neighbors ride along usefully.
+func (s *SpatialProfile) SpatialBenefit(capacityBytes int64) float64 {
+	blocks := capacityBytes >> s.blockBits
+	elems := capacityBytes >> s.elemBits
+	mb := s.BlockHist.MissRate(blocks)
+	me := s.ElemHist.MissRate(elems)
+	if mb == 0 {
+		if me == 0 {
+			return 1
+		}
+		return float64(s.ElemHist.Total()) // effectively infinite
+	}
+	return me / mb
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

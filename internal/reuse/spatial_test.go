@@ -1,0 +1,102 @@
+package reuse
+
+import (
+	"testing"
+
+	"lpp/internal/stats"
+	"lpp/internal/trace"
+)
+
+func TestSpatialSequentialFullUtilization(t *testing.T) {
+	s := NewSpatialProfile(6, 3) // 64B blocks, 8B words
+	for i := 0; i < 8192; i++ {
+		s.Access(trace.Addr(i) * 8)
+	}
+	if u := s.Utilization(); u != 1 {
+		t.Errorf("sequential utilization = %g, want 1", u)
+	}
+	// A sequential sweep touches each block 8 times but each element
+	// once: blocks show strong spatial benefit.
+	if b := s.SpatialBenefit(32 << 10); b < 2 {
+		t.Errorf("sequential spatial benefit = %g, want >= 2", b)
+	}
+}
+
+func TestSpatialStridedLowUtilization(t *testing.T) {
+	s := NewSpatialProfile(6, 3)
+	// Stride of one word per block: 1/8 of each block used.
+	for i := 0; i < 4096; i++ {
+		s.Access(trace.Addr(i) * 64)
+	}
+	if u := s.Utilization(); u != 0.125 {
+		t.Errorf("strided utilization = %g, want 0.125", u)
+	}
+}
+
+func TestSpatialInterleavingImprovesUtilization(t *testing.T) {
+	// The affinity-regrouping motivation, measured: two arrays
+	// accessed in lockstep at matching indices. Separate layouts use
+	// only the touched word of each block per pair; interleaved
+	// layouts use both halves of each block.
+	separate := NewSpatialProfile(6, 3)
+	rng := stats.NewRNG(9)
+	for n := 0; n < 4096; n++ {
+		i := trace.Addr(rng.Intn(4096))
+		separate.Access(0x100000 + i*8) // a[i]
+		separate.Access(0x200000 + i*8) // b[i]
+	}
+	interleaved := NewSpatialProfile(6, 3)
+	rng = stats.NewRNG(9)
+	for n := 0; n < 4096; n++ {
+		i := trace.Addr(rng.Intn(4096))
+		interleaved.Access(0x100000 + i*16)     // a[i]
+		interleaved.Access(0x100000 + i*16 + 8) // b[i] adjacent
+	}
+	if interleaved.Utilization() <= separate.Utilization() {
+		t.Errorf("interleaving did not improve utilization: %g vs %g",
+			interleaved.Utilization(), separate.Utilization())
+	}
+}
+
+func TestSpatialRandomNoBenefit(t *testing.T) {
+	s := NewSpatialProfile(6, 3)
+	rng := stats.NewRNG(4)
+	for i := 0; i < 50000; i++ {
+		// Random words scattered over a huge range: block reuse
+		// is as rare as element reuse.
+		s.Access(trace.Addr(rng.Uint64() % (1 << 30)))
+	}
+	if b := s.SpatialBenefit(32 << 10); b > 1.5 {
+		t.Errorf("random access spatial benefit = %g, want ~1", b)
+	}
+}
+
+func TestSpatialEmptyAndPanics(t *testing.T) {
+	s := NewSpatialProfile(6, 3)
+	if s.Utilization() != 0 {
+		t.Error("empty utilization should be 0")
+	}
+	s.Block(1, 1) // ignored, no panic
+	for _, f := range []func(){
+		func() { NewSpatialProfile(3, 3) },
+		func() { NewSpatialProfile(16, 3) }, // >64 words per block
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 0xFF: 8, 1 << 63: 1, ^uint64(0): 64}
+	for in, want := range cases {
+		if got := popcount(in); got != want {
+			t.Errorf("popcount(%#x) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package sampling implements the variable-distance sampling of
+// Section 2.2.1. Instead of analyzing all accesses to all data, the
+// sampler watches the reuse distance of every access and keeps a small
+// set of representative data samples and their long-distance access
+// samples. The three thresholds of Ding and Zhong's distance-based
+// sampling [12] — qualification, temporal, and spatial — are hard to
+// pick by hand, so this sampler adjusts them by dynamic feedback
+// toward a target sample count.
+package sampling
+
+import (
+	"sort"
+
+	"lpp/internal/reuse"
+	"lpp/internal/trace"
+)
+
+// Config controls the sampler.
+type Config struct {
+	// TargetSamples is the access-sample budget the feedback loop
+	// aims for (the paper collects 15–30 thousand).
+	TargetSamples int
+	// Qualification is the initial reuse distance (in distinct
+	// elements) an access must exceed for its datum to become a data
+	// sample.
+	Qualification int64
+	// Temporal is the initial reuse distance an access to a data
+	// sample must exceed to be recorded as an access sample.
+	Temporal int64
+	// Spatial is the initial minimum address separation (bytes)
+	// between data samples.
+	Spatial int64
+	// CheckEvery is the feedback interval in accesses.
+	CheckEvery int64
+	// ExpectedLength is the anticipated trace length used to pace
+	// the feedback; zero means adapt from what has been seen.
+	ExpectedLength int64
+}
+
+// DefaultConfig returns the settings used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		TargetSamples: 20000,
+		Qualification: 512,
+		Temporal:      512,
+		Spatial:       1024,
+		CheckEvery:    100000,
+	}
+}
+
+// Sample is one recorded access sample.
+type Sample struct {
+	// Time is the logical time (index in the data-access stream).
+	Time int64
+	// Data identifies the data sample accessed (index into
+	// Result.DataAddrs).
+	Data int
+	// Dist is the access's reuse distance.
+	Dist int64
+}
+
+// Result is the product of a sampling pass.
+type Result struct {
+	Samples     []Sample
+	DataAddrs   []trace.Addr // data-sample ID -> address
+	Adjustments int          // threshold adjustments performed
+	Accesses    int64        // accesses processed
+}
+
+// SubTrace returns, for data sample id, the indices into r.Samples of
+// its access samples, in time order.
+func (r *Result) SubTrace(id int) []int {
+	var out []int
+	for i, s := range r.Samples {
+		if s.Data == id {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SubTraces groups sample indices by data sample, preserving time
+// order within each group.
+func (r *Result) SubTraces() [][]int {
+	out := make([][]int, len(r.DataAddrs))
+	for i, s := range r.Samples {
+		out[s.Data] = append(out[s.Data], i)
+	}
+	return out
+}
+
+// Sampler consumes a data-access stream and collects samples. It
+// implements trace.Instrumenter so it can run off a live workload or a
+// replayed trace.
+type Sampler struct {
+	cfg      Config
+	analyzer *reuse.Analyzer
+	now      int64
+
+	qual, temporal, spatial int64
+
+	dataIDs   map[trace.Addr]int
+	dataAddrs []trace.Addr
+	sorted    []trace.Addr // data-sample addresses for spatial checks
+
+	samples     []Sample
+	adjustments int
+	lastCheck   int64
+}
+
+// New returns a Sampler with the given configuration (zero fields take
+// defaults).
+func New(cfg Config) *Sampler {
+	def := DefaultConfig()
+	if cfg.TargetSamples <= 0 {
+		cfg.TargetSamples = def.TargetSamples
+	}
+	if cfg.Qualification <= 0 {
+		cfg.Qualification = def.Qualification
+	}
+	if cfg.Temporal <= 0 {
+		cfg.Temporal = def.Temporal
+	}
+	if cfg.Spatial <= 0 {
+		cfg.Spatial = def.Spatial
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = def.CheckEvery
+	}
+	return &Sampler{
+		cfg:      cfg,
+		analyzer: reuse.NewAnalyzer(),
+		qual:     cfg.Qualification,
+		temporal: cfg.Temporal,
+		spatial:  cfg.Spatial,
+		dataIDs:  make(map[trace.Addr]int),
+	}
+}
+
+// Block implements trace.Instrumenter (ignored).
+func (s *Sampler) Block(trace.BlockID, int) {}
+
+// Access feeds one data access to the sampler.
+func (s *Sampler) Access(addr trace.Addr) {
+	t := s.now
+	s.now++
+	dist := s.analyzer.Access(addr)
+	if dist == reuse.Infinite {
+		return
+	}
+	if id, ok := s.dataIDs[addr]; ok {
+		if dist > s.temporal {
+			s.samples = append(s.samples, Sample{Time: t, Data: id, Dist: dist})
+		}
+	} else if dist > s.qual && s.spatiallySeparate(addr) {
+		id := len(s.dataAddrs)
+		s.dataIDs[addr] = id
+		s.dataAddrs = append(s.dataAddrs, addr)
+		s.insertSorted(addr)
+		s.samples = append(s.samples, Sample{Time: t, Data: id, Dist: dist})
+	}
+	if s.now-s.lastCheck >= s.cfg.CheckEvery {
+		s.lastCheck = s.now
+		s.feedback()
+	}
+}
+
+// spatiallySeparate reports whether addr keeps the spatial threshold
+// from every existing data sample.
+func (s *Sampler) spatiallySeparate(addr trace.Addr) bool {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= addr })
+	if i < len(s.sorted) && int64(s.sorted[i]-addr) < s.spatial {
+		return false
+	}
+	if i > 0 && int64(addr-s.sorted[i-1]) < s.spatial {
+		return false
+	}
+	return true
+}
+
+func (s *Sampler) insertSorted(addr trace.Addr) {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= addr })
+	s.sorted = append(s.sorted, 0)
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = addr
+}
+
+// feedback compares the sample-collection rate against the target pace
+// and adjusts the thresholds: collecting too fast doubles them,
+// collecting too slowly (with room in the budget) halves them.
+func (s *Sampler) feedback() {
+	var expected float64
+	if s.cfg.ExpectedLength > 0 {
+		expected = float64(s.cfg.TargetSamples) * float64(s.now) / float64(s.cfg.ExpectedLength)
+	} else {
+		// Without a length estimate, pace against the budget
+		// directly: never let the sample count run far past it.
+		expected = float64(s.cfg.TargetSamples)
+	}
+	got := float64(len(s.samples))
+	switch {
+	case got > 1.5*expected:
+		// Scale up in proportion to the overshoot so even an
+		// adversarial trace converges in a handful of adjustments.
+		factor := int64(got / expected)
+		if factor < 2 {
+			factor = 2
+		}
+		if factor > 16 {
+			factor = 16
+		}
+		s.qual *= factor
+		s.temporal *= factor
+		s.spatial *= 2
+		s.adjustments++
+	case s.cfg.ExpectedLength > 0 && got < 0.25*expected && s.qual > 16:
+		s.qual /= 2
+		s.temporal /= 2
+		if s.spatial > 64 {
+			s.spatial /= 2
+		}
+		s.adjustments++
+	}
+	// Off-line sampling can also shed what it over-collected before
+	// the thresholds caught up: decimate to stay near the budget.
+	for len(s.samples) > 2*s.cfg.TargetSamples {
+		kept := s.samples[:0]
+		for i, smp := range s.samples {
+			if i%2 == 0 {
+				kept = append(kept, smp)
+			}
+		}
+		s.samples = kept
+		s.adjustments++
+	}
+}
+
+// Result freezes the sampler's collected samples.
+func (s *Sampler) Result() Result {
+	return Result{
+		Samples:     s.samples,
+		DataAddrs:   s.dataAddrs,
+		Adjustments: s.adjustments,
+		Accesses:    s.now,
+	}
+}
+
+// RunTrace samples a recorded access stream.
+func RunTrace(accesses []trace.Addr, cfg Config) Result {
+	if cfg.ExpectedLength == 0 {
+		cfg.ExpectedLength = int64(len(accesses))
+	}
+	s := New(cfg)
+	for _, a := range accesses {
+		s.Access(a)
+	}
+	return s.Result()
+}

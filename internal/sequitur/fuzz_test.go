@@ -1,0 +1,35 @@
+package sequitur
+
+import "testing"
+
+// FuzzBuild checks the SEQUITUR invariant that matters to every user:
+// the grammar always expands back to exactly the input sequence.
+func FuzzBuild(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3})
+	f.Add([]byte{7, 7, 7, 7, 7})
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1, 2, 2, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		seq := make([]int, len(data))
+		for i, b := range data {
+			seq[i] = int(b % 8) // small alphabet stresses rule churn
+		}
+		g := Build(seq)
+		got := g.Expand()
+		if len(got) != len(seq) {
+			t.Fatalf("expanded %d symbols, want %d", len(got), len(seq))
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("expansion differs at %d", i)
+			}
+		}
+		if len(seq) > 0 && g.Size() > 2*len(seq) {
+			t.Fatalf("grammar size %d exceeds twice the input %d", g.Size(), len(seq))
+		}
+	})
+}

@@ -1,0 +1,307 @@
+// Package sequitur implements the SEQUITUR on-line grammar compression
+// algorithm of Nevill-Manning and Witten [26]: it incrementally builds
+// a context-free grammar for a sequence while maintaining two
+// invariants — digram uniqueness (no pair of adjacent symbols appears
+// more than once in the grammar) and rule utility (every rule is used
+// at least twice). The paper uses it to compress the detected phase
+// sequence and then extracts the phase hierarchy from the grammar
+// (Section 2.4).
+package sequitur
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// symbol is a node in a rule's doubly-linked body. Guard nodes (one per
+// rule) close the circle and carry the owning rule in ruleOf.
+type symbol struct {
+	next, prev *symbol
+	terminal   int   // valid when rule == nil
+	rule       *rule // non-nil for a non-terminal occurrence
+	ruleOf     *rule // non-nil for a guard node
+}
+
+func (s *symbol) isGuard() bool { return s.ruleOf != nil }
+
+type rule struct {
+	id    int
+	guard *symbol
+	count int // number of occurrences on right-hand sides
+}
+
+func newRule(id int) *rule {
+	r := &rule{id: id}
+	g := &symbol{ruleOf: r}
+	g.next, g.prev = g, g
+	r.guard = g
+	return r
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+
+// digram is the hash key for a pair of adjacent symbols. Terminals use
+// their value; non-terminals use ^rule.id (disjoint from terminals,
+// which must be non-negative).
+type digram struct{ a, b int }
+
+func keyOf(s *symbol) int {
+	if s.rule != nil {
+		return ^s.rule.id
+	}
+	return s.terminal
+}
+
+func digramOf(s *symbol) digram { return digram{keyOf(s), keyOf(s.next)} }
+
+// Builder constructs a SEQUITUR grammar incrementally.
+type Builder struct {
+	start   *rule
+	digrams map[digram]*symbol
+	rules   map[int]*rule
+	nextID  int
+}
+
+// NewBuilder returns an empty Builder whose start rule has ID 0.
+func NewBuilder() *Builder {
+	b := &Builder{
+		digrams: make(map[digram]*symbol),
+		rules:   make(map[int]*rule),
+		nextID:  1,
+	}
+	b.start = newRule(0)
+	b.rules[0] = b.start
+	return b
+}
+
+// Append feeds the next terminal of the sequence. Terminals must be
+// non-negative.
+func (b *Builder) Append(terminal int) {
+	if terminal < 0 {
+		panic("sequitur: terminals must be non-negative")
+	}
+	s := &symbol{terminal: terminal}
+	b.insertAfter(b.start.last(), s)
+	if !b.start.first().isGuard() && b.start.first() != s {
+		b.check(s.prev)
+	}
+}
+
+// insertAfter links n directly after pos (no digram bookkeeping).
+func (b *Builder) insertAfter(pos, n *symbol) {
+	n.prev = pos
+	n.next = pos.next
+	pos.next.prev = n
+	pos.next = n
+	if n.rule != nil {
+		n.rule.count++
+	}
+}
+
+// remove unlinks s (no digram bookkeeping).
+func (b *Builder) remove(s *symbol) {
+	s.prev.next = s.next
+	s.next.prev = s.prev
+	if s.rule != nil {
+		s.rule.count--
+	}
+}
+
+// forgetDigram removes the digram starting at s from the index if the
+// index entry points at s itself.
+func (b *Builder) forgetDigram(s *symbol) {
+	if s.isGuard() || s.next.isGuard() {
+		return
+	}
+	d := digramOf(s)
+	if b.digrams[d] != s {
+		return
+	}
+	delete(b.digrams, d)
+	// Overlap healing: in a chain like "a a a" only the first (a,a)
+	// occurrence is indexed; when it disappears, the overlapping
+	// second occurrence must take over the index entry or it would
+	// linger unindexed and silently break digram uniqueness.
+	n := s.next
+	if !n.isGuard() && !n.next.isGuard() && digramOf(n) == d {
+		b.digrams[d] = n
+	}
+}
+
+// check enforces digram uniqueness for the digram starting at s.
+// It returns true if the grammar changed.
+func (b *Builder) check(s *symbol) bool {
+	if s.isGuard() || s.next.isGuard() {
+		return false
+	}
+	d := digramOf(s)
+	m, ok := b.digrams[d]
+	if !ok {
+		b.digrams[d] = s
+		return false
+	}
+	if m == s || m.next == s || s.next == m {
+		// Same occurrence or overlapping occurrences (aaa): leave.
+		return false
+	}
+	b.match(s, m)
+	return true
+}
+
+// match resolves a repeated digram: s and m are two non-overlapping
+// occurrences of the same digram, with m the indexed (older) one.
+func (b *Builder) match(s, m *symbol) {
+	var r *rule
+	if m.prev.isGuard() && m.next.next.isGuard() {
+		// m's rule body is exactly this digram: reuse the rule.
+		r = m.prev.ruleOf
+		b.substitute(s, r)
+	} else {
+		// Create a new rule for the digram.
+		r = newRule(b.nextID)
+		b.nextID++
+		b.rules[r.id] = r
+		c1 := b.cloneSym(m)
+		c2 := b.cloneSym(m.next)
+		b.insertAfter(r.guard, c1)
+		b.insertAfter(c1, c2)
+		b.digrams[digramOf(c1)] = c1
+		b.substitute(m, r)
+		b.substitute(s, r)
+	}
+	// Rule utility: if the rule's first symbol is a rule used once,
+	// inline it.
+	if f := r.first(); f.rule != nil && f.rule.count == 1 {
+		b.expand(f)
+	}
+}
+
+func (b *Builder) cloneSym(s *symbol) *symbol {
+	return &symbol{terminal: s.terminal, rule: s.rule}
+}
+
+// substitute replaces the digram starting at s with a reference to r.
+func (b *Builder) substitute(s *symbol, r *rule) {
+	prev := s.prev
+	b.forgetDigram(prev)
+	b.forgetDigram(s)
+	b.forgetDigram(s.next)
+	b.remove(s.next)
+	b.remove(s)
+	ref := &symbol{rule: r}
+	b.insertAfter(prev, ref)
+	if !b.check(prev) {
+		b.check(ref)
+	}
+}
+
+// expand inlines the body of the once-used rule referenced by s.
+func (b *Builder) expand(s *symbol) {
+	r := s.rule
+	prev := s.prev
+	next := s.next
+	b.forgetDigram(prev)
+	b.forgetDigram(s)
+	b.remove(s)
+	first, last := r.first(), r.last()
+	if !first.isGuard() {
+		prev.next = first
+		first.prev = prev
+		last.next = next
+		next.prev = last
+		b.digrams[digramOf(last)] = last
+	}
+	delete(b.rules, r.id)
+	b.check(prev)
+}
+
+// Symbol is one element of a finished grammar rule: either a terminal
+// value or a reference to another rule.
+type Symbol struct {
+	Terminal bool
+	Value    int // terminal value, or rule ID when !Terminal
+}
+
+// Grammar is the finished, immutable product of a Builder.
+type Grammar struct {
+	// Rules maps rule ID to its right-hand side. Rule 0 is the start.
+	Rules map[int][]Symbol
+}
+
+// Grammar freezes the Builder's current state.
+func (b *Builder) Grammar() Grammar {
+	g := Grammar{Rules: make(map[int][]Symbol, len(b.rules))}
+	for id, r := range b.rules {
+		var rhs []Symbol
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.rule != nil {
+				rhs = append(rhs, Symbol{Value: s.rule.id})
+			} else {
+				rhs = append(rhs, Symbol{Terminal: true, Value: s.terminal})
+			}
+		}
+		g.Rules[id] = rhs
+	}
+	return g
+}
+
+// Build runs SEQUITUR over the whole sequence and returns the grammar.
+func Build(seq []int) Grammar {
+	b := NewBuilder()
+	for _, t := range seq {
+		b.Append(t)
+	}
+	return b.Grammar()
+}
+
+// Expand reproduces the original sequence from the grammar.
+func (g Grammar) Expand() []int {
+	var out []int
+	var walk func(id int)
+	walk = func(id int) {
+		for _, s := range g.Rules[id] {
+			if s.Terminal {
+				out = append(out, s.Value)
+			} else {
+				walk(s.Value)
+			}
+		}
+	}
+	walk(0)
+	return out
+}
+
+// Size returns the total number of symbols on all right-hand sides, the
+// usual measure of grammar compression.
+func (g Grammar) Size() int {
+	n := 0
+	for _, rhs := range g.Rules {
+		n += len(rhs)
+	}
+	return n
+}
+
+// String renders the grammar with one rule per line, start rule first,
+// in a stable order.
+func (g Grammar) String() string {
+	ids := make([]int, 0, len(g.Rules))
+	for id := range g.Rules {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "R%d ->", id)
+		for _, s := range g.Rules[id] {
+			if s.Terminal {
+				fmt.Fprintf(&sb, " %d", s.Value)
+			} else {
+				fmt.Fprintf(&sb, " R%d", s.Value)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

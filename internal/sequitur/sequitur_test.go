@@ -1,0 +1,214 @@
+package sequitur
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lpp/internal/stats"
+)
+
+func expandEquals(t *testing.T, seq []int) {
+	t.Helper()
+	g := Build(seq)
+	got := g.Expand()
+	if len(got) != len(seq) {
+		t.Fatalf("expanded length %d, want %d (grammar:\n%s)", len(got), len(seq), g)
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("expansion differs at %d: %d vs %d", i, got[i], seq[i])
+		}
+	}
+}
+
+// checkInvariants verifies digram uniqueness and rule utility on a
+// finished grammar.
+func checkInvariants(t *testing.T, g Grammar) {
+	t.Helper()
+	// Digram uniqueness: no pair of adjacent symbols appears twice,
+	// except overlapping occurrences (e.g. "aaa").
+	type pair struct{ a, b Symbol }
+	seen := make(map[pair][2]int) // pair -> (rule, position) of first sighting
+	for id, rhs := range g.Rules {
+		for i := 0; i+1 < len(rhs); i++ {
+			p := pair{rhs[i], rhs[i+1]}
+			if loc, ok := seen[p]; ok {
+				overlapping := loc[0] == id && i-loc[1] == 1 && rhs[i] == rhs[i+1]
+				if !overlapping {
+					t.Errorf("digram %v appears at R%d:%d and R%d:%d\n%s", p, loc[0], loc[1], id, i, g)
+				}
+				continue
+			}
+			seen[p] = [2]int{id, i}
+		}
+	}
+	// Rule utility: every non-start rule referenced at least twice.
+	refs := make(map[int]int)
+	for _, rhs := range g.Rules {
+		for _, s := range rhs {
+			if !s.Terminal {
+				refs[s.Value]++
+			}
+		}
+	}
+	for id := range g.Rules {
+		if id == 0 {
+			continue
+		}
+		if refs[id] < 2 {
+			t.Errorf("rule R%d used %d times, want >= 2\n%s", id, refs[id], g)
+		}
+	}
+	// All references resolve.
+	for id, n := range refs {
+		if _, ok := g.Rules[id]; !ok {
+			t.Errorf("dangling reference to R%d (%d uses)", id, n)
+		}
+	}
+}
+
+func TestBuildSimpleRepetition(t *testing.T) {
+	// "abcabcabc" — classic SEQUITUR example: a rule for "abc" (built
+	// from a sub-rule or directly) and a compressed start rule.
+	seq := []int{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	g := Build(seq)
+	expandEquals(t, seq)
+	checkInvariants(t, g)
+	if g.Size() >= len(seq) {
+		t.Errorf("grammar size %d not smaller than input %d\n%s", g.Size(), len(seq), g)
+	}
+	if len(g.Rules) < 2 {
+		t.Errorf("expected at least one derived rule\n%s", g)
+	}
+}
+
+func TestBuildPaperExample(t *testing.T) {
+	// Tomcatv-like phase sequence: five sub-phases per time step,
+	// repeated. The grammar must compress the repetition.
+	var seq []int
+	for step := 0; step < 20; step++ {
+		seq = append(seq, 1, 2, 3, 4, 5)
+	}
+	g := Build(seq)
+	expandEquals(t, seq)
+	checkInvariants(t, g)
+	if g.Size() > 30 {
+		t.Errorf("time-step repetition should compress well, size = %d\n%s", g.Size(), g)
+	}
+}
+
+func TestBuildOverlappingDigrams(t *testing.T) {
+	// "aaaa..." exercises the overlap guard.
+	for n := 1; n <= 12; n++ {
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = 7
+		}
+		expandEquals(t, seq)
+		checkInvariants(t, Build(seq))
+	}
+}
+
+func TestBuildNoRepetition(t *testing.T) {
+	seq := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	g := Build(seq)
+	expandEquals(t, seq)
+	checkInvariants(t, g)
+	if len(g.Rules) != 1 {
+		t.Errorf("no repetition should produce only the start rule\n%s", g)
+	}
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	expandEquals(t, nil)
+	expandEquals(t, []int{42})
+}
+
+func TestAppendNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative terminal")
+		}
+	}()
+	NewBuilder().Append(-1)
+}
+
+func TestBuildRandomRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seq := make([]int, len(raw))
+		for i, r := range raw {
+			seq[i] = int(r % 6) // small alphabet => lots of rules
+		}
+		g := Build(seq)
+		got := g.Expand()
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRandomInvariants(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(400)
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = rng.Intn(4)
+		}
+		g := Build(seq)
+		checkInvariants(t, g)
+		got := g.Expand()
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("trial %d: expansion differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestBuildLongPeriodicCompressesLogarithmically(t *testing.T) {
+	// A long periodic sequence compresses to O(log n) grammar size.
+	var seq []int
+	for i := 0; i < 1024; i++ {
+		seq = append(seq, 1, 2)
+	}
+	g := Build(seq)
+	expandEquals(t, seq)
+	if g.Size() > 64 {
+		t.Errorf("periodic sequence of 2048 symbols compressed to %d, want <= 64", g.Size())
+	}
+}
+
+func TestGrammarString(t *testing.T) {
+	g := Build([]int{1, 2, 1, 2})
+	s := g.String()
+	if !strings.HasPrefix(s, "R0 ->") {
+		t.Errorf("String should start with the start rule:\n%s", s)
+	}
+	if !strings.Contains(s, "R1") {
+		t.Errorf("expected a derived rule in:\n%s", s)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := stats.NewRNG(1)
+	seq := make([]int, 10000)
+	for i := range seq {
+		seq[i] = rng.Intn(8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(seq)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random number generator. It is tiny, fast,
+// and fully deterministic for a given seed, which keeps every table and
+// figure in the repository reproducible without importing math/rand.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box–Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Box–Muller needs u1 in (0, 1]; the 1- shift avoids log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

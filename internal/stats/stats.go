@@ -1,0 +1,123 @@
+// Package stats provides the small statistical toolkit shared by the
+// locality-phase pipeline: summary statistics, weighted aggregation,
+// recall/precision for marker comparison, and a deterministic PRNG so
+// every experiment in the repository is reproducible.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when xs
+// has fewer than two elements.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	s := StdDev(xs)
+	return s * s
+}
+
+// WeightedMean returns the mean of xs weighted by ws. The two slices
+// must have equal length; a zero total weight yields 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sum, wsum float64
+	for i, x := range xs {
+		sum += x * ws[i]
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RecallPrecision compares two sets of event times the way Section 3.4
+// of the paper compares automatic markers against manual markers: two
+// times are "the same" if they differ by no more than tol. Each manual
+// time may be matched by at most one automatic time and vice versa
+// (greedy matching over sorted inputs). It returns
+//
+//	recall    = |M ∩ A| / |M|
+//	precision = |M ∩ A| / |A|
+//
+// where M is manual and A is automatic. Empty inputs yield recall or
+// precision of 1 for the empty side (a vacuous truth), matching the
+// convention that no manual markers means nothing was missed.
+func RecallPrecision(manual, auto []int64, tol int64) (recall, precision float64) {
+	matched := 0
+	i, j := 0, 0
+	for i < len(manual) && j < len(auto) {
+		d := manual[i] - auto[j]
+		switch {
+		case d > tol:
+			j++
+		case d < -tol:
+			i++
+		default:
+			matched++
+			i++
+			j++
+		}
+	}
+	recall, precision = 1, 1
+	if len(manual) > 0 {
+		recall = float64(matched) / float64(len(manual))
+	}
+	if len(auto) > 0 {
+		precision = float64(matched) / float64(len(auto))
+	}
+	return recall, precision
+}

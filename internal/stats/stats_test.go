@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Error("empty/singleton cases should be 0")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{1, 3}
+	if v := Variance(xs); math.Abs(v-1) > 1e-12 {
+		t.Errorf("Variance = %g, want 1", v)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 10}, []float64{9, 1})
+	if math.Abs(got-1.9) > 1e-12 {
+		t.Errorf("WeightedMean = %g, want 1.9", got)
+	}
+	if WeightedMean(nil, nil) != 0 {
+		t.Error("empty WeightedMean should be 0")
+	}
+}
+
+func TestWeightedMeanMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+}
+
+func TestRecallPrecisionExact(t *testing.T) {
+	manual := []int64{100, 200, 300}
+	auto := []int64{100, 200, 300}
+	r, p := RecallPrecision(manual, auto, 0)
+	if r != 1 || p != 1 {
+		t.Errorf("recall=%g precision=%g, want 1,1", r, p)
+	}
+}
+
+func TestRecallPrecisionTolerance(t *testing.T) {
+	manual := []int64{100, 200}
+	auto := []int64{105, 500}
+	r, p := RecallPrecision(manual, auto, 10)
+	if r != 0.5 {
+		t.Errorf("recall = %g, want 0.5", r)
+	}
+	if p != 0.5 {
+		t.Errorf("precision = %g, want 0.5", p)
+	}
+}
+
+func TestRecallPrecisionAutoFiner(t *testing.T) {
+	// Automatic analysis finds more boundaries than manual (the
+	// MolDyn case in Table 6): recall stays high, precision drops.
+	manual := []int64{1000}
+	auto := []int64{1000, 2000, 3000, 4000}
+	r, p := RecallPrecision(manual, auto, 400)
+	if r != 1 {
+		t.Errorf("recall = %g, want 1", r)
+	}
+	if p != 0.25 {
+		t.Errorf("precision = %g, want 0.25", p)
+	}
+}
+
+func TestRecallPrecisionEmpty(t *testing.T) {
+	r, p := RecallPrecision(nil, nil, 0)
+	if r != 1 || p != 1 {
+		t.Errorf("empty sets: recall=%g precision=%g, want 1,1", r, p)
+	}
+	r, p = RecallPrecision([]int64{5}, nil, 0)
+	if r != 0 || p != 1 {
+		t.Errorf("no auto: recall=%g precision=%g, want 0,1", r, p)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := NewRNG(124)
+	same := 0
+	a = NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(77)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	if m := Mean(xs); math.Abs(m) > 0.02 {
+		t.Errorf("normal mean = %g, want ~0", m)
+	}
+	if s := StdDev(xs); math.Abs(s-1) > 0.02 {
+		t.Errorf("normal stddev = %g, want ~1", s)
+	}
+}

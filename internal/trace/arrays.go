@@ -1,0 +1,27 @@
+package trace
+
+// ArraySpan describes one named array in a workload's address space —
+// the unit of data reorganization in the affinity experiments
+// (Section 3.3).
+type ArraySpan struct {
+	Name     string
+	Base     Addr
+	Elems    int
+	ElemSize int
+}
+
+// End returns the first address past the array.
+func (a ArraySpan) End() Addr {
+	return a.Base + Addr(a.Elems)*Addr(a.ElemSize)
+}
+
+// Contains reports whether addr falls inside the array.
+func (a ArraySpan) Contains(addr Addr) bool {
+	return addr >= a.Base && addr < a.End()
+}
+
+// HasArrays is implemented by workloads that expose their array layout
+// for data reorganization.
+type HasArrays interface {
+	Arrays() []ArraySpan
+}

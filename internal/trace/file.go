@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// File format: the portable equivalent of an ATOM-generated trace. A
+// short magic header is followed by a stream of events; block events
+// carry the block ID and instruction count, access events carry the
+// address as a zigzag delta from the previous access, which makes
+// sequential sweeps nearly free to store.
+const fileMagic = "LPPTRACE1\n"
+
+// Event tags.
+const (
+	tagBlock  = 0x00
+	tagAccess = 0x01
+)
+
+// Writer streams instrumentation events to an io.Writer in the trace
+// file format. It implements Instrumenter; Close (or Flush) must be
+// called to complete the file.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr Addr
+	err      error
+	events   uint64
+}
+
+// NewWriter returns a Writer that has already emitted the file header.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	tw := &Writer{w: bw}
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		tw.err = err
+	}
+	return tw
+}
+
+// Block implements Instrumenter.
+func (t *Writer) Block(id BlockID, instrs int) {
+	if t.err != nil {
+		return
+	}
+	var buf [1 + 2*binary.MaxVarintLen64]byte
+	buf[0] = tagBlock
+	n := 1
+	n += binary.PutUvarint(buf[n:], uint64(id))
+	n += binary.PutUvarint(buf[n:], uint64(instrs))
+	_, t.err = t.w.Write(buf[:n])
+	t.events++
+}
+
+// Access implements Instrumenter.
+func (t *Writer) Access(addr Addr) {
+	if t.err != nil {
+		return
+	}
+	var buf [1 + binary.MaxVarintLen64]byte
+	buf[0] = tagAccess
+	delta := int64(addr) - int64(t.prevAddr)
+	n := 1 + binary.PutVarint(buf[1:], delta)
+	t.prevAddr = addr
+	_, t.err = t.w.Write(buf[:n])
+	t.events++
+}
+
+// Flush completes the file and reports any deferred write error.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return fmt.Errorf("trace: write: %w", t.err)
+	}
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Events returns the number of events written.
+func (t *Writer) Events() uint64 { return t.events }
+
+// ReadFile replays a trace file into ins. It returns the number of
+// block and access events replayed.
+func ReadFile(r io.Reader, ins Instrumenter) (blocks, accesses uint64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, 0, fmt.Errorf("trace: read header: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return 0, 0, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var prevAddr Addr
+	for {
+		tag, err := br.ReadByte()
+		if err == io.EOF {
+			return blocks, accesses, nil
+		}
+		if err != nil {
+			return blocks, accesses, fmt.Errorf("trace: read tag: %w", err)
+		}
+		switch tag {
+		case tagBlock:
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return blocks, accesses, fmt.Errorf("trace: block id: %w", err)
+			}
+			instrs, err := binary.ReadUvarint(br)
+			if err != nil {
+				return blocks, accesses, fmt.Errorf("trace: block instrs: %w", err)
+			}
+			ins.Block(BlockID(id), int(instrs))
+			blocks++
+		case tagAccess:
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return blocks, accesses, fmt.Errorf("trace: access delta: %w", err)
+			}
+			prevAddr = Addr(int64(prevAddr) + delta)
+			ins.Access(prevAddr)
+			accesses++
+		default:
+			return blocks, accesses, fmt.Errorf("trace: unknown event tag %#x", tag)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Block(7, 12)
+	w.Access(0x1000)
+	w.Access(0x1008)
+	w.Block(9, 3)
+	w.Access(0x40) // backwards delta
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != 5 {
+		t.Errorf("events = %d, want 5", w.Events())
+	}
+
+	rec := NewRecorder(0, 0)
+	blocks, accesses, err := ReadFile(&buf, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks != 2 || accesses != 3 {
+		t.Fatalf("blocks=%d accesses=%d", blocks, accesses)
+	}
+	want := []Addr{0x1000, 0x1008, 0x40}
+	for i, a := range want {
+		if rec.T.Accesses[i] != a {
+			t.Errorf("access %d = %#x, want %#x", i, rec.T.Accesses[i], a)
+		}
+	}
+	if rec.T.Blocks[0].ID != 7 || int(rec.T.Blocks[0].Instrs) != 12 {
+		t.Errorf("block 0 = %+v", rec.T.Blocks[0])
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(ids []uint16, addrs []uint32) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		src := NewRecorder(0, 0)
+		tee := Tee{w, src}
+		n := len(ids)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		for i := 0; i < n; i++ {
+			tee.Block(BlockID(ids[i]), int(ids[i]%100)+1)
+			tee.Access(Addr(addrs[i]))
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		dst := NewRecorder(0, 0)
+		if _, _, err := ReadFile(&buf, dst); err != nil {
+			return false
+		}
+		if len(dst.T.Accesses) != len(src.T.Accesses) || len(dst.T.Blocks) != len(src.T.Blocks) {
+			return false
+		}
+		for i := range src.T.Accesses {
+			if src.T.Accesses[i] != dst.T.Accesses[i] {
+				return false
+			}
+		}
+		for i := range src.T.Blocks {
+			if src.T.Blocks[i] != dst.T.Blocks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileRejectsBadMagic(t *testing.T) {
+	if _, _, err := ReadFile(strings.NewReader("NOTATRACE!\nxx"), Null{}); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, _, err := ReadFile(strings.NewReader(""), Null{}); err == nil {
+		t.Error("empty file should fail")
+	}
+}
+
+func TestFileRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Block(1, 1000000) // multi-byte varint
+	w.Access(1 << 40)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every truncation point after the header must either stop
+	// cleanly at an event boundary (reporting only complete events)
+	// or error — never panic or fabricate events.
+	for cut := len(fileMagic) + 1; cut < len(full); cut++ {
+		rec := NewRecorder(0, 0)
+		blocks, accesses, err := ReadFile(bytes.NewReader(full[:cut]), rec)
+		if err == nil {
+			// Clean EOF: only complete events may be reported, and
+			// the cut must re-parse to the same point.
+			if accesses != 0 {
+				t.Fatalf("truncation at %d fabricated an access", cut)
+			}
+			if blocks != 1 || rec.T.Blocks[0].ID != 1 {
+				t.Fatalf("truncation at %d: blocks=%d", cut, blocks)
+			}
+		}
+	}
+}
+
+func TestFileRejectsUnknownTag(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	buf.WriteByte(0x7F)
+	if _, _, err := ReadFile(&buf, Null{}); err == nil {
+		t.Error("unknown tag should fail")
+	}
+}
+
+func TestFileCompactness(t *testing.T) {
+	// Sequential access patterns must encode in ~2 bytes per access.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10000; i++ {
+		w.Access(Addr(i) * 8)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if perEvent := float64(buf.Len()) / 10000; perEvent > 2.5 {
+		t.Errorf("sequential encoding = %.2f bytes/event, want <= 2.5", perEvent)
+	}
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFile checks that arbitrary bytes never panic the trace
+// reader and that valid prefixes replay only complete events.
+func FuzzReadFile(f *testing.F) {
+	// Seed with a valid file and mutations of it.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Block(3, 100)
+	w.Access(0x1000)
+	w.Access(0x40)
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte(fileMagic))
+	f.Add([]byte("garbage"))
+	f.Add(append(append([]byte{}, valid...), 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := NewRecorder(0, 0)
+		blocks, accesses, err := ReadFile(bytes.NewReader(data), rec)
+		if err != nil {
+			return
+		}
+		if uint64(len(rec.T.Blocks)) != blocks || uint64(len(rec.T.Accesses)) != accesses {
+			t.Fatal("reported counts disagree with replayed events")
+		}
+	})
+}

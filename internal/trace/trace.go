@@ -1,0 +1,86 @@
+// Package trace defines the instrumentation event model that stands in
+// for ATOM binary instrumentation in the original paper. A workload is
+// any code that reports its execution through an Instrumenter: one
+// Block event per basic-block entry (carrying the block's instruction
+// count) and one Access event per data reference. Every analysis in the
+// repository — reuse-distance profiling, sampling, cache simulation,
+// marker selection, run-time prediction — consumes exactly this stream,
+// so the pipeline is independent of where the events come from.
+package trace
+
+// Addr is a data address. Workloads emit byte addresses; consumers that
+// care about cache blocks shift right by the block bits themselves.
+type Addr uint64
+
+// BlockID identifies a basic block in a workload's (simulated) binary.
+type BlockID uint32
+
+// Instrumenter receives the execution events of a workload, in order.
+// Block is called when a basic block is entered; Access is called once
+// per data reference the block performs. Implementations must be cheap:
+// they sit on the hot path of every simulated instruction.
+type Instrumenter interface {
+	// Block reports entry to basic block id, which executes instrs
+	// dynamic instructions (including its data references).
+	Block(id BlockID, instrs int)
+	// Access reports one data reference to addr.
+	Access(addr Addr)
+}
+
+// Runner is a workload that can replay itself through an Instrumenter.
+type Runner interface {
+	Run(ins Instrumenter)
+}
+
+// RunnerFunc adapts a plain function to the Runner interface.
+type RunnerFunc func(ins Instrumenter)
+
+// Run calls f(ins).
+func (f RunnerFunc) Run(ins Instrumenter) { f(ins) }
+
+// Null discards every event. It is useful for timing the raw cost of a
+// workload and as an embedding base for consumers that only care about
+// one of the two event kinds.
+type Null struct{}
+
+// Block implements Instrumenter.
+func (Null) Block(BlockID, int) {}
+
+// Access implements Instrumenter.
+func (Null) Access(Addr) {}
+
+// Counter counts events: dynamic instructions, basic-block executions,
+// and data accesses. The number of data accesses is the "logical time"
+// used throughout the paper.
+type Counter struct {
+	Instructions uint64
+	Blocks       uint64
+	Accesses     uint64
+}
+
+// Block implements Instrumenter.
+func (c *Counter) Block(_ BlockID, instrs int) {
+	c.Blocks++
+	c.Instructions += uint64(instrs)
+}
+
+// Access implements Instrumenter.
+func (c *Counter) Access(Addr) { c.Accesses++ }
+
+// Tee forwards every event to each consumer in order. Use it to drive
+// several analyses over a single execution of a workload.
+type Tee []Instrumenter
+
+// Block implements Instrumenter.
+func (t Tee) Block(id BlockID, instrs int) {
+	for _, ins := range t {
+		ins.Block(id, instrs)
+	}
+}
+
+// Access implements Instrumenter.
+func (t Tee) Access(addr Addr) {
+	for _, ins := range t {
+		ins.Access(addr)
+	}
+}

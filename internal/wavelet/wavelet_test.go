@@ -1,0 +1,343 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lpp/internal/stats"
+)
+
+var allFamilies = []Family{Haar, Daubechies4, Daubechies6}
+
+func TestFilterOrthonormality(t *testing.T) {
+	for _, f := range allFamilies {
+		h := f.Scaling()
+		var sum, sumSq float64
+		for _, c := range h {
+			sum += c
+			sumSq += c * c
+		}
+		if math.Abs(sum-math.Sqrt2) > 1e-9 {
+			t.Errorf("%v: scaling sum = %g, want √2", f, sum)
+		}
+		if math.Abs(sumSq-1) > 1e-9 {
+			t.Errorf("%v: scaling energy = %g, want 1", f, sumSq)
+		}
+		g := f.Wavelet()
+		var gsum, dot float64
+		for k := range g {
+			gsum += g[k]
+			dot += g[k] * h[k]
+		}
+		if math.Abs(gsum) > 1e-9 {
+			t.Errorf("%v: wavelet sum = %g, want 0", f, gsum)
+		}
+		if math.Abs(dot) > 1e-9 {
+			t.Errorf("%v: <h,g> = %g, want 0", f, dot)
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if Haar.String() != "Haar" || Daubechies6.String() != "Daubechies-6" ||
+		Daubechies4.String() != "Daubechies-4" || Family(99).String() != "unknown" {
+		t.Error("unexpected family names")
+	}
+}
+
+func TestForwardInversePerfectReconstruction(t *testing.T) {
+	for _, f := range allFamilies {
+		rng := stats.NewRNG(uint64(f) + 1)
+		x := make([]float64, 64)
+		for i := range x {
+			x[i] = rng.Float64()*100 - 50
+		}
+		a, d := Forward(x, f)
+		y := Inverse(a, d, f)
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-9 {
+				t.Fatalf("%v: reconstruction error at %d: %g vs %g", f, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestForwardRejectsBadLength(t *testing.T) {
+	for _, bad := range [][]float64{nil, {1, 2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Forward(%v) should panic", bad)
+				}
+			}()
+			Forward(bad, Haar)
+		}()
+	}
+}
+
+func TestInverseRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inverse with mismatched lengths should panic")
+		}
+	}()
+	Inverse([]float64{1}, []float64{1, 2}, Haar)
+}
+
+func TestHaarForwardKnownValues(t *testing.T) {
+	a, d := Forward([]float64{1, 1, 4, 2}, Haar)
+	r2 := math.Sqrt2
+	wantA := []float64{2 / r2, 6 / r2}
+	wantD := []float64{0, 2 / r2}
+	for i := range wantA {
+		if math.Abs(a[i]-wantA[i]) > 1e-12 || math.Abs(d[i]-wantD[i]) > 1e-12 {
+			t.Fatalf("a=%v d=%v, want a=%v d=%v", a, d, wantA, wantD)
+		}
+	}
+}
+
+func TestTransformReconstructRoundTrip(t *testing.T) {
+	f := func(seed uint64, rawLen uint8, levels uint8) bool {
+		n := int(rawLen)%100 + 2
+		lv := int(levels)%4 + 1
+		rng := stats.NewRNG(seed)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+		}
+		for _, fam := range allFamilies {
+			p := Transform(x, fam, lv)
+			y := p.Reconstruct()
+			if len(y) < n {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if math.Abs(x[i]-y[i]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformLevelsShrink(t *testing.T) {
+	x := make([]float64, 32)
+	p := Transform(x, Haar, 3)
+	if len(p.Details) != 3 {
+		t.Fatalf("levels = %d, want 3", len(p.Details))
+	}
+	if len(p.Details[0]) != 16 || len(p.Details[1]) != 8 || len(p.Details[2]) != 4 {
+		t.Errorf("detail lengths = %d,%d,%d", len(p.Details[0]), len(p.Details[1]), len(p.Details[2]))
+	}
+}
+
+func TestReflect(t *testing.T) {
+	// n=4: pattern 0 1 2 3 2 1 0 1 2 3 ...
+	cases := map[int]int{-1: 1, 0: 0, 3: 3, 4: 2, 5: 1, 6: 0, 7: 1}
+	for in, want := range cases {
+		if got := reflect(in, 4); got != want {
+			t.Errorf("reflect(%d,4) = %d, want %d", in, got, want)
+		}
+	}
+	if reflect(5, 1) != 0 {
+		t.Error("reflect with n=1 should return 0")
+	}
+}
+
+func TestLevel1DetectsStep(t *testing.T) {
+	// A step function: constant 10 then constant 1000. The largest
+	// coefficient magnitude must sit at the step for every family.
+	x := make([]float64, 64)
+	for i := range x {
+		if i < 32 {
+			x[i] = 10
+		} else {
+			x[i] = 1000
+		}
+	}
+	for _, f := range allFamilies {
+		coefs := Level1(x, f)
+		best, bestMag := -1, 0.0
+		for i, c := range coefs {
+			if m := math.Abs(c); m > bestMag {
+				best, bestMag = i, m
+			}
+		}
+		if best < 30 || best > 34 {
+			t.Errorf("%v: peak coefficient at %d, want near 32", f, best)
+		}
+	}
+}
+
+func TestKeepIsolatesAbruptChange(t *testing.T) {
+	// Gradual ramp plus one abrupt jump: only samples near the jump
+	// survive the m+3δ rule (the MolDyn example, Figure 2).
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) * 0.5 // gradual change
+		if i >= 128 {
+			x[i] += 5000 // abrupt global shift
+		}
+	}
+	kept := KeptIndices(x, Daubechies6)
+	if len(kept) == 0 {
+		t.Fatal("abrupt change not detected")
+	}
+	for _, i := range kept {
+		if i < 124 || i > 132 {
+			t.Errorf("kept index %d far from the jump at 128", i)
+		}
+	}
+}
+
+func TestKeepRemovesLocalPeaks(t *testing.T) {
+	// A small local peak on a noisy baseline must be filtered out
+	// when a much larger global change is present ("it correctly
+	// removes accesses that correspond to local peaks").
+	n := 256
+	rng := stats.NewRNG(5)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + rng.Float64()
+	}
+	x[60] += 20 // local peak
+	for i := 128; i < n; i++ {
+		x[i] += 50000 // global phase change
+	}
+	kept := Keep(x, Daubechies6)
+	if kept[60] {
+		t.Error("local peak at 60 should be filtered out")
+	}
+	anyNearJump := false
+	for i := 124; i < 132; i++ {
+		if kept[i] {
+			anyNearJump = true
+		}
+	}
+	if !anyNearJump {
+		t.Error("global change at 128 should be kept")
+	}
+}
+
+func TestKeepShortAndFlatSignals(t *testing.T) {
+	if k := Keep([]float64{1, 2}, Haar); k[0] || k[1] {
+		t.Error("short signal should keep nothing")
+	}
+	flat := make([]float64, 50)
+	for i := range flat {
+		flat[i] = 7
+	}
+	for _, k := range Keep(flat, Daubechies6) {
+		if k {
+			t.Error("flat signal should keep nothing")
+		}
+	}
+	if Keep(nil, Haar) == nil {
+		// fine: zero-length output
+	} else if len(Keep(nil, Haar)) != 0 {
+		t.Error("nil signal should produce empty keeps")
+	}
+}
+
+func TestLevel1Empty(t *testing.T) {
+	if Level1(nil, Haar) != nil {
+		t.Error("Level1(nil) should be nil")
+	}
+}
+
+func BenchmarkLevel1D6(b *testing.B) {
+	x := make([]float64, 4096)
+	rng := stats.NewRNG(1)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Level1(x, Daubechies6)
+	}
+}
+
+func TestLevelKDetectsStepAtHigherLevels(t *testing.T) {
+	// The step must dominate the coefficient field at levels 1..4
+	// (the levels the paper experimented with).
+	x := make([]float64, 128)
+	for i := range x {
+		if i >= 64 {
+			x[i] = 1000
+		} else {
+			x[i] = 10
+		}
+	}
+	for level := 1; level <= 4; level++ {
+		coefs := LevelK(x, Daubechies6, level)
+		best, bestMag := -1, 0.0
+		for i, c := range coefs {
+			if m := math.Abs(c); m > bestMag {
+				best, bestMag = i, m
+			}
+		}
+		// Higher levels blur the location; tolerance grows with
+		// the filter's effective support.
+		tol := 4 * (1 << (level - 1))
+		if best < 64-tol || best > 64+tol {
+			t.Errorf("level %d: peak at %d, want near 64 (±%d)", level, best, tol)
+		}
+	}
+}
+
+func TestKeepLevelOneAdequate(t *testing.T) {
+	// The paper's finding: level-1 filtering suffices — higher
+	// levels keep a similar (slightly blurrier) set around the same
+	// abrupt change.
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) * 0.5
+		if i >= 128 {
+			x[i] += 5000
+		}
+	}
+	k1 := KeptIndices(x, Daubechies6)
+	if len(k1) == 0 {
+		t.Fatal("level 1 kept nothing")
+	}
+	var k2 []int
+	for i, k := range KeepLevel(x, Daubechies6, 2) {
+		if k {
+			k2 = append(k2, i)
+		}
+	}
+	if len(k2) == 0 {
+		t.Fatal("level 2 kept nothing")
+	}
+	// Both concentrate near the jump at 128.
+	for _, set := range [][]int{k1, k2} {
+		for _, i := range set {
+			if i < 118 || i > 138 {
+				t.Errorf("kept index %d far from the jump", i)
+			}
+		}
+	}
+}
+
+func TestLevelKDegenerateArgs(t *testing.T) {
+	if LevelK(nil, Haar, 3) != nil {
+		t.Error("empty signal should be nil")
+	}
+	// level < 1 clamps to 1.
+	x := []float64{1, 2, 3, 4}
+	a := LevelK(x, Haar, 0)
+	b := Level1(x, Haar)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("level 0 should behave as level 1")
+		}
+	}
+}

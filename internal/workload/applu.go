@@ -1,0 +1,147 @@
+package workload
+
+import "lpp/internal/trace"
+
+// applu models SPEC2K Applu: an SSOR solver for five coupled nonlinear
+// PDEs on an N×N×N grid. Each pseudo-time step runs four substeps —
+// right-hand-side computation, the lower-triangular sweep (jacld/blts,
+// planes forward), the upper-triangular sweep (jacu/buts, planes
+// backward), and the solution update — over the solution, residual,
+// and four block-Jacobian arrays.
+type applu struct {
+	meter
+	p          Params
+	u, rsd     array
+	a, b, c, d array
+}
+
+// Applu basic-block IDs.
+const (
+	appluBStep trace.BlockID = 300 + iota
+	appluBRhsHead
+	appluBRhsPlane
+	appluBRhsRevisit
+	appluBLowerHead
+	appluBLowerPlane
+	appluBUpperHead
+	appluBUpperPlane
+	appluBUpdateHead
+	appluBUpdatePlane
+	appluBExit
+)
+
+func newApplu(p Params) Program {
+	a := &applu{p: p}
+	var s space
+	// Five unknowns per cell for u and rsd; one block row each for
+	// the Jacobians (collapsed to one word per cell here — the access
+	// pattern, not the algebra, is what matters).
+	cells := p.N * p.N * p.N
+	a.u = s.alloc(cells*5, 8)
+	a.rsd = s.alloc(cells*5, 8)
+	a.a = s.alloc(cells, 8)
+	a.b = s.alloc(cells, 8)
+	a.c = s.alloc(cells, 8)
+	a.d = s.alloc(cells, 8)
+	return a
+}
+
+func (a *applu) cell(i, j, k int) int { return (k*a.p.N+j)*a.p.N + i }
+
+func (a *applu) Run(ins trace.Instrumenter) {
+	a.begin(ins)
+	n := a.p.N
+	for step := 0; step < a.p.Steps; step++ {
+		a.block(appluBStep, 4)
+
+		// RHS: compute the steady-state residual from u.
+		a.mark()
+		a.block(appluBRhsHead, 3)
+		for k := 1; k < n-1; k++ {
+			a.block(appluBRhsPlane, 2+14*(n-2)*(n-2))
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					c := a.cell(i, j, k)
+					a.load(a.u.at(5 * c))
+					a.load(a.u.at(5 * a.cell(i-1, j, k)))
+					a.load(a.u.at(5 * a.cell(i+1, j, k)))
+					a.load(a.u.at(5 * a.cell(i, j-1, k)))
+					a.load(a.u.at(5 * a.cell(i, j+1, k)))
+					a.load(a.u.at(5 * a.cell(i, j, k-1)))
+					a.load(a.u.at(5 * a.cell(i, j, k+1)))
+					a.load(a.rsd.at(5 * c))
+				}
+			}
+			// Plane-dependent revisit of an earlier residual plane
+			// (flux-limiter style correction); step-independent, so
+			// phases repeat exactly.
+			if h := rowHash(k); h%4 == 2 {
+				back := 1 + int(h>>8)%6
+				if back > k {
+					back = k
+				}
+				a.block(appluBRhsRevisit, 2+(n-2)*(n-2))
+				for j := 1; j < n-1; j++ {
+					for i := 1; i < n-1; i++ {
+						a.load(a.rsd.at(5 * a.cell(i, j, k-back)))
+					}
+				}
+			}
+		}
+
+		// Lower-triangular sweep: jacld + blts, planes forward.
+		a.mark()
+		a.block(appluBLowerHead, 3)
+		for k := 1; k < n-1; k++ {
+			a.block(appluBLowerPlane, 2+12*(n-2)*(n-2))
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					c := a.cell(i, j, k)
+					a.load(a.a.at(c))
+					a.load(a.b.at(c))
+					a.load(a.c.at(c))
+					a.load(a.d.at(c))
+					a.load(a.rsd.at(5 * a.cell(i-1, j, k)))
+					a.load(a.rsd.at(5 * a.cell(i, j-1, k)))
+					a.load(a.rsd.at(5 * a.cell(i, j, k-1)))
+					a.load(a.rsd.at(5 * c))
+				}
+			}
+		}
+
+		// Upper-triangular sweep: jacu + buts, planes backward.
+		a.mark()
+		a.block(appluBUpperHead, 3)
+		for k := n - 2; k >= 1; k-- {
+			a.block(appluBUpperPlane, 2+12*(n-2)*(n-2))
+			for j := n - 2; j >= 1; j-- {
+				for i := n - 2; i >= 1; i-- {
+					c := a.cell(i, j, k)
+					a.load(a.a.at(c))
+					a.load(a.b.at(c))
+					a.load(a.c.at(c))
+					a.load(a.d.at(c))
+					a.load(a.rsd.at(5 * a.cell(i+1, j, k)))
+					a.load(a.rsd.at(5 * a.cell(i, j+1, k)))
+					a.load(a.rsd.at(5 * a.cell(i, j, k+1)))
+					a.load(a.rsd.at(5 * c))
+				}
+			}
+		}
+
+		// Update: u += ω·rsd.
+		a.mark()
+		a.block(appluBUpdateHead, 3)
+		for k := 1; k < n-1; k++ {
+			a.block(appluBUpdatePlane, 2+4*(n-2)*(n-2))
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					c := a.cell(i, j, k)
+					a.load(a.rsd.at(5 * c))
+					a.load(a.u.at(5 * c))
+				}
+			}
+		}
+	}
+	a.block(appluBExit, 2)
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+// accessesBetweenMarks splits a run's access counts at the manual
+// marks, returning per-segment access counts.
+func accessesBetweenMarks(p Program) []int64 {
+	var c trace.Counter
+	p.Run(&c)
+	marks := p.ManualMarks()
+	var out []int64
+	prev := int64(0)
+	for _, m := range marks[1:] {
+		out = append(out, m-prev)
+		prev = m
+	}
+	out = append(out, int64(c.Accesses)-prev)
+	return out
+}
+
+func TestTomcatvSubstepStructure(t *testing.T) {
+	spec, _ := ByName("tomcatv")
+	p := Params{N: 32, Steps: 3, Seed: 1}
+	prog := spec.Make(p)
+	var c trace.Counter
+	prog.Run(&c)
+	marks := prog.ManualMarks()
+	if len(marks) != 5*p.Steps {
+		t.Fatalf("manual marks = %d, want %d (5 substeps x steps)", len(marks), 5*p.Steps)
+	}
+	// Substep lengths repeat exactly across time steps (the revisit
+	// pattern is row-hashed, not step-dependent).
+	segs := accessesBetweenMarks(spec.Make(p))
+	for i := 5; i < len(segs); i++ {
+		if segs[i] != segs[i-5] {
+			t.Fatalf("substep %d length %d differs from previous step's %d",
+				i, segs[i], segs[i-5])
+		}
+	}
+}
+
+func TestSwimTouchesAllFourteenArrays(t *testing.T) {
+	spec, _ := ByName("swim")
+	prog := spec.Make(Params{N: 24, Steps: 2, Seed: 1})
+	arrays := prog.(trace.HasArrays).Arrays()
+	if len(arrays) != 14 {
+		t.Fatalf("swim exposes %d arrays, want 14 (the paper's major arrays)", len(arrays))
+	}
+	rec := trace.NewRecorder(0, 0)
+	prog.Run(rec)
+	touched := make([]bool, len(arrays))
+	for _, a := range rec.T.Accesses {
+		for i, sp := range arrays {
+			if sp.Contains(a) {
+				touched[i] = true
+			}
+		}
+	}
+	for i, ok := range touched {
+		if !ok && arrays[i].Name != "psi" { // psi is allocated but idle
+			t.Errorf("array %s never touched", arrays[i].Name)
+		}
+	}
+}
+
+func TestCompressRoundsIdenticalWithinRun(t *testing.T) {
+	// SPEC95 compress re-compresses the same buffer: phase lengths
+	// must repeat exactly within a run.
+	spec, _ := ByName("compress")
+	segs := accessesBetweenMarks(spec.Make(Params{N: 4096, Steps: 3, Seed: 1}))
+	perRound := len(segs) / 3
+	for i := perRound; i < len(segs); i++ {
+		if segs[i] != segs[i-perRound] {
+			t.Fatalf("round segment %d (%d) differs from previous round (%d)",
+				i, segs[i], segs[i-perRound])
+		}
+	}
+}
+
+func TestCompressEntropyVariesAcrossSeeds(t *testing.T) {
+	spec, _ := ByName("compress")
+	var a, b trace.Counter
+	spec.Make(Params{N: 4096, Steps: 2, Seed: 1}).Run(&a)
+	spec.Make(Params{N: 4096, Steps: 2, Seed: 3}).Run(&b)
+	if a.Accesses == b.Accesses {
+		t.Error("different seeds should change the compression work")
+	}
+}
+
+func TestMolDynNeighborCountsUneven(t *testing.T) {
+	spec, _ := ByName("moldyn")
+	prog := spec.Make(Params{N: 500, Steps: 1, Seed: 1}).(*molDyn)
+	var c trace.Counter
+	prog.Run(&c)
+	min, max := 1<<30, 0
+	for _, nbrs := range prog.nbrIdx {
+		if len(nbrs) < min {
+			min = len(nbrs)
+		}
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	if max < min+4 {
+		t.Errorf("neighbor counts too uniform (min %d, max %d) — the clustered box should vary them", min, max)
+	}
+}
+
+func TestMolDynNeighborListsSymmetricish(t *testing.T) {
+	// Basic physical sanity: if j is i's neighbor, i is j's.
+	spec, _ := ByName("moldyn")
+	prog := spec.Make(Params{N: 120, Steps: 1, Seed: 2}).(*molDyn)
+	var c trace.Counter
+	prog.Run(&c)
+	in := func(list []int32, x int32) bool {
+		for _, v := range list {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	for i, nbrs := range prog.nbrIdx {
+		for _, j := range nbrs {
+			if !in(prog.nbrIdx[j], int32(i)) {
+				t.Fatalf("asymmetric neighbors: %d has %d but not vice versa", i, j)
+			}
+		}
+	}
+}
+
+func TestMeshEdgesConnectValidNodes(t *testing.T) {
+	spec, _ := ByName("mesh")
+	p := Params{N: 1 << 10, Steps: 1, Seed: 1}
+	prog := spec.Make(p).(*mesh)
+	for _, e := range prog.Edges() {
+		if int(e[0]) >= p.N || int(e[1]) >= p.N || e[0] < 0 || e[1] < 0 {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+	// The sorted variant has the same multiset of edges.
+	ps := p
+	ps.Variant = 1
+	sorted := spec.Make(ps).(*mesh)
+	if len(sorted.edges) != len(prog.edges) {
+		t.Fatal("sorted variant changed the edge count")
+	}
+	count := map[[2]int32]int{}
+	for _, e := range prog.edges {
+		count[e]++
+	}
+	for _, e := range sorted.edges {
+		count[e]--
+	}
+	for e, n := range count {
+		if n != 0 {
+			t.Fatalf("edge multiset differs at %v", e)
+		}
+	}
+}
+
+func TestFFTPassCount(t *testing.T) {
+	spec, _ := ByName("fft")
+	p := Params{N: 256, Steps: 2, Seed: 1}
+	prog := spec.Make(p)
+	var c trace.Counter
+	prog.Run(&c)
+	// Manual marks: fill + bitrev + log2(N) passes per transform.
+	want := p.Steps * (2 + 8)
+	if got := len(prog.ManualMarks()); got != want {
+		t.Errorf("fft marks = %d, want %d", got, want)
+	}
+}
+
+func TestVortexBuildThenQueries(t *testing.T) {
+	spec, _ := ByName("vortex")
+	p := Params{N: 1 << 10, Steps: 3, Seed: 1}
+	prog := spec.Make(p)
+	var c trace.Counter
+	prog.Run(&c)
+	marks := prog.ManualMarks()
+	if len(marks) != 1+p.Steps {
+		t.Fatalf("vortex marks = %d, want build + %d batches", len(marks), p.Steps)
+	}
+	if marks[0] != 0 {
+		t.Error("build phase should start at time 0")
+	}
+}
+
+func TestGccRevisitDeterminismAcrossRuns(t *testing.T) {
+	spec, _ := ByName("gcc")
+	p := Params{N: 30, Steps: 8, Seed: 4}
+	r1, r2 := trace.NewRecorder(0, 0), trace.NewRecorder(0, 0)
+	spec.Make(p).Run(r1)
+	spec.Make(p).Run(r2)
+	if len(r1.T.Accesses) != len(r2.T.Accesses) {
+		t.Fatal("gcc nondeterministic")
+	}
+}

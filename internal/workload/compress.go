@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"lpp/internal/stats"
+	"lpp/internal/trace"
+)
+
+// compress models SPEC95 Compress: repeated rounds of LZW compression
+// over an in-memory buffer. Each round runs four phases of wildly
+// unequal length — input generation, LZW compression (a real LZW coder
+// whose dictionary probing depends on the data), output copy (length
+// depends on the achieved compression), and a short checksum — giving
+// the "phase length ranges over three orders of magnitude" behavior
+// Figure 3 shows for Compress.
+type compress struct {
+	meter
+	p        Params
+	input    array
+	output   array
+	hashTab  array // dictionary hash table
+	codeTab  array // dictionary code table
+	checkTab array // small checksum table
+	data     []byte
+}
+
+// Compress basic-block IDs.
+const (
+	compBRound trace.BlockID = 500 + iota
+	compBFillHead
+	compBFillChunk
+	compBCompressHead
+	compBCompressChunk
+	compBOutputHead
+	compBOutputChunk
+	compBChecksumHead
+	compBChecksumChunk
+	compBExit
+)
+
+const (
+	compChunk    = 64
+	compHashSize = 1 << 14
+	compMaxCodes = 1 << 12
+)
+
+func newCompress(p Params) Program {
+	c := &compress{p: p, data: make([]byte, p.N)}
+	var s space
+	c.input = s.alloc(p.N, 1)
+	c.output = s.alloc(p.N, 2)
+	c.hashTab = s.alloc(compHashSize, 8)
+	c.codeTab = s.alloc(compMaxCodes, 8)
+	c.checkTab = s.alloc(4096, 8)
+	return c
+}
+
+func (c *compress) Run(ins trace.Instrumenter) {
+	c.begin(ins)
+	for round := 0; round < c.p.Steps; round++ {
+		c.block(compBRound, 4)
+
+		// Phase 1: generate the round's input. Like SPEC95
+		// Compress, every round re-compresses the same buffer, so
+		// phase behavior repeats exactly within a run; the entropy
+		// (and with it every phase length) changes with the input
+		// seed across runs.
+		rng := stats.NewRNG(c.p.Seed)
+		c.mark()
+		c.block(compBFillHead, 3)
+		alphabet := 4 << (c.p.Seed % 5) // 4..64 distinct bytes
+		for i := 0; i < c.p.N; i += compChunk {
+			c.block(compBFillChunk, 2+2*compChunk)
+			for k := i; k < i+compChunk && k < c.p.N; k++ {
+				c.data[k] = byte(rng.Intn(alphabet))
+				c.load(c.input.at(k))
+			}
+		}
+
+		// Phase 2: LZW compression with a chained hash dictionary.
+		c.mark()
+		c.block(compBCompressHead, 3)
+		dict := make(map[uint32]uint16, compMaxCodes)
+		nextCode := uint16(256)
+		outLen := 0
+		prefix := uint32(c.data[0])
+		c.load(c.input.at(0))
+		steps := 0
+		for k := 1; k < c.p.N; k++ {
+			if steps%compChunk == 0 {
+				c.block(compBCompressChunk, 2+5*compChunk)
+			}
+			steps++
+			ch := c.data[k]
+			c.load(c.input.at(k))
+			key := prefix<<8 | uint32(ch)
+			slot := int(key % compHashSize)
+			c.load(c.hashTab.at(slot)) // probe
+			if code, ok := dict[key]; ok {
+				prefix = uint32(code)
+				continue
+			}
+			// Miss: emit the prefix code, add a dictionary entry.
+			c.load(c.codeTab.at(int(nextCode) % compMaxCodes))
+			c.load(c.output.at(outLen % c.p.N))
+			outLen++
+			if nextCode < compMaxCodes-1 {
+				dict[key] = nextCode
+				nextCode++
+			} else {
+				// Dictionary full: reset, as compress does.
+				dict = make(map[uint32]uint16, compMaxCodes)
+				nextCode = 256
+			}
+			prefix = uint32(ch)
+		}
+
+		// Phase 3: copy the compressed output (length depends on
+		// the round's compressibility).
+		c.mark()
+		c.block(compBOutputHead, 3)
+		for i := 0; i < outLen; i += compChunk {
+			c.block(compBOutputChunk, 2+2*compChunk)
+			for k := i; k < i+compChunk && k < outLen; k++ {
+				c.load(c.output.at(k % c.p.N))
+			}
+		}
+
+		// Phase 4: a short checksum over a small table.
+		c.mark()
+		c.block(compBChecksumHead, 3)
+		for i := 0; i < 4096; i += compChunk {
+			c.block(compBChecksumChunk, 2+compChunk)
+			for k := i; k < i+compChunk; k++ {
+				c.load(c.checkTab.at(k))
+			}
+		}
+	}
+	c.block(compBExit, 2)
+}

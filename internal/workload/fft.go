@@ -1,0 +1,111 @@
+package workload
+
+import "lpp/internal/trace"
+
+// fft is the textbook radix-2 fast Fourier transform of Table 1. Each
+// outer step transforms a fresh signal of N complex points: an input
+// fill, a bit-reversal permutation, and log2(N) butterfly passes whose
+// stride doubles every pass, so the passes have equal length but
+// shifting locality — the "varied behavior" that gives FFT lower
+// resizing benefit in Section 3.2.
+type fft struct {
+	meter
+	p      Params
+	re, im array
+	tw     array // twiddle factors, N/2 complex values
+	logN   int
+}
+
+// FFT basic-block IDs.
+const (
+	fftBTransform trace.BlockID = 400 + iota
+	fftBFillHead
+	fftBFillChunk
+	fftBBitrevHead
+	fftBBitrevChunk
+	fftBPassHead
+	fftBPassChunk
+	fftBExit
+)
+
+const fftChunk = 64 // inner iterations folded into one block event
+
+func newFFT(p Params) Program {
+	f := &fft{p: p}
+	for 1<<f.logN < p.N {
+		f.logN++
+	}
+	var s space
+	f.re = s.alloc(p.N, 8)
+	f.im = s.alloc(p.N, 8)
+	f.tw = s.alloc(p.N, 8)
+	return f
+}
+
+func (f *fft) Run(ins trace.Instrumenter) {
+	f.begin(ins)
+	n := f.p.N
+	for step := 0; step < f.p.Steps; step++ {
+		f.block(fftBTransform, 4)
+
+		// Fill: write the next signal into re/im.
+		f.mark()
+		f.block(fftBFillHead, 3)
+		for i := 0; i < n; i += fftChunk {
+			f.block(fftBFillChunk, 2+3*fftChunk)
+			for k := i; k < i+fftChunk && k < n; k++ {
+				f.load(f.re.at(k))
+				f.load(f.im.at(k))
+			}
+		}
+
+		// Bit reversal: swap a[i] with a[rev(i)].
+		f.mark()
+		f.block(fftBBitrevHead, 3)
+		for i := 0; i < n; i += fftChunk {
+			f.block(fftBBitrevChunk, 2+5*fftChunk)
+			for k := i; k < i+fftChunk && k < n; k++ {
+				j := bitrev(k, f.logN)
+				if j > k {
+					f.load(f.re.at(k))
+					f.load(f.re.at(j))
+					f.load(f.im.at(k))
+					f.load(f.im.at(j))
+				}
+			}
+		}
+
+		// Butterfly passes: stride doubles each pass.
+		for pass := 0; pass < f.logN; pass++ {
+			f.mark()
+			f.block(fftBPassHead, 3)
+			half := 1 << pass
+			span := half << 1
+			done := 0
+			for base := 0; base < n; base += span {
+				for k := 0; k < half; k++ {
+					if done%fftChunk == 0 {
+						f.block(fftBPassChunk, 2+7*fftChunk)
+					}
+					done++
+					i, j := base+k, base+k+half
+					f.load(f.tw.at(k * (n / span)))
+					f.load(f.re.at(i))
+					f.load(f.re.at(j))
+					f.load(f.im.at(i))
+					f.load(f.im.at(j))
+				}
+			}
+		}
+	}
+	f.block(fftBExit, 2)
+}
+
+func bitrev(x, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}

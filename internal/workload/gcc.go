@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"lpp/internal/stats"
+	"lpp/internal/trace"
+)
+
+// gcc models the behavior that makes SPEC95 Gcc unpredictable for
+// locality phase prediction (Section 3.1.2): the program compiles a
+// sequence of functions whose sizes are determined by the input file,
+// so every "phase" (one function's compilation) has a different,
+// input-dependent length — the peaks of Figure 5.
+type gcc struct {
+	meter
+	p         Params
+	tokens    array
+	irNodes   array
+	symtab    array
+	output    array
+	funcSizes []int
+}
+
+// Gcc basic-block IDs.
+const (
+	gccBFunction trace.BlockID = 800 + iota
+	gccBLexHead
+	gccBLexChunk
+	gccBParseHead
+	gccBParseChunk
+	gccBOptHead
+	gccBOptChunk
+	gccBEmitHead
+	gccBEmitChunk
+	gccBExit
+)
+
+const gccChunk = 64
+
+func newGcc(p Params) Program {
+	g := &gcc{p: p}
+	var s space
+	maxTokens := 1 << 16
+	g.tokens = s.alloc(maxTokens, 4)
+	g.irNodes = s.alloc(maxTokens, 16)
+	g.symtab = s.alloc(1<<13, 8)
+	g.output = s.alloc(maxTokens, 4)
+	// Function sizes: heavy-tailed, like real source files. Steps is
+	// the number of functions; N scales the mean size.
+	rng := stats.NewRNG(p.Seed)
+	g.funcSizes = make([]int, p.Steps)
+	for i := range g.funcSizes {
+		size := p.N * (1 + rng.Intn(8))
+		if rng.Intn(10) == 0 {
+			size *= 10 // the occasional huge function
+		}
+		g.funcSizes[i] = size
+	}
+	return g
+}
+
+func (g *gcc) Run(ins trace.Instrumenter) {
+	g.begin(ins)
+	rng := stats.NewRNG(g.p.Seed + 7)
+	for _, size := range g.funcSizes {
+		g.block(gccBFunction, 4)
+		g.mark() // the programmer marks each function's compilation
+
+		// Lex: sweep the token buffer.
+		g.block(gccBLexHead, 3)
+		for i := 0; i < size; i += gccChunk {
+			g.block(gccBLexChunk, 2+3*gccChunk)
+			for k := i; k < i+gccChunk && k < size; k++ {
+				g.load(g.tokens.at(k % (1 << 16)))
+			}
+		}
+
+		// Parse: build IR nodes, hitting the symbol table
+		// irregularly.
+		g.block(gccBParseHead, 3)
+		for i := 0; i < size; i += gccChunk {
+			g.block(gccBParseChunk, 2+6*gccChunk)
+			for k := i; k < i+gccChunk && k < size; k++ {
+				g.load(g.tokens.at(k % (1 << 16)))
+				g.load(g.irNodes.at(k % (1 << 16)))
+				if k%3 == 0 {
+					g.load(g.symtab.at(rng.Intn(1 << 13)))
+				}
+			}
+		}
+
+		// Optimize: several passes over the IR; pass count grows
+		// with function size (bigger functions take disproportionate
+		// time, like real compilers).
+		g.block(gccBOptHead, 3)
+		passes := 2 + size/(4*g.p.N)
+		for pass := 0; pass < passes; pass++ {
+			for i := 0; i < size; i += gccChunk {
+				g.block(gccBOptChunk, 2+4*gccChunk)
+				for k := i; k < i+gccChunk && k < size; k++ {
+					g.load(g.irNodes.at(k % (1 << 16)))
+				}
+			}
+		}
+
+		// Emit: write code words.
+		g.block(gccBEmitHead, 3)
+		for i := 0; i < size; i += gccChunk {
+			g.block(gccBEmitChunk, 2+3*gccChunk)
+			for k := i; k < i+gccChunk && k < size; k++ {
+				g.load(g.irNodes.at(k % (1 << 16)))
+				g.load(g.output.at(k % (1 << 16)))
+			}
+		}
+	}
+	g.block(gccBExit, 2)
+}

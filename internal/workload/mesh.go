@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"sort"
+
+	"lpp/internal/stats"
+	"lpp/internal/trace"
+)
+
+// mesh models the CHAOS Mesh benchmark: relaxation over an unstructured
+// mesh stored as an edge list, the classic irregular workload of the
+// dynamic data-reorganization literature [11, 15, 25, 32]. Each time
+// step sweeps the edge list (indirect accesses to both endpoint nodes)
+// and then updates every node. Variant 1 sorts the edges by endpoint —
+// the "same mesh with sorted edges" input the paper uses for Mesh's
+// prediction run, which changes locality but not the trace length.
+type mesh struct {
+	meter
+	p        Params
+	nodeVal  array
+	nodeAcc  array
+	edgeData array
+	edges    [][2]int32
+}
+
+// Mesh basic-block IDs.
+const (
+	meshBStep trace.BlockID = 700 + iota
+	meshBEdgeHead
+	meshBEdgeChunk
+	meshBNodeHead
+	meshBNodeChunk
+	meshBExit
+)
+
+const meshChunk = 64
+
+func newMesh(p Params) Program {
+	m := &mesh{p: p}
+	var s space
+	m.nodeVal = s.alloc(p.N, 8)
+	m.nodeAcc = s.alloc(p.N, 8)
+	nEdges := p.N * 4
+	m.edgeData = s.alloc(nEdges, 8)
+	// A mesh-like graph: each node connects to near neighbors plus a
+	// few random long links, in scattered order (as a mesh generator
+	// would emit them).
+	rng := stats.NewRNG(p.Seed)
+	width := 64
+	m.edges = make([][2]int32, 0, nEdges)
+	for i := 0; i < p.N; i++ {
+		for _, j := range []int{i + 1, i + width, i + width + 1} {
+			if j < p.N {
+				m.edges = append(m.edges, [2]int32{int32(i), int32(j)})
+			}
+		}
+		if len(m.edges) < nEdges {
+			m.edges = append(m.edges, [2]int32{int32(i), int32(rng.Intn(p.N))})
+		}
+	}
+	// Scatter the edge order deterministically (Fisher–Yates).
+	for i := len(m.edges) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		m.edges[i], m.edges[j] = m.edges[j], m.edges[i]
+	}
+	if p.Variant == 1 {
+		// The prediction input: same mesh, edges sorted by their
+		// first endpoint.
+		sort.Slice(m.edges, func(a, b int) bool {
+			if m.edges[a][0] != m.edges[b][0] {
+				return m.edges[a][0] < m.edges[b][0]
+			}
+			return m.edges[a][1] < m.edges[b][1]
+		})
+	}
+	return m
+}
+
+func (m *mesh) Run(ins trace.Instrumenter) {
+	m.begin(ins)
+	for step := 0; step < m.p.Steps; step++ {
+		m.block(meshBStep, 4)
+
+		// Edge sweep: indirect accesses through both endpoints.
+		m.mark()
+		m.block(meshBEdgeHead, 3)
+		for e := 0; e < len(m.edges); e++ {
+			if e%meshChunk == 0 {
+				m.block(meshBEdgeChunk, 2+8*meshChunk)
+			}
+			a, b := int(m.edges[e][0]), int(m.edges[e][1])
+			m.load(m.edgeData.at(e))
+			m.load(m.nodeVal.at(a))
+			m.load(m.nodeVal.at(b))
+			m.load(m.nodeAcc.at(a))
+			m.load(m.nodeAcc.at(b))
+		}
+
+		// Node update sweep.
+		m.mark()
+		m.block(meshBNodeHead, 3)
+		for i := 0; i < m.p.N; i += meshChunk {
+			m.block(meshBNodeChunk, 2+4*meshChunk)
+			for k := i; k < i+meshChunk && k < m.p.N; k++ {
+				m.load(m.nodeAcc.at(k))
+				m.load(m.nodeVal.at(k))
+			}
+		}
+	}
+	m.block(meshBExit, 2)
+}
+
+// Edges exposes the mesh connectivity for the affinity experiments.
+func (m *mesh) Edges() [][2]int32 { return m.edges }
+
+// Arrays implements trace.HasArrays.
+func (m *mesh) Arrays() []trace.ArraySpan {
+	return []trace.ArraySpan{
+		{Name: "nodeVal", Base: m.nodeVal.base, Elems: m.p.N, ElemSize: 8},
+		{Name: "nodeAcc", Base: m.nodeAcc.base, Elems: m.p.N, ElemSize: 8},
+		{Name: "edgeData", Base: m.edgeData.base, Elems: m.p.N * 4, ElemSize: 8},
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import "lpp/internal/trace"
+
+// meter is the shared instrumentation plumbing every workload embeds:
+// it forwards events to the run's Instrumenter, tracks logical time,
+// and records the programmer's manual phase markers.
+type meter struct {
+	ins      trace.Instrumenter
+	accesses int64
+	marks    []int64
+}
+
+// begin resets the meter for a new run.
+func (m *meter) begin(ins trace.Instrumenter) {
+	m.ins = ins
+	m.accesses = 0
+	m.marks = m.marks[:0]
+}
+
+// block reports a basic-block entry executing instrs instructions.
+func (m *meter) block(id trace.BlockID, instrs int) {
+	m.ins.Block(id, instrs)
+}
+
+// load reports one data access.
+func (m *meter) load(addr trace.Addr) {
+	m.ins.Access(addr)
+	m.accesses++
+}
+
+// mark records a manual phase marker at the current logical time.
+func (m *meter) mark() {
+	m.marks = append(m.marks, m.accesses)
+}
+
+// ManualMarks implements Program.
+func (m *meter) ManualMarks() []int64 {
+	out := make([]int64, len(m.marks))
+	copy(out, m.marks)
+	return out
+}
+
+// rowHash is a cheap deterministic hash used by the grid kernels to
+// decide which rows perform extra "revisit" work — the fine-grain
+// irregularity real codes have (boundary handling, convergence checks,
+// corrections) that makes fixed-length windows irregular (Figure 3e)
+// while leaving every execution of a phase identical, because the hash
+// depends only on the row, not the time step.
+func rowHash(j int) uint32 {
+	x := uint32(j) * 2654435761
+	x ^= x >> 16
+	return x
+}
+
+// space is a bump allocator for the virtual address space of a
+// workload. Arrays are page-aligned so distinct arrays never share a
+// cache block.
+type space struct {
+	next trace.Addr
+}
+
+const pageSize = 4096
+
+// array is a contiguous virtual array of fixed-size elements.
+type array struct {
+	base     trace.Addr
+	elemSize trace.Addr
+}
+
+// alloc reserves a page-aligned array of elems elements of elemSize
+// bytes each.
+func (s *space) alloc(elems, elemSize int) array {
+	if s.next == 0 {
+		s.next = pageSize // keep address 0 unused
+	}
+	a := array{base: s.next, elemSize: trace.Addr(elemSize)}
+	bytes := trace.Addr(elems) * a.elemSize
+	s.next += (bytes + pageSize - 1) &^ (pageSize - 1)
+	return a
+}
+
+// at returns the address of element i.
+func (a array) at(i int) trace.Addr {
+	return a.base + trace.Addr(i)*a.elemSize
+}

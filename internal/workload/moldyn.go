@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"lpp/internal/stats"
+	"lpp/internal/trace"
+)
+
+// molDyn models the CHAOS MolDyn benchmark: molecular dynamics with a
+// cell-based neighbor list. Every rebuild interval the program scans,
+// for each particle, the particles in its surrounding cells — a small
+// phase per particle whose length varies with the local density, which
+// is exactly why the paper's automatic analysis marks each per-particle
+// search as a phase while the programmer marks the whole rebuild as
+// one (the MolDyn row of Table 6), and why MolDyn's strict prediction
+// coverage is low (Table 2).
+type molDyn struct {
+	meter
+	p             Params
+	pos, vel, frc array // 3 words per particle each
+	neighbors     array // neighbor index storage
+	cellHeads     array
+	cellNext      array
+	coords        []float64 // actual positions (drive the search)
+	cells         int       // cells per box edge
+	nbrIdx        [][]int32 // neighbor lists built by the last rebuild
+}
+
+// MolDyn basic-block IDs.
+const (
+	molBStep trace.BlockID = 600 + iota
+	molBBuildHead
+	molBBuildParticle
+	molBBuildScan
+	molBForceHead
+	molBForceChunk
+	molBUpdateHead
+	molBUpdateChunk
+	molBExit
+)
+
+const (
+	molChunk        = 32
+	molRebuildEvery = 3
+	molCutoff       = 0.35 // neighbor cutoff in cell units
+)
+
+func newMolDyn(p Params) Program {
+	m := &molDyn{p: p}
+	var s space
+	m.pos = s.alloc(p.N*3, 8)
+	m.vel = s.alloc(p.N*3, 8)
+	m.frc = s.alloc(p.N*3, 8)
+	m.neighbors = s.alloc(p.N*64, 4)
+	// Box subdivided into cells of roughly cutoff size; density
+	// varies across the box so neighbor counts are uneven.
+	m.cells = 6
+	m.cellHeads = s.alloc(m.cells*m.cells*m.cells, 4)
+	m.cellNext = s.alloc(p.N, 4)
+	m.coords = make([]float64, p.N*3)
+	rng := stats.NewRNG(p.Seed)
+	for i := 0; i < p.N; i++ {
+		// Clustered placement: half the particles bunch in one
+		// octant, producing the uneven per-particle search the
+		// paper describes.
+		scale := 1.0
+		if i%2 == 0 {
+			scale = 0.5
+		}
+		for d := 0; d < 3; d++ {
+			m.coords[i*3+d] = rng.Float64() * scale * float64(m.cells)
+		}
+	}
+	return m
+}
+
+func (m *molDyn) cellOf(i int) (int, int, int) {
+	cx := int(m.coords[i*3]) % m.cells
+	cy := int(m.coords[i*3+1]) % m.cells
+	cz := int(m.coords[i*3+2]) % m.cells
+	return cx, cy, cz
+}
+
+func (m *molDyn) cellIndex(x, y, z int) int {
+	x = (x + m.cells) % m.cells
+	y = (y + m.cells) % m.cells
+	z = (z + m.cells) % m.cells
+	return (z*m.cells+y)*m.cells + x
+}
+
+func (m *molDyn) Run(ins trace.Instrumenter) {
+	m.begin(ins)
+	for step := 0; step < m.p.Steps; step++ {
+		m.block(molBStep, 4)
+		m.mark() // the programmer marks the whole time step
+
+		if step%molRebuildEvery == 0 {
+			m.rebuildNeighbors()
+		}
+		m.forces()
+		m.update()
+	}
+	m.block(molBExit, 2)
+}
+
+// rebuildNeighbors builds cell lists and then, for each particle,
+// scans the 27 surrounding cells — the per-particle search phase.
+func (m *molDyn) rebuildNeighbors() {
+	n := m.p.N
+	m.block(molBBuildHead, 3)
+	// Bin particles into cells.
+	bins := make([][]int32, m.cells*m.cells*m.cells)
+	for i := 0; i < n; i++ {
+		cx, cy, cz := m.cellOf(i)
+		ci := m.cellIndex(cx, cy, cz)
+		bins[ci] = append(bins[ci], int32(i))
+		m.load(m.pos.at(i * 3))
+		m.load(m.cellHeads.at(ci))
+		m.load(m.cellNext.at(i))
+	}
+	// Per-particle neighbor search: a rare header block per
+	// particle, hot scan blocks inside — the structure that lets
+	// refinement mark each search as a sub-phase, exactly what the
+	// paper's automatic analysis finds in MolDyn.
+	m.nbrIdx = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		m.block(molBBuildParticle, 4)
+		cx, cy, cz := m.cellOf(i)
+		scanned := 0
+		var nbrs []int32
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					for _, j := range bins[m.cellIndex(cx+dx, cy+dy, cz+dz)] {
+						if j == int32(i) {
+							continue
+						}
+						if scanned%molChunk == 0 {
+							m.block(molBBuildScan, 2+3*molChunk)
+						}
+						m.load(m.pos.at(int(j) * 3))
+						scanned++
+						if m.near(i, int(j)) {
+							nbrs = append(nbrs, j)
+							m.load(m.neighbors.at(i*64 + len(nbrs)%64))
+						}
+					}
+				}
+			}
+		}
+		m.nbrIdx[i] = nbrs
+	}
+}
+
+func (m *molDyn) near(i, j int) bool {
+	var d2 float64
+	for d := 0; d < 3; d++ {
+		diff := m.coords[i*3+d] - m.coords[j*3+d]
+		d2 += diff * diff
+	}
+	return d2 < molCutoff*molCutoff
+}
+
+// forces accumulates pair forces over the neighbor lists.
+func (m *molDyn) forces() {
+	m.block(molBForceHead, 3)
+	done := 0
+	for i := range m.nbrIdx {
+		for _, j := range m.nbrIdx[i] {
+			if done%molChunk == 0 {
+				m.block(molBForceChunk, 2+6*molChunk)
+			}
+			done++
+			m.load(m.pos.at(i * 3))
+			m.load(m.pos.at(int(j) * 3))
+			m.load(m.frc.at(i * 3))
+			m.load(m.frc.at(int(j) * 3))
+		}
+	}
+}
+
+// update integrates positions and velocities.
+func (m *molDyn) update() {
+	m.block(molBUpdateHead, 3)
+	n := m.p.N
+	for i := 0; i < n; i += molChunk {
+		m.block(molBUpdateChunk, 2+9*molChunk)
+		for k := i; k < i+molChunk && k < n; k++ {
+			m.load(m.frc.at(k * 3))
+			m.load(m.vel.at(k * 3))
+			m.load(m.pos.at(k * 3))
+			// Small deterministic drift keeps the cell structure
+			// stable while the coordinates evolve.
+			for d := 0; d < 3; d++ {
+				m.coords[k*3+d] += 0.001 * float64(d-1)
+			}
+		}
+	}
+}

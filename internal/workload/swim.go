@@ -1,0 +1,142 @@
+package workload
+
+import "lpp/internal/trace"
+
+// swim models SPEC95 Swim: shallow-water finite differences over the
+// paper's 14 major N×N arrays. Each time step runs three substeps
+// (CALC1, CALC2, CALC3), and the per-phase reference-affinity groups
+// quoted in Section 3.3 — {u,v,p} in CALC1, {u,v,p,unew,vnew,pnew} in
+// CALC2, and {u,uold,unew}/{v,vold,vnew}/{p,pold,pnew} in CALC3 — fall
+// directly out of which arrays each substep touches together.
+type swim struct {
+	meter
+	p Params
+	// The 14 arrays, named as in the paper's affinity discussion.
+	u, v, pp          array
+	unew, vnew, pnew  array
+	uold, vold, pold  array
+	cu, cv, z, h, psi array
+}
+
+// Swim basic-block IDs.
+const (
+	swimBStep trace.BlockID = 200 + iota
+	swimBCalc1Head
+	swimBCalc1Row
+	swimBCalc2Head
+	swimBCalc2Row
+	swimBCalc2Revisit
+	swimBCalc3Head
+	swimBCalc3Row
+	swimBExit
+)
+
+func newSwim(p Params) Program {
+	w := &swim{p: p}
+	var s space
+	n := p.N * p.N
+	for _, a := range []*array{&w.u, &w.v, &w.pp, &w.unew, &w.vnew, &w.pnew,
+		&w.uold, &w.vold, &w.pold, &w.cu, &w.cv, &w.z, &w.h, &w.psi} {
+		*a = s.alloc(n, 8)
+	}
+	return w
+}
+
+func (w *swim) idx(i, j int) int { return j*w.p.N + i }
+
+// Arrays implements trace.HasArrays, exposing the paper's 14 major
+// arrays for the affinity experiments.
+func (w *swim) Arrays() []trace.ArraySpan {
+	n := w.p.N * w.p.N
+	names := []string{"u", "v", "p", "unew", "vnew", "pnew",
+		"uold", "vold", "pold", "cu", "cv", "z", "h", "psi"}
+	arrs := []array{w.u, w.v, w.pp, w.unew, w.vnew, w.pnew,
+		w.uold, w.vold, w.pold, w.cu, w.cv, w.z, w.h, w.psi}
+	out := make([]trace.ArraySpan, len(arrs))
+	for i, a := range arrs {
+		out[i] = trace.ArraySpan{Name: names[i], Base: a.base, Elems: n, ElemSize: int(a.elemSize)}
+	}
+	return out
+}
+
+func (w *swim) Run(ins trace.Instrumenter) {
+	w.begin(ins)
+	n := w.p.N
+	for step := 0; step < w.p.Steps; step++ {
+		w.block(swimBStep, 4)
+
+		// CALC1: mass fluxes and vorticity from u, v, p.
+		w.mark()
+		w.block(swimBCalc1Head, 3)
+		for j := 1; j < n-1; j++ {
+			w.block(swimBCalc1Row, 2+14*(n-2))
+			for i := 1; i < n-1; i++ {
+				w.load(w.pp.at(w.idx(i, j)))
+				w.load(w.pp.at(w.idx(i-1, j)))
+				w.load(w.u.at(w.idx(i, j)))
+				w.load(w.u.at(w.idx(i, j-1)))
+				w.load(w.v.at(w.idx(i, j)))
+				w.load(w.v.at(w.idx(i-1, j)))
+				w.load(w.cu.at(w.idx(i, j)))
+				w.load(w.cv.at(w.idx(i, j)))
+				w.load(w.z.at(w.idx(i, j)))
+				w.load(w.h.at(w.idx(i, j)))
+			}
+		}
+
+		// CALC2: new u, v, p from the fluxes and the old values.
+		w.mark()
+		w.block(swimBCalc2Head, 3)
+		for j := 1; j < n-1; j++ {
+			w.block(swimBCalc2Row, 2+16*(n-2))
+			for i := 1; i < n-1; i++ {
+				w.load(w.cu.at(w.idx(i, j)))
+				w.load(w.cu.at(w.idx(i+1, j)))
+				w.load(w.cv.at(w.idx(i, j)))
+				w.load(w.cv.at(w.idx(i, j+1)))
+				w.load(w.z.at(w.idx(i, j)))
+				w.load(w.h.at(w.idx(i+1, j)))
+				w.load(w.uold.at(w.idx(i, j)))
+				w.load(w.vold.at(w.idx(i, j)))
+				w.load(w.pold.at(w.idx(i, j)))
+				w.load(w.unew.at(w.idx(i, j)))
+				w.load(w.vnew.at(w.idx(i, j)))
+				w.load(w.pnew.at(w.idx(i, j)))
+			}
+			// Row-dependent correction revisit (see tomcatv): real
+			// CALC2 re-touches earlier rows for the periodic
+			// boundary conditions.
+			if h := rowHash(j); h%4 == 1 {
+				back := 1 + int(h>>8)%24
+				if back > j {
+					back = j
+				}
+				w.block(swimBCalc2Revisit, 2+4*(n-2))
+				for i := 1; i < n-1; i++ {
+					w.load(w.cu.at(w.idx(i, j-back)))
+					w.load(w.cv.at(w.idx(i, j-back)))
+					w.load(w.z.at(w.idx(i, j-back)))
+				}
+			}
+		}
+
+		// CALC3: time smoothing — shift new into current and old.
+		w.mark()
+		w.block(swimBCalc3Head, 3)
+		for j := 0; j < n; j++ {
+			w.block(swimBCalc3Row, 2+13*n)
+			for i := 0; i < n; i++ {
+				w.load(w.u.at(w.idx(i, j)))
+				w.load(w.unew.at(w.idx(i, j)))
+				w.load(w.uold.at(w.idx(i, j)))
+				w.load(w.v.at(w.idx(i, j)))
+				w.load(w.vnew.at(w.idx(i, j)))
+				w.load(w.vold.at(w.idx(i, j)))
+				w.load(w.pp.at(w.idx(i, j)))
+				w.load(w.pnew.at(w.idx(i, j)))
+				w.load(w.pold.at(w.idx(i, j)))
+			}
+		}
+	}
+	w.block(swimBExit, 2)
+}

@@ -1,0 +1,168 @@
+package workload
+
+import "lpp/internal/trace"
+
+// tomcatv models SPEC95 Tomcatv, the paper's running example (Figures
+// 1 and 3): a vectorized mesh-generation program whose every time step
+// runs five substeps — residual preparation, coefficient computation,
+// two tridiagonal-system sweeps, and correction — each touching a
+// different subset of seven N×N arrays, so the reuse-distance trace
+// shifts abruptly at every substep boundary and the composite phase is
+// one time step.
+type tomcatv struct {
+	meter
+	p Params
+	// Seven page-aligned N×N arrays of 8-byte elements.
+	x, y, rx, ry, aa, dd, d array
+}
+
+// Tomcatv basic-block IDs. Header blocks run once per substep per time
+// step (frequency = Steps); row blocks run N times per substep and are
+// removed by the marker-selection frequency filter.
+const (
+	tomBStep trace.BlockID = 100 + iota
+	tomBResidHead
+	tomBResidRow
+	tomBResidRevisit
+	tomBCoefHead
+	tomBCoefRow
+	tomBForwardHead
+	tomBForwardRow
+	tomBBackwardHead
+	tomBBackwardRow
+	tomBCorrectHead
+	tomBCorrectRow
+	tomBExit
+)
+
+func newTomcatv(p Params) Program {
+	t := &tomcatv{p: p}
+	var s space
+	n := p.N * p.N
+	t.x = s.alloc(n, 8)
+	t.y = s.alloc(n, 8)
+	t.rx = s.alloc(n, 8)
+	t.ry = s.alloc(n, 8)
+	t.aa = s.alloc(n, 8)
+	t.dd = s.alloc(n, 8)
+	t.d = s.alloc(n, 8)
+	return t
+}
+
+func (t *tomcatv) idx(i, j int) int { return j*t.p.N + i }
+
+// Arrays implements trace.HasArrays.
+func (t *tomcatv) Arrays() []trace.ArraySpan {
+	n := t.p.N * t.p.N
+	names := []string{"x", "y", "rx", "ry", "aa", "dd", "d"}
+	arrs := []array{t.x, t.y, t.rx, t.ry, t.aa, t.dd, t.d}
+	out := make([]trace.ArraySpan, len(arrs))
+	for i, a := range arrs {
+		out[i] = trace.ArraySpan{Name: names[i], Base: a.base, Elems: n, ElemSize: 8}
+	}
+	return out
+}
+
+func (t *tomcatv) Run(ins trace.Instrumenter) {
+	t.begin(ins)
+	n := t.p.N
+	for step := 0; step < t.p.Steps; step++ {
+		t.block(tomBStep, 4)
+
+		// Substep 1: residual preparation. Reads the 9-point
+		// stencil of x and y, writes rx and ry.
+		t.mark()
+		t.block(tomBResidHead, 3)
+		for j := 1; j < n-1; j++ {
+			t.block(tomBResidRow, 2+12*(n-2))
+			for i := 1; i < n-1; i++ {
+				t.load(t.x.at(t.idx(i-1, j)))
+				t.load(t.x.at(t.idx(i+1, j)))
+				t.load(t.x.at(t.idx(i, j-1)))
+				t.load(t.x.at(t.idx(i, j+1)))
+				t.load(t.y.at(t.idx(i-1, j)))
+				t.load(t.y.at(t.idx(i+1, j)))
+				t.load(t.y.at(t.idx(i, j-1)))
+				t.load(t.y.at(t.idx(i, j+1)))
+				t.load(t.rx.at(t.idx(i, j)))
+				t.load(t.ry.at(t.idx(i, j)))
+			}
+			// Correction revisit on a row-dependent subset of rows:
+			// re-read an earlier pair of mesh rows, the way the real
+			// code revisits rows for boundary corrections. The row
+			// hash is step-independent, so phase behavior repeats
+			// exactly while fixed-length windows see an irregular
+			// mix of reuse depths.
+			if h := rowHash(j); h%4 == 0 {
+				back := 1 + int(h>>8)%24
+				if back > j {
+					back = j
+				}
+				t.block(tomBResidRevisit, 2+3*(n-2))
+				for i := 1; i < n-1; i++ {
+					t.load(t.x.at(t.idx(i, j-back)))
+					t.load(t.y.at(t.idx(i, j-back)))
+				}
+			}
+		}
+
+		// Substep 2: tridiagonal coefficients from the mesh.
+		t.mark()
+		t.block(tomBCoefHead, 3)
+		for j := 1; j < n-1; j++ {
+			t.block(tomBCoefRow, 2+8*(n-2))
+			for i := 1; i < n-1; i++ {
+				t.load(t.x.at(t.idx(i, j)))
+				t.load(t.x.at(t.idx(i, j-1)))
+				t.load(t.y.at(t.idx(i, j)))
+				t.load(t.y.at(t.idx(i, j-1)))
+				t.load(t.aa.at(t.idx(i, j)))
+				t.load(t.dd.at(t.idx(i, j)))
+			}
+		}
+
+		// Substep 3: forward elimination of the two tridiagonal
+		// systems, sweeping rows upward.
+		t.mark()
+		t.block(tomBForwardHead, 3)
+		for j := 1; j < n-1; j++ {
+			t.block(tomBForwardRow, 2+10*(n-2))
+			for i := 1; i < n-1; i++ {
+				t.load(t.aa.at(t.idx(i, j)))
+				t.load(t.dd.at(t.idx(i, j-1)))
+				t.load(t.d.at(t.idx(i, j-1)))
+				t.load(t.d.at(t.idx(i, j)))
+				t.load(t.rx.at(t.idx(i, j)))
+				t.load(t.ry.at(t.idx(i, j)))
+			}
+		}
+
+		// Substep 4: back substitution, sweeping rows downward.
+		t.mark()
+		t.block(tomBBackwardHead, 3)
+		for j := n - 2; j >= 1; j-- {
+			t.block(tomBBackwardRow, 2+9*(n-2))
+			for i := 1; i < n-1; i++ {
+				t.load(t.d.at(t.idx(i, j)))
+				t.load(t.rx.at(t.idx(i, j+1)))
+				t.load(t.rx.at(t.idx(i, j)))
+				t.load(t.ry.at(t.idx(i, j+1)))
+				t.load(t.ry.at(t.idx(i, j)))
+			}
+		}
+
+		// Substep 5: add corrections back into the mesh.
+		t.mark()
+		t.block(tomBCorrectHead, 3)
+		for j := 1; j < n-1; j++ {
+			t.block(tomBCorrectRow, 2+7*(n-2))
+			for i := 1; i < n-1; i++ {
+				t.load(t.rx.at(t.idx(i, j)))
+				t.load(t.ry.at(t.idx(i, j)))
+				t.load(t.x.at(t.idx(i, j)))
+				t.load(t.y.at(t.idx(i, j)))
+			}
+		}
+	}
+	t.block(tomBExit, 2)
+}

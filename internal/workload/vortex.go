@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"lpp/internal/stats"
+	"lpp/internal/trace"
+)
+
+// vortex models SPEC95 Vortex, the object-oriented database of Section
+// 3.1.2: the run first constructs a database (insertions into a hash
+// index and an ordered index) and then processes query batches (random
+// lookups). The transition from insertion to querying is visible in
+// the reuse-distance trace, but because real inputs interleave builds
+// and queries arbitrarily, the phase lengths are input-dependent and
+// the paper does not predict them.
+type vortex struct {
+	meter
+	p       Params
+	objects array // object storage
+	hashIdx array // hash index buckets
+	treeIdx array // ordered index nodes
+	keys    []uint32
+}
+
+// Vortex basic-block IDs.
+const (
+	vorBBuildHead trace.BlockID = 900 + iota
+	vorBBuildChunk
+	vorBQueryBatch
+	vorBQueryChunk
+	vorBExit
+)
+
+const (
+	vorChunk    = 32
+	vorHashSize = 1 << 13
+)
+
+func newVortex(p Params) Program {
+	v := &vortex{p: p}
+	var s space
+	v.objects = s.alloc(p.N*8, 8) // 8 words per object
+	v.hashIdx = s.alloc(vorHashSize, 8)
+	v.treeIdx = s.alloc(2*p.N, 8)
+	rng := stats.NewRNG(p.Seed)
+	v.keys = make([]uint32, p.N)
+	for i := range v.keys {
+		v.keys[i] = uint32(rng.Uint64())
+	}
+	return v
+}
+
+func (v *vortex) Run(ins trace.Instrumenter) {
+	v.begin(ins)
+	n := v.p.N
+
+	// Build: insert every object into both indexes.
+	v.mark()
+	v.block(vorBBuildHead, 3)
+	for i := 0; i < n; i++ {
+		if i%vorChunk == 0 {
+			v.block(vorBBuildChunk, 2+12*vorChunk)
+		}
+		key := v.keys[i]
+		// Write the object record.
+		for w := 0; w < 8; w++ {
+			v.load(v.objects.at(i*8 + w))
+		}
+		// Hash index insert.
+		v.load(v.hashIdx.at(int(key) % vorHashSize))
+		// Ordered index insert: walk ~log2(i) nodes.
+		node := 0
+		for d := 0; d < 16 && node < 2*n; d++ {
+			v.load(v.treeIdx.at(node))
+			if i>>(uint(d)%16)&1 == 1 {
+				node = 2*node + 2
+			} else {
+				node = 2*node + 1
+			}
+			if d > log2i(i+1) {
+				break
+			}
+		}
+	}
+
+	// Query batches: random lookups through the indexes.
+	rng := stats.NewRNG(v.p.Seed + 99)
+	queriesPerBatch := n / 4
+	for batch := 0; batch < v.p.Steps; batch++ {
+		v.mark()
+		v.block(vorBQueryBatch, 4)
+		for q := 0; q < queriesPerBatch; q++ {
+			if q%vorChunk == 0 {
+				v.block(vorBQueryChunk, 2+14*vorChunk)
+			}
+			i := rng.Intn(n)
+			key := v.keys[i]
+			v.load(v.hashIdx.at(int(key) % vorHashSize))
+			node := 0
+			for d := 0; d <= log2i(i+1) && node < 2*n; d++ {
+				v.load(v.treeIdx.at(node))
+				node = 2*node + 1 + (i>>uint(d%16))&1
+			}
+			// Touch the object found.
+			for w := 0; w < 4; w++ {
+				v.load(v.objects.at(i*8 + w))
+			}
+		}
+	}
+	v.block(vorBExit, 2)
+}
+
+func log2i(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+// Package workload implements the nine benchmarks of Table 1 as
+// from-scratch Go kernels that replay their data-access and basic-block
+// streams through a trace.Instrumenter. The kernels reproduce the
+// *shape* of the originals' memory behavior — the property every
+// experiment in the paper depends on — rather than their numerics:
+//
+//	FFT       textbook radix-2 fast Fourier transform
+//	Applu     SSOR sweeps over a 3D grid (SPEC2K Applu)
+//	Compress  LZW-style compress/decompress rounds (SPEC95 Compress)
+//	Gcc       a toy compiler with input-dependent function sizes
+//	Tomcatv   vectorized mesh generation, 5 substeps per time step
+//	Swim      shallow-water stencils, 3 substeps over 14 arrays
+//	Vortex    an object database: build then query
+//	Mesh      unstructured mesh relaxation over an edge list (CHAOS)
+//	MolDyn    molecular dynamics with per-particle neighbor search
+//
+// Each workload also records its "manual phase markers" — the logical
+// times a programmer reading the source would mark as phase boundaries
+// — which Section 3.4 compares against the automatic markers.
+package workload
+
+import (
+	"fmt"
+
+	"lpp/internal/trace"
+)
+
+// Params sizes one run of a workload.
+type Params struct {
+	// N is the problem size (grid edge, particle count, buffer size
+	// — workload-specific).
+	N int
+	// Steps is the number of outer iterations (time steps, rounds,
+	// transforms, functions, or queries).
+	Steps int
+	// Seed drives all workload-internal pseudo-randomness.
+	Seed uint64
+	// Variant selects a workload-specific input variation; Mesh uses
+	// 1 for the sorted-edge input of its prediction run (Section 3).
+	Variant int
+}
+
+// Program is a sized, runnable workload instance.
+type Program interface {
+	trace.Runner
+	// ManualMarks returns the logical times (data-access counts) of
+	// the programmer-inserted phase markers recorded by the most
+	// recent Run, in order.
+	ManualMarks() []int64
+}
+
+// Spec describes one benchmark: its metadata and how to size it for
+// the detection (Train) and prediction (Ref) runs.
+type Spec struct {
+	Name        string
+	Description string
+	Source      string // provenance per Table 1
+	Train, Ref  Params
+	// Predictable reports whether the paper predicts this program's
+	// phases (false for Gcc and Vortex, Section 3.1.2).
+	Predictable bool
+	Make        func(p Params) Program
+}
+
+// All returns the benchmark suite in Table 1 order.
+func All() []Spec {
+	return []Spec{
+		{
+			Name:        "fft",
+			Description: "fast Fourier transformation",
+			Source:      "textbook",
+			Train:       Params{N: 1 << 12, Steps: 12, Seed: 1},
+			Ref:         Params{N: 1 << 14, Steps: 40, Seed: 2},
+			Predictable: true,
+			Make:        func(p Params) Program { return newFFT(p) },
+		},
+		{
+			Name:        "applu",
+			Description: "solving five coupled nonlinear PDE's",
+			Source:      "Spec2KFp",
+			Train:       Params{N: 24, Steps: 6, Seed: 1},
+			Ref:         Params{N: 40, Steps: 30, Seed: 2},
+			Predictable: true,
+			Make:        func(p Params) Program { return newApplu(p) },
+		},
+		{
+			Name:        "compress",
+			Description: "common UNIX compression utility",
+			Source:      "Spec95Int",
+			Train:       Params{N: 1 << 16, Steps: 6, Seed: 1},
+			Ref:         Params{N: 1 << 19, Steps: 13, Seed: 2},
+			Predictable: true,
+			Make:        func(p Params) Program { return newCompress(p) },
+		},
+		{
+			Name:        "gcc",
+			Description: "GNU C compiler 2.5.3",
+			Source:      "Spec95Int",
+			Train:       Params{N: 60, Steps: 40, Seed: 1},
+			Ref:         Params{N: 60, Steps: 100, Seed: 5},
+			Predictable: false,
+			Make:        func(p Params) Program { return newGcc(p) },
+		},
+		{
+			Name:        "tomcatv",
+			Description: "vectorized mesh generation",
+			Source:      "Spec95Fp",
+			Train:       Params{N: 96, Steps: 7, Seed: 1},
+			Ref:         Params{N: 256, Steps: 25, Seed: 2},
+			Predictable: true,
+			Make:        func(p Params) Program { return newTomcatv(p) },
+		},
+		{
+			Name:        "swim",
+			Description: "finite difference approximations for shallow water equation",
+			Source:      "Spec95Fp",
+			Train:       Params{N: 96, Steps: 8, Seed: 1},
+			Ref:         Params{N: 256, Steps: 28, Seed: 2},
+			Predictable: true,
+			Make:        func(p Params) Program { return newSwim(p) },
+		},
+		{
+			Name:        "vortex",
+			Description: "an object-oriented database",
+			Source:      "Spec95Int",
+			Train:       Params{N: 1 << 14, Steps: 8, Seed: 1},
+			Ref:         Params{N: 1 << 15, Steps: 16, Seed: 5},
+			Predictable: false,
+			Make:        func(p Params) Program { return newVortex(p) },
+		},
+		{
+			Name:        "mesh",
+			Description: "dynamic mesh structure simulation",
+			Source:      "CHAOS",
+			Train:       Params{N: 1 << 13, Steps: 10, Seed: 1},
+			Ref:         Params{N: 1 << 13, Steps: 10, Seed: 1, Variant: 1},
+			Predictable: true,
+			Make:        func(p Params) Program { return newMesh(p) },
+		},
+		{
+			Name:        "moldyn",
+			Description: "molecular dynamics simulation",
+			Source:      "CHAOS",
+			Train:       Params{N: 600, Steps: 6, Seed: 1},
+			Ref:         Params{N: 1400, Steps: 25, Seed: 2},
+			Predictable: true,
+			Make:        func(p Params) Program { return newMolDyn(p) },
+		},
+	}
+}
+
+// ByName looks a benchmark up by name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Predictable returns the seven benchmarks with consistent phase
+// behavior (Table 2 excludes Gcc and Vortex).
+func Predictable() []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if s.Predictable {
+			out = append(out, s)
+		}
+	}
+	return out
+}

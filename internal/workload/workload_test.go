@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+func TestAllSpecsWellFormed(t *testing.T) {
+	specs := All()
+	if len(specs) != 9 {
+		t.Fatalf("suite has %d benchmarks, want 9 (Table 1)", len(specs))
+	}
+	names := make(map[string]bool)
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate benchmark name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Make == nil || s.Description == "" || s.Source == "" {
+			t.Errorf("%s: incomplete spec", s.Name)
+		}
+		if s.Train.N <= 0 || s.Train.Steps <= 0 {
+			t.Errorf("%s: bad train params %+v", s.Name, s.Train)
+		}
+	}
+	if len(Predictable()) != 7 {
+		t.Errorf("predictable set has %d members, want 7", len(Predictable()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("tomcatv")
+	if err != nil || s.Name != "tomcatv" {
+		t.Errorf("ByName(tomcatv) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+// small returns shrunken params so every workload runs fast in tests.
+func small(s Spec) Params {
+	p := s.Train
+	switch s.Name {
+	case "fft":
+		p.N = 1 << 8
+		p.Steps = 3
+	case "applu":
+		p.N = 10
+		p.Steps = 3
+	case "compress", "vortex":
+		p.N = 1 << 12
+		p.Steps = 3
+	case "gcc":
+		p.N = 30
+		p.Steps = 5
+	case "mesh":
+		p.N = 1 << 10
+		p.Steps = 3
+	case "moldyn":
+		p.N = 150
+		p.Steps = 4
+	default: // tomcatv, swim
+		p.N = 32
+		p.Steps = 3
+	}
+	return p
+}
+
+func TestWorkloadsRunAndAreDeterministic(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p := small(s)
+			r1 := trace.NewRecorder(0, 0)
+			prog1 := s.Make(p)
+			prog1.Run(r1)
+			r2 := trace.NewRecorder(0, 0)
+			prog2 := s.Make(p)
+			prog2.Run(r2)
+
+			if len(r1.T.Accesses) == 0 || len(r1.T.Blocks) == 0 {
+				t.Fatal("workload emitted no events")
+			}
+			if len(r1.T.Accesses) != len(r2.T.Accesses) {
+				t.Fatalf("nondeterministic access count: %d vs %d",
+					len(r1.T.Accesses), len(r2.T.Accesses))
+			}
+			for i := range r1.T.Accesses {
+				if r1.T.Accesses[i] != r2.T.Accesses[i] {
+					t.Fatalf("nondeterministic access at %d", i)
+				}
+			}
+			if len(r1.T.Blocks) != len(r2.T.Blocks) {
+				t.Fatal("nondeterministic block count")
+			}
+			m1, m2 := prog1.ManualMarks(), prog2.ManualMarks()
+			if len(m1) != len(m2) || len(m1) == 0 {
+				t.Fatalf("manual marks: %d vs %d (want equal, nonzero)", len(m1), len(m2))
+			}
+		})
+	}
+}
+
+func TestManualMarksMonotonic(t *testing.T) {
+	for _, s := range All() {
+		p := small(s)
+		prog := s.Make(p)
+		var c trace.Counter
+		prog.Run(&c)
+		marks := prog.ManualMarks()
+		for i := 1; i < len(marks); i++ {
+			if marks[i] < marks[i-1] {
+				t.Errorf("%s: marks not monotonic at %d", s.Name, i)
+			}
+		}
+		if last := marks[len(marks)-1]; last > int64(c.Accesses) {
+			t.Errorf("%s: mark %d beyond end of run %d", s.Name, last, c.Accesses)
+		}
+	}
+}
+
+func TestScalesWithN(t *testing.T) {
+	for _, s := range All() {
+		if s.Name == "mesh" || s.Name == "gcc" {
+			continue // mesh's ref equals train; gcc scales with Steps
+		}
+		p1 := small(s)
+		p2 := p1
+		p2.N *= 2
+		var c1, c2 trace.Counter
+		s.Make(p1).Run(&c1)
+		s.Make(p2).Run(&c2)
+		if c2.Accesses <= c1.Accesses {
+			t.Errorf("%s: doubling N did not increase accesses (%d vs %d)",
+				s.Name, c1.Accesses, c2.Accesses)
+		}
+	}
+}
+
+func TestScalesWithSteps(t *testing.T) {
+	for _, s := range All() {
+		if s.Name == "vortex" {
+			continue // build dominates at tiny sizes
+		}
+		p1 := small(s)
+		p2 := p1
+		p2.Steps *= 3
+		var c1, c2 trace.Counter
+		s.Make(p1).Run(&c1)
+		s.Make(p2).Run(&c2)
+		if c2.Accesses <= c1.Accesses {
+			t.Errorf("%s: tripling Steps did not increase accesses", s.Name)
+		}
+	}
+}
+
+func TestSubstepHeaderFrequencies(t *testing.T) {
+	// Marker selection depends on header blocks executing once per
+	// time step. Check tomcatv's five substep headers and swim's
+	// three.
+	p := Params{N: 24, Steps: 5, Seed: 1}
+	rec := trace.NewRecorder(0, 0)
+	prog, _ := ByName("tomcatv")
+	prog.Make(p).Run(rec)
+	freq := rec.T.BlockFrequency()
+	for _, id := range []trace.BlockID{tomBResidHead, tomBCoefHead, tomBForwardHead, tomBBackwardHead, tomBCorrectHead} {
+		if freq[id] != p.Steps {
+			t.Errorf("tomcatv header %d freq = %d, want %d", id, freq[id], p.Steps)
+		}
+	}
+	if freq[tomBResidRow] <= p.Steps {
+		t.Error("tomcatv row block should execute far more often than headers")
+	}
+
+	rec2 := trace.NewRecorder(0, 0)
+	sw, _ := ByName("swim")
+	sw.Make(p).Run(rec2)
+	freq2 := rec2.T.BlockFrequency()
+	for _, id := range []trace.BlockID{swimBCalc1Head, swimBCalc2Head, swimBCalc3Head} {
+		if freq2[id] != p.Steps {
+			t.Errorf("swim header %d freq = %d, want %d", id, freq2[id], p.Steps)
+		}
+	}
+}
+
+func TestMeshVariantSortedSameLength(t *testing.T) {
+	p := Params{N: 1 << 10, Steps: 2, Seed: 1}
+	ps := p
+	ps.Variant = 1
+	var c1, c2 trace.Counter
+	m, _ := ByName("mesh")
+	m.Make(p).Run(&c1)
+	m.Make(ps).Run(&c2)
+	if c1.Accesses != c2.Accesses {
+		t.Errorf("sorted mesh changed trace length: %d vs %d", c1.Accesses, c2.Accesses)
+	}
+	// But the access order must differ (locality changes).
+	r1, r2 := trace.NewRecorder(0, 0), trace.NewRecorder(0, 0)
+	m.Make(p).Run(r1)
+	m.Make(ps).Run(r2)
+	same := true
+	for i := range r1.T.Accesses {
+		if r1.T.Accesses[i] != r2.T.Accesses[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("sorted mesh produced identical access order")
+	}
+}
+
+func TestGccFunctionSizesVary(t *testing.T) {
+	g, _ := ByName("gcc")
+	prog := g.Make(Params{N: 30, Steps: 20, Seed: 3}).(*gcc)
+	min, max := prog.funcSizes[0], prog.funcSizes[0]
+	for _, s := range prog.funcSizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max < 4*min {
+		t.Errorf("gcc function sizes too uniform: min=%d max=%d", min, max)
+	}
+}
+
+func TestMolDynManualCoarserThanSubsteps(t *testing.T) {
+	// MolDyn's programmer marks whole time steps: exactly Steps marks.
+	m, _ := ByName("moldyn")
+	p := Params{N: 150, Steps: 4, Seed: 1}
+	prog := m.Make(p)
+	var c trace.Counter
+	prog.Run(&c)
+	if got := len(prog.ManualMarks()); got != p.Steps {
+		t.Errorf("moldyn manual marks = %d, want %d", got, p.Steps)
+	}
+}
+
+func TestTomcatvBlockTraceInstrAccounting(t *testing.T) {
+	// Instruction counts must be plausible: at least one instruction
+	// per access overall.
+	p := Params{N: 24, Steps: 2, Seed: 1}
+	var c trace.Counter
+	prog, _ := ByName("tomcatv")
+	prog.Make(p).Run(&c)
+	if c.Instructions < c.Accesses {
+		t.Errorf("instructions (%d) < accesses (%d)", c.Instructions, c.Accesses)
+	}
+}
