@@ -8,6 +8,7 @@
 //	lppbench -quick             # shrunken inputs (seconds, not minutes)
 //	lppbench -out results/      # also write CSV artifacts
 //	lppbench -list              # list experiments
+//	lppbench -stream t.trace    # replay a trace against lppserve, write BENCH_stream.json
 package main
 
 import (
@@ -30,8 +31,18 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Bool("j", false, "run experiments concurrently (output stays ordered)")
 		html     = flag.String("html", "", "write a self-contained HTML report to this file (needs -out)")
+		stream   = flag.String("stream", "", "trace file to replay against lppserve (see -addr)")
+		addr     = flag.String("addr", "", "lppserve address for -stream (default: in-process server)")
+		chunkLen = flag.Int("chunk", 16384, "events per chunk for -stream")
 	)
 	flag.Parse()
+
+	if *stream != "" {
+		if err := runStream(*stream, *addr, *out, *chunkLen); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

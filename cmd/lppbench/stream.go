@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"lpp/internal/server"
+	"lpp/internal/trace"
+)
+
+// streamReport is the BENCH_stream.json schema.
+type streamReport struct {
+	Trace        string  `json:"trace"`
+	Addr         string  `json:"addr"`
+	Events       int     `json:"events"`
+	Chunks       int     `json:"chunks"`
+	ChunkLen     int     `json:"chunk_len"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	Boundaries   int     `json:"boundaries"`
+	Predictions  int     `json:"predictions"`
+	Retries429   int     `json:"retries_429"`
+}
+
+// runStream replays a recorded trace file against an lppserve instance
+// — a running one at addr, or an in-process server when addr is empty
+// — measuring ingest throughput and per-chunk detection latency.
+func runStream(path, addr, outDir string, chunkLen int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := readAllEvents(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: empty trace", path)
+	}
+
+	if addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := server.New(server.Config{})
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer func() {
+			hs.Close()
+			srv.Close()
+		}()
+		addr = ln.Addr().String()
+	}
+	base := "http://" + addr
+	session := base + "/v1/sessions/bench/events"
+
+	var (
+		lats       []time.Duration
+		boundaries int
+		preds      int
+		retries    int
+	)
+	client := &http.Client{}
+	start := time.Now()
+	for off := 0; off < len(events); off += chunkLen {
+		end := off + chunkLen
+		if end > len(events) {
+			end = len(events)
+		}
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		for _, ev := range events[off:end] {
+			ev.Feed(w)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for {
+			t0 := time.Now()
+			resp, err := client.Post(session, "application/x-lpp-trace", bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				retries++
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				return fmt.Errorf("chunk at %d: %s: %s", off, resp.Status, bytes.TrimSpace(msg))
+			}
+			b, p, err := countPhaseEvents(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			lats = append(lats, time.Since(t0))
+			boundaries += b
+			preds += p
+			break
+		}
+	}
+	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/bench", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	b, p, err := countPhaseEvents(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	boundaries += b
+	preds += p
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		return lats[int(q*float64(len(lats)-1))].Seconds() * 1e3
+	}
+	rep := streamReport{
+		Trace:        path,
+		Addr:         addr,
+		Events:       len(events),
+		Chunks:       len(lats),
+		ChunkLen:     chunkLen,
+		Seconds:      elapsed.Seconds(),
+		EventsPerSec: float64(len(events)) / elapsed.Seconds(),
+		LatencyP50Ms: pct(0.50),
+		LatencyP90Ms: pct(0.90),
+		LatencyP99Ms: pct(0.99),
+		Boundaries:   boundaries,
+		Predictions:  preds,
+		Retries429:   retries,
+	}
+
+	fmt.Printf("streamed %d events in %d chunks to %s in %v\n",
+		rep.Events, rep.Chunks, rep.Addr, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput %.0f events/s; chunk latency p50 %.2fms p90 %.2fms p99 %.2fms\n",
+		rep.EventsPerSec, rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms)
+	fmt.Printf("phase events: %d boundaries, %d predictions; %d chunks retried on 429\n",
+		rep.Boundaries, rep.Predictions, rep.Retries429)
+
+	out := "BENCH_stream.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		out = filepath.Join(outDir, out)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}
+
+// readAllEvents decodes a whole trace file into memory so replay cost
+// is network + detection, not disk.
+func readAllEvents(r io.Reader) ([]trace.Event, error) {
+	tr := trace.NewReader(bufio.NewReaderSize(r, 1<<20))
+	var events []trace.Event
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+}
+
+// countPhaseEvents tallies boundary and prediction lines in an NDJSON
+// phase-event response.
+func countPhaseEvents(r io.Reader) (boundaries, predictions int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return 0, 0, fmt.Errorf("bad phase event %q: %w", line, err)
+		}
+		switch ev.Kind {
+		case "boundary":
+			boundaries++
+		case "prediction":
+			predictions++
+		}
+	}
+	return boundaries, predictions, sc.Err()
+}

@@ -1,0 +1,65 @@
+// Command lppserve runs the streaming phase-detection service.
+//
+// Clients open a session implicitly by POSTing trace chunks — NDJSON
+// events or the lpptrace binary format — and receive the phase
+// boundaries and predictions those chunks produced as NDJSON:
+//
+//	lppserve -addr :8080
+//	curl -X POST --data-binary @chunk.ndjson localhost:8080/v1/sessions/run1/events
+//	curl -X DELETE localhost:8080/v1/sessions/run1      # flush + close
+//	curl localhost:8080/metrics
+//
+// Usage:
+//
+//	lppserve [-addr :8080] [-queue 8] [-max-sessions 256] [-max-chunk 8388608]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"lpp/internal/online"
+	"lpp/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		queue       = flag.Int("queue", 0, "per-session chunk queue depth (0 = default 8)")
+		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap (0 = default 256)")
+		maxChunk    = flag.Int64("max-chunk", 0, "max POST body bytes (0 = default 8MiB)")
+		maxStride   = flag.Int("max-stride", 0, "load-shedding stride cap (0 = default 16, 1 disables)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Detector:      online.Config{MaxStride: *maxStride},
+		QueueDepth:    *queue,
+		MaxSessions:   *maxSessions,
+		MaxChunkBytes: *maxChunk,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		<-stop
+		log.Print("shutting down")
+		httpSrv.Close()
+	}()
+
+	log.Printf("lppserve listening on %s", *addr)
+	err := httpSrv.ListenAndServe()
+	srv.Close() // flush remaining sessions
+	if err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

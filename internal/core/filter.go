@@ -42,6 +42,14 @@ import (
 //     All its samples are kept so the boundaries can be marked even
 //     though their lengths will not be predictable.
 func filterSubTrace(dists []float64, fam wavelet.Family, keepIrregular bool) []bool {
+	return FilterSubTrace(dists, fam, keepIrregular)
+}
+
+// FilterSubTrace exposes the per-sub-trace filter to other detection
+// front ends (the online detector applies it over a sliding window of
+// each data sample's recent distances, so online and offline share one
+// rule set).
+func FilterSubTrace(dists []float64, fam wavelet.Family, keepIrregular bool) []bool {
 	if len(dists) >= 4 && coefVar(dists) < 0.25 {
 		keep := make([]bool, len(dists))
 		for i := range keep {

@@ -1,0 +1,183 @@
+package online
+
+import (
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+// phasedStream emits `phases` region sweeps cycling through 10
+// disjoint 16KB regions: each phase sweeps its region `sweeps` times
+// with an 8-byte stride, so phase switches sit at exact, known logical
+// times. Ten regions make a boundary-crossing reuse distance ~10x the
+// within-phase distance — the sharp contrast real phase transitions
+// show and the sub-trace filter keys on. Sweeps should be at least
+// MinSubTrace+2 so data samples mature within a single phase visit, as
+// real workloads' do.
+const streamRegions = 10
+
+const streamElems = 2048 // distinct addresses per region
+
+func phasedStream(ins trace.Instrumenter, phases, sweeps int) (switchTimes []int64, perPhase int64) {
+	const elems = streamElems
+	perPhase = int64(sweeps * elems)
+	var now int64
+	for p := 0; p < phases; p++ {
+		base := trace.Addr(uint64(p%streamRegions) * 10 << 20)
+		ins.Block(trace.BlockID(p%streamRegions), 64)
+		for s := 0; s < sweeps; s++ {
+			for i := 0; i < elems; i++ {
+				ins.Access(base + trace.Addr(i*8))
+				now++
+			}
+		}
+		if p < phases-1 {
+			switchTimes = append(switchTimes, now)
+		}
+	}
+	return switchTimes, perPhase
+}
+
+func TestDetectorFindsSyntheticPhaseSwitches(t *testing.T) {
+	d := NewDetector(Config{})
+	switches, perPhase := phasedStream(d, 25, 6)
+	d.Flush()
+
+	var boundaries []int64
+	phaseIDs := make(map[int]bool)
+	predictions := 0
+	for _, ev := range d.DrainEvents() {
+		switch ev.Kind {
+		case BoundaryDetected:
+			boundaries = append(boundaries, ev.Time)
+			phaseIDs[ev.Phase] = true
+		case PhasePredicted:
+			predictions++
+		}
+	}
+	if len(boundaries) < len(switches)/2 {
+		t.Fatalf("found %d boundaries for %d phase switches", len(boundaries), len(switches))
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			t.Fatalf("boundaries not increasing: %v", boundaries)
+		}
+	}
+	// Every true switch must have a detected boundary nearby. The
+	// tolerance allows the sampling lag on a region's first-ever
+	// visit: distance-based sampling cannot see data it has no reuse
+	// for, so cycle-one boundaries trail the switch by about a sweep.
+	tol := perPhase / 4
+	for _, sw := range switches {
+		ok := false
+		for _, b := range boundaries {
+			if b-sw < tol && sw-b < tol {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("no boundary within %d of true switch at %d (got %v)", tol, sw, boundaries)
+		}
+	}
+	// Ten cycling regions must collapse to about ten recurring phase
+	// identities, not one new ID per segment.
+	if len(phaseIDs) > streamRegions+3 {
+		t.Errorf("%d distinct phase IDs for a %d-region cycle", len(phaseIDs), streamRegions)
+	}
+	// The cycle is regular, so the hierarchy automaton must
+	// eventually determine next phases.
+	if predictions == 0 {
+		t.Error("no phase predictions for a regular cycle")
+	}
+}
+
+func TestDetectorDeterministic(t *testing.T) {
+	run := func() []PhaseEvent {
+		d := NewDetector(Config{})
+		phasedStream(d, 15, 6)
+		d.Flush()
+		return d.DrainEvents()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPressureShedsLoad(t *testing.T) {
+	d := NewDetector(Config{})
+	d.SetPressure(1)
+	if st := d.Stats(); st.Stride != DefaultConfig().MaxStride {
+		t.Fatalf("stride = %d at full pressure, want %d", st.Stride, DefaultConfig().MaxStride)
+	}
+	phasedStream(d, 4, 6)
+	st := d.Stats()
+	if st.Shed == 0 {
+		t.Error("no accesses shed at full pressure")
+	}
+	// Shed accesses still advance logical time.
+	if want := int64(4 * 6 * streamElems); st.Accesses != want {
+		t.Errorf("Accesses = %d, want %d", st.Accesses, want)
+	}
+	d.SetPressure(0)
+	if st := d.Stats(); st.Stride != 1 {
+		t.Errorf("stride = %d after pressure released", st.Stride)
+	}
+	d.SetPressure(0.5)
+	if st := d.Stats(); st.Stride <= 1 || st.Stride >= DefaultConfig().MaxStride {
+		t.Errorf("stride = %d at half pressure", st.Stride)
+	}
+}
+
+func TestEventBufferBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPending = 4
+	d := NewDetector(cfg)
+	phasedStream(d, 30, 6)
+	d.Flush()
+	st := d.Stats()
+	if st.PendingEvents > 4 {
+		t.Errorf("pending events %d exceed cap 4", st.PendingEvents)
+	}
+	if st.Boundaries+st.Predictions > 4 && st.DroppedEvents == 0 {
+		t.Error("overflowing buffer dropped nothing")
+	}
+	if got := len(d.DrainEvents()); got > 4 {
+		t.Errorf("drained %d events, cap 4", got)
+	}
+	if len(d.DrainEvents()) != 0 {
+		t.Error("second drain not empty")
+	}
+}
+
+func TestOnEventCallbackBypassesBuffer(t *testing.T) {
+	var got []PhaseEvent
+	cfg := DefaultConfig()
+	cfg.OnEvent = func(ev PhaseEvent) { got = append(got, ev) }
+	d := NewDetector(cfg)
+	phasedStream(d, 15, 6)
+	d.Flush()
+	if len(got) == 0 {
+		t.Fatal("callback saw no events")
+	}
+	if len(d.DrainEvents()) != 0 {
+		t.Error("events buffered despite callback")
+	}
+	if st := d.Stats(); st.DroppedEvents != 0 {
+		t.Errorf("dropped %d events with a callback attached", st.DroppedEvents)
+	}
+}
+
+func TestFlushOnEmptyDetector(t *testing.T) {
+	d := NewDetector(Config{})
+	d.Flush() // must not panic with no input
+	if ev := d.DrainEvents(); len(ev) != 0 {
+		t.Errorf("events from empty stream: %v", ev)
+	}
+}

@@ -74,6 +74,39 @@ func (a *ApproxAnalyzer) Access(addr trace.Addr) int64 {
 // Distinct returns the number of distinct elements seen so far.
 func (a *ApproxAnalyzer) Distinct() int { return len(a.last) }
 
+// EvictOldest caps the analyzer's memory at maxLive tracked elements by
+// forgetting the least-recently-accessed ones: whole oldest buckets are
+// dropped until at most maxLive live elements remain, and the addresses
+// whose last access fell in a dropped bucket are removed. A later
+// access to an evicted address reads as a cold miss (Infinite), the
+// same graceful degradation a smaller profiling window would give. It
+// returns the number of elements evicted.
+func (a *ApproxAnalyzer) EvictOldest(maxLive int) int {
+	if maxLive < 0 {
+		maxLive = 0
+	}
+	if a.live <= int64(maxLive) {
+		return 0
+	}
+	var dropped int64
+	cutoff := int64(-1)
+	i := 0
+	for ; i < len(a.buckets) && a.live-dropped > int64(maxLive); i++ {
+		dropped += a.buckets[i].count
+		cutoff = a.buckets[i].maxTime
+	}
+	a.buckets = a.buckets[i:]
+	a.live -= dropped
+	// Every address's single live slot is its last-access time, so the
+	// evicted addresses are exactly those at or before the cutoff.
+	for addr, t := range a.last {
+		if t <= cutoff {
+			delete(a.last, addr)
+		}
+	}
+	return int(dropped)
+}
+
 // Buckets returns the current bucket count (the memory bound under
 // test: O(log(M)/ε) instead of O(M)).
 func (a *ApproxAnalyzer) Buckets() int { return len(a.buckets) }

@@ -118,3 +118,50 @@ func BenchmarkApproxAccess(b *testing.B) {
 		a.Access(trace.Addr(rng.Intn(1 << 16)))
 	}
 }
+
+func TestApproxEvictOldest(t *testing.T) {
+	ap := NewApproxAnalyzer(0.05)
+	for i := 0; i < 10000; i++ {
+		ap.Access(trace.Addr(i))
+	}
+	evicted := ap.EvictOldest(1000)
+	if evicted < 9000 {
+		t.Fatalf("evicted %d, want >= 9000", evicted)
+	}
+	if ap.Distinct() > 1000 {
+		t.Fatalf("Distinct = %d after eviction cap 1000", ap.Distinct())
+	}
+	// Evicted (old) addresses read cold again; survivors stay warm.
+	if d := ap.Access(0); d != Infinite {
+		t.Errorf("evicted address warm: %d", d)
+	}
+	if d := ap.Access(9999); d == Infinite {
+		t.Error("recent address went cold")
+	}
+	// No-op when already under the cap.
+	if n := ap.EvictOldest(1 << 20); n != 0 {
+		t.Errorf("eviction under cap removed %d", n)
+	}
+}
+
+func TestApproxEvictKeepsDistancesConsistent(t *testing.T) {
+	// After eviction the analyzer must keep producing sane distances:
+	// a cyclic working set larger than the cap degrades to cold
+	// misses, never to panics or negative distances.
+	const n, cap = 5000, 1000
+	ap := NewApproxAnalyzer(0.05)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < n; i++ {
+			d := ap.Access(trace.Addr(i))
+			if d != Infinite && d < 0 {
+				t.Fatalf("negative distance %d", d)
+			}
+			if ap.Distinct() > 2*cap {
+				ap.EvictOldest(cap)
+			}
+		}
+	}
+	if ap.Distinct() > 2*cap {
+		t.Errorf("Distinct = %d, cap %d not enforced", ap.Distinct(), cap)
+	}
+}

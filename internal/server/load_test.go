@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessionsIsolated drives many sessions at once — each
+// streaming a different phased workload in binary chunks from its own
+// goroutine — and checks every session's phase-event stream against a
+// standalone detector fed the same events. Any cross-session state
+// leak, or any data race under -race, breaks the comparison.
+func TestConcurrentSessionsIsolated(t *testing.T) {
+	const sessions = 9
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds put each session in a disjoint address
+			// space; varying phase counts desynchronize the streams.
+			events := syntheticEvents(i+1, 5+i%3, 6)
+			got := chunked(t, h, fmt.Sprintf("load-%d", i), events, 16384, true)
+			want := expected(events)
+			if len(want) == 0 {
+				t.Errorf("session %d: workload produced no phase events", i)
+				return
+			}
+			if len(got) != len(want) {
+				t.Errorf("session %d: %d events, want %d", i, len(got), len(want))
+				return
+			}
+			for j := range got {
+				w := phaseWire{Kind: want[j].Kind.String(), Time: want[j].Time, Instructions: want[j].Instructions, Phase: want[j].Phase}
+				if got[j] != w {
+					t.Errorf("session %d event %d = %+v, want %+v", i, j, got[j], w)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	body := do(t, h, "GET", "/metrics").Body.String()
+	if body == "" {
+		t.Fatal("empty /metrics after load")
+	}
+	for _, want := range []string{
+		fmt.Sprintf("lpp_sessions_total %d", sessions),
+		"lpp_sessions_active 0", // all sessions deleted
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

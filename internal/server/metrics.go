@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRingSize bounds the per-chunk latency history used for the
+// percentile and events/sec gauges: recent window, O(1) memory.
+const latencyRingSize = 1024
+
+// chunkSample is one processed chunk's contribution to the windowed
+// rate and latency metrics.
+type chunkSample struct {
+	done    time.Time
+	latency time.Duration
+	events  int
+}
+
+// metrics aggregates server-wide counters (atomics, updated on the hot
+// path) and a bounded ring of recent chunk samples (mutex-guarded,
+// folded into percentiles only on scrape).
+type metrics struct {
+	start time.Time
+
+	sessionsActive atomic.Int64
+	sessionsTotal  atomic.Int64
+	eventsTotal    atomic.Int64
+	chunksTotal    atomic.Int64
+	rejectedChunks atomic.Int64
+	boundaries     atomic.Int64
+	predictions    atomic.Int64
+
+	mu   sync.Mutex
+	ring [latencyRingSize]chunkSample
+	n    int // samples written (ring index = n % latencyRingSize)
+}
+
+// observeChunk records one completed chunk: its end-to-end detection
+// latency (enqueue to reply) and event count.
+func (m *metrics) observeChunk(lat time.Duration, events int) {
+	m.chunksTotal.Add(1)
+	m.eventsTotal.Add(int64(events))
+	m.mu.Lock()
+	m.ring[m.n%latencyRingSize] = chunkSample{done: time.Now(), latency: lat, events: events}
+	m.n++
+	m.mu.Unlock()
+}
+
+// snapshot computes the windowed gauges from the ring.
+func (m *metrics) snapshot() (rate float64, p50, p90, p99 time.Duration) {
+	m.mu.Lock()
+	count := m.n
+	if count > latencyRingSize {
+		count = latencyRingSize
+	}
+	lats := make([]time.Duration, 0, count)
+	var events int
+	oldest := time.Time{}
+	for i := 0; i < count; i++ {
+		s := m.ring[i]
+		lats = append(lats, s.latency)
+		events += s.events
+		if oldest.IsZero() || s.done.Before(oldest) {
+			oldest = s.done
+		}
+	}
+	m.mu.Unlock()
+	if len(lats) == 0 {
+		return 0, 0, 0, 0
+	}
+	if span := time.Since(oldest); span > 0 {
+		rate = float64(events) / span.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return rate, pct(0.50), pct(0.90), pct(0.99)
+}
+
+// write renders the metrics in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer) {
+	rate, p50, p90, p99 := m.snapshot()
+	fmt.Fprintf(w, "# TYPE lpp_sessions_active gauge\n")
+	fmt.Fprintf(w, "lpp_sessions_active %d\n", m.sessionsActive.Load())
+	fmt.Fprintf(w, "# TYPE lpp_sessions_total counter\n")
+	fmt.Fprintf(w, "lpp_sessions_total %d\n", m.sessionsTotal.Load())
+	fmt.Fprintf(w, "# TYPE lpp_events_total counter\n")
+	fmt.Fprintf(w, "lpp_events_total %d\n", m.eventsTotal.Load())
+	fmt.Fprintf(w, "# TYPE lpp_chunks_total counter\n")
+	fmt.Fprintf(w, "lpp_chunks_total %d\n", m.chunksTotal.Load())
+	fmt.Fprintf(w, "# TYPE lpp_rejected_chunks_total counter\n")
+	fmt.Fprintf(w, "lpp_rejected_chunks_total %d\n", m.rejectedChunks.Load())
+	fmt.Fprintf(w, "# TYPE lpp_boundaries_total counter\n")
+	fmt.Fprintf(w, "lpp_boundaries_total %d\n", m.boundaries.Load())
+	fmt.Fprintf(w, "# TYPE lpp_predictions_total counter\n")
+	fmt.Fprintf(w, "lpp_predictions_total %d\n", m.predictions.Load())
+	fmt.Fprintf(w, "# TYPE lpp_events_per_second gauge\n")
+	fmt.Fprintf(w, "lpp_events_per_second %.1f\n", rate)
+	fmt.Fprintf(w, "# TYPE lpp_detect_latency_seconds gauge\n")
+	fmt.Fprintf(w, "lpp_detect_latency_seconds{quantile=\"0.5\"} %.6f\n", p50.Seconds())
+	fmt.Fprintf(w, "lpp_detect_latency_seconds{quantile=\"0.9\"} %.6f\n", p90.Seconds())
+	fmt.Fprintf(w, "lpp_detect_latency_seconds{quantile=\"0.99\"} %.6f\n", p99.Seconds())
+	fmt.Fprintf(w, "# TYPE lpp_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "lpp_uptime_seconds %.1f\n", time.Since(m.start).Seconds())
+}

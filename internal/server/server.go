@@ -1,0 +1,385 @@
+// Package server exposes the streaming phase detector over HTTP. Each
+// session owns one online.Detector fed by a dedicated goroutine;
+// clients POST trace chunks (NDJSON events or the binary trace file
+// format) and receive the phase events those chunks produced as NDJSON.
+// Ingestion is backpressured: each session has a bounded chunk queue,
+// and a full queue answers 429 instead of growing; queue occupancy also
+// drives the detector's load-shedding stride.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpp/internal/online"
+	"lpp/internal/trace"
+)
+
+// Config tunes the server. The zero value takes the defaults below.
+type Config struct {
+	// Detector is the per-session detector configuration. Its OnEvent
+	// field is overwritten; everything else passes through.
+	Detector online.Config
+	// QueueDepth is the number of chunks buffered per session beyond
+	// the one being processed (default 8). A full queue rejects the
+	// chunk with 429.
+	QueueDepth int
+	// MaxSessions caps concurrently open sessions (default 256); at
+	// the cap, new sessions are refused with 503.
+	MaxSessions int
+	// MaxChunkBytes caps a single POST body (default 8 MiB).
+	MaxChunkBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxChunkBytes <= 0 {
+		c.MaxChunkBytes = 8 << 20
+	}
+	return c
+}
+
+// Server routes HTTP requests to per-session detector workers.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+
+	m metrics
+
+	// testChunkHook, when set (tests only), runs at the start of each
+	// chunk's processing, letting tests hold a worker mid-chunk.
+	testChunkHook func()
+}
+
+// New returns a Server; use Handler to serve it.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*session),
+	}
+	s.m.start = time.Now()
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler for the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts every session down, flushing their detectors.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.shutdown()
+	}
+	s.m.sessionsActive.Store(0)
+}
+
+// chunk is one unit of per-session work.
+type chunk struct {
+	events []trace.Event
+	flush  bool
+	reply  chan []online.PhaseEvent
+}
+
+// session is one detection stream. The worker goroutine is the sole
+// owner of the detector; handlers communicate through the queue and
+// read only the atomic counters.
+type session struct {
+	id    string
+	queue chan chunk
+
+	closeOnce sync.Once
+
+	// Counters maintained by the worker, read by handlers.
+	events      atomic.Int64
+	boundaries  atomic.Int64
+	predictions atomic.Int64
+	dropped     atomic.Int64
+	shed        atomic.Int64
+}
+
+func (s *Server) getSession(id string, create bool) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errServerClosed
+	}
+	if sess, ok := s.sessions[id]; ok {
+		return sess, nil
+	}
+	if !create {
+		return nil, errNoSession
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, errTooManySessions
+	}
+	sess := &session{
+		id:    id,
+		queue: make(chan chunk, s.cfg.QueueDepth),
+	}
+	s.sessions[id] = sess
+	s.m.sessionsActive.Add(1)
+	s.m.sessionsTotal.Add(1)
+	go s.run(sess)
+	return sess, nil
+}
+
+var (
+	errNoSession       = errors.New("no such session")
+	errTooManySessions = errors.New("session limit reached")
+	errServerClosed    = errors.New("server closed")
+)
+
+// run is the session worker: the only goroutine touching the detector.
+func (s *Server) run(sess *session) {
+	var pending []online.PhaseEvent
+	cfg := s.cfg.Detector
+	cfg.OnEvent = func(ev online.PhaseEvent) { pending = append(pending, ev) }
+	det := online.NewDetector(cfg)
+	for c := range sess.queue {
+		if s.testChunkHook != nil {
+			s.testChunkHook()
+		}
+		// Queue occupancy is the pressure signal: a backed-up
+		// consumer degrades detection fidelity instead of memory.
+		det.SetPressure(float64(len(sess.queue)) / float64(cap(sess.queue)))
+		for _, ev := range c.events {
+			ev.Feed(det)
+		}
+		if c.flush {
+			det.Flush()
+		}
+		st := det.Stats()
+		sess.events.Store(st.Accesses + st.Blocks)
+		sess.boundaries.Store(st.Boundaries)
+		sess.predictions.Store(st.Predictions)
+		sess.dropped.Store(st.DroppedEvents)
+		sess.shed.Store(st.Shed)
+		out := pending
+		pending = nil
+		c.reply <- out
+	}
+}
+
+// shutdown closes the session's queue after draining a final flush.
+func (sess *session) shutdown() []online.PhaseEvent {
+	var out []online.PhaseEvent
+	sess.closeOnce.Do(func() {
+		reply := make(chan []online.PhaseEvent, 1)
+		sess.queue <- chunk{flush: true, reply: reply}
+		out = <-reply
+		close(sess.queue)
+	})
+	return out
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, err := s.decodeChunk(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess, err := s.getSession(id, true)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		http.Error(w, err.Error(), status)
+		return
+	}
+	start := time.Now()
+	reply := make(chan []online.PhaseEvent, 1)
+	select {
+	case sess.queue <- chunk{events: events, reply: reply}:
+	default:
+		// Backpressure: the session's queue is full. The client
+		// should retry after draining; the chunk is not partially
+		// applied.
+		s.m.rejectedChunks.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "session queue full", http.StatusTooManyRequests)
+		return
+	}
+	out := <-reply
+	s.m.observeChunk(time.Since(start), len(events))
+	s.m.boundaries.Add(countKind(out, online.BoundaryDetected))
+	s.m.predictions.Add(countKind(out, online.PhasePredicted))
+	writeEvents(w, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, errNoSession.Error(), http.StatusNotFound)
+		return
+	}
+	start := time.Now()
+	out := sess.shutdown()
+	s.m.sessionsActive.Add(-1)
+	s.m.observeChunk(time.Since(start), 0)
+	s.m.boundaries.Add(countKind(out, online.BoundaryDetected))
+	s.m.predictions.Add(countKind(out, online.PhasePredicted))
+	writeEvents(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, err := s.getSession(id, false)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int64{
+		"events":      sess.events.Load(),
+		"boundaries":  sess.boundaries.Load(),
+		"predictions": sess.predictions.Load(),
+		"dropped":     sess.dropped.Load(),
+		"shed":        sess.shed.Load(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.m.write(w)
+}
+
+// wireEvent is the NDJSON representation of a trace event (input) or
+// phase event (output).
+type wireEvent struct {
+	Kind   string `json:"kind"`
+	Addr   uint64 `json:"addr,omitempty"`
+	Block  uint64 `json:"block,omitempty"`
+	Instrs int    `json:"instrs,omitempty"`
+}
+
+// decodeChunk parses a request body as either the binary trace format
+// (recognized by its magic header or Content-Type) or NDJSON events.
+func (s *Server) decodeChunk(r *http.Request) ([]trace.Event, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxChunkBytes)
+	br := bufio.NewReaderSize(body, 1<<16)
+	ct := r.Header.Get("Content-Type")
+	head, _ := br.Peek(len("LPPTRACE1\n"))
+	if strings.HasPrefix(ct, "application/x-lpp-trace") || bytes.Equal(head, []byte("LPPTRACE1\n")) {
+		return decodeBinary(br)
+	}
+	return decodeNDJSON(br)
+}
+
+func decodeBinary(r io.Reader) ([]trace.Event, error) {
+	tr := trace.NewReader(r)
+	var events []trace.Event
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("binary chunk: %w", err)
+		}
+		events = append(events, ev)
+	}
+}
+
+func decodeNDJSON(r *bufio.Reader) ([]trace.Event, error) {
+	var events []trace.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var we wireEvent
+		if err := json.Unmarshal(text, &we); err != nil {
+			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+		}
+		switch we.Kind {
+		case "access":
+			events = append(events, trace.Event{Kind: trace.EventAccess, Addr: trace.Addr(we.Addr)})
+		case "block":
+			events = append(events, trace.Event{Kind: trace.EventBlock, Block: trace.BlockID(we.Block), Instrs: we.Instrs})
+		default:
+			return nil, fmt.Errorf("ndjson line %d: unknown kind %q", line, we.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	return events, nil
+}
+
+// phaseWire is the NDJSON representation of one detector output event.
+type phaseWire struct {
+	Kind         string `json:"kind"`
+	Time         int64  `json:"time"`
+	Instructions int64  `json:"instructions"`
+	Phase        int    `json:"phase"`
+}
+
+func writeEvents(w http.ResponseWriter, events []online.PhaseEvent) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		enc.Encode(phaseWire{
+			Kind:         ev.Kind.String(),
+			Time:         ev.Time,
+			Instructions: ev.Instructions,
+			Phase:        ev.Phase,
+		})
+	}
+	bw.Flush()
+}
+
+func countKind(events []online.PhaseEvent, k online.Kind) int64 {
+	var n int64
+	for _, ev := range events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}

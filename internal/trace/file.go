@@ -82,48 +82,126 @@ func (t *Writer) Flush() error {
 // Events returns the number of events written.
 func (t *Writer) Events() uint64 { return t.events }
 
+// EventKind discriminates decoded trace events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventBlock EventKind = iota
+	EventAccess
+)
+
+// Event is one decoded trace event, the unit the streaming Reader
+// yields. Block events carry Block and Instrs; access events carry
+// Addr.
+type Event struct {
+	Kind   EventKind
+	Addr   Addr
+	Block  BlockID
+	Instrs int
+}
+
+// Feed applies the event to an Instrumenter.
+func (e Event) Feed(ins Instrumenter) {
+	if e.Kind == EventBlock {
+		ins.Block(e.Block, e.Instrs)
+	} else {
+		ins.Access(e.Addr)
+	}
+}
+
+// Reader incrementally decodes the trace file format, one event per
+// Next call, holding only a fixed-size buffer — so arbitrarily large
+// traces (and unbounded network streams in the same format) can be
+// consumed without materializing them. The header is read lazily on
+// the first Next.
+type Reader struct {
+	br        *bufio.Reader
+	prevAddr  Addr
+	gotHeader bool
+	blocks    uint64
+	accesses  uint64
+}
+
+// NewReader returns a streaming Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Counts returns the number of block and access events decoded so far.
+func (r *Reader) Counts() (blocks, accesses uint64) {
+	return r.blocks, r.accesses
+}
+
+// Next decodes the next event. It returns io.EOF at a clean end of
+// stream; a stream truncated mid-event yields a wrapped
+// io.ErrUnexpectedEOF instead, so callers can tell the two apart.
+func (r *Reader) Next() (Event, error) {
+	if !r.gotHeader {
+		magic := make([]byte, len(fileMagic))
+		if _, err := io.ReadFull(r.br, magic); err != nil {
+			return Event{}, fmt.Errorf("trace: read header: %w", err)
+		}
+		if string(magic) != fileMagic {
+			return Event{}, fmt.Errorf("trace: bad magic %q", magic)
+		}
+		r.gotHeader = true
+	}
+	tag, err := r.br.ReadByte()
+	if err == io.EOF {
+		return Event{}, io.EOF
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: read tag: %w", err)
+	}
+	switch tag {
+	case tagBlock:
+		id, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: block id: %w", noEOF(err))
+		}
+		instrs, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: block instrs: %w", noEOF(err))
+		}
+		r.blocks++
+		return Event{Kind: EventBlock, Block: BlockID(id), Instrs: int(instrs)}, nil
+	case tagAccess:
+		delta, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: access delta: %w", noEOF(err))
+		}
+		r.prevAddr = Addr(int64(r.prevAddr) + delta)
+		r.accesses++
+		return Event{Kind: EventAccess, Addr: r.prevAddr}, nil
+	default:
+		return Event{}, fmt.Errorf("trace: unknown event tag %#x", tag)
+	}
+}
+
+// noEOF upgrades a bare io.EOF in the middle of an event to
+// io.ErrUnexpectedEOF: the stream ended where more bytes were owed.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
 // ReadFile replays a trace file into ins. It returns the number of
 // block and access events replayed.
 func ReadFile(r io.Reader, ins Instrumenter) (blocks, accesses uint64, err error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(fileMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, 0, fmt.Errorf("trace: read header: %w", err)
-	}
-	if string(magic) != fileMagic {
-		return 0, 0, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	var prevAddr Addr
+	tr := NewReader(r)
 	for {
-		tag, err := br.ReadByte()
+		ev, err := tr.Next()
 		if err == io.EOF {
+			blocks, accesses = tr.Counts()
 			return blocks, accesses, nil
 		}
 		if err != nil {
-			return blocks, accesses, fmt.Errorf("trace: read tag: %w", err)
+			blocks, accesses = tr.Counts()
+			return blocks, accesses, err
 		}
-		switch tag {
-		case tagBlock:
-			id, err := binary.ReadUvarint(br)
-			if err != nil {
-				return blocks, accesses, fmt.Errorf("trace: block id: %w", err)
-			}
-			instrs, err := binary.ReadUvarint(br)
-			if err != nil {
-				return blocks, accesses, fmt.Errorf("trace: block instrs: %w", err)
-			}
-			ins.Block(BlockID(id), int(instrs))
-			blocks++
-		case tagAccess:
-			delta, err := binary.ReadVarint(br)
-			if err != nil {
-				return blocks, accesses, fmt.Errorf("trace: access delta: %w", err)
-			}
-			prevAddr = Addr(int64(prevAddr) + delta)
-			ins.Access(prevAddr)
-			accesses++
-		default:
-			return blocks, accesses, fmt.Errorf("trace: unknown event tag %#x", tag)
-		}
+		ev.Feed(ins)
 	}
 }

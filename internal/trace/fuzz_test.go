@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -21,6 +22,21 @@ func FuzzReadFile(f *testing.F) {
 	f.Add([]byte(fileMagic))
 	f.Add([]byte("garbage"))
 	f.Add(append(append([]byte{}, valid...), 0xFF))
+	// Truncated chunks: cut the stream mid-event at every prefix of a
+	// multi-byte varint payload, the shapes a chunked network reader
+	// sees when a connection drops.
+	for cut := len(fileMagic); cut < len(valid); cut++ {
+		f.Add(append([]byte{}, valid[:cut]...))
+	}
+	// A large delta makes the access varint span many bytes; truncate
+	// inside it.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.Access(0xFFFF_FFFF_FFFF)
+	_ = w.Flush()
+	wide := buf.Bytes()
+	f.Add(wide[:len(wide)-2])
+	f.Add(wide[:len(wide)-4])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec := NewRecorder(0, 0)
@@ -30,6 +46,54 @@ func FuzzReadFile(f *testing.F) {
 		}
 		if uint64(len(rec.T.Blocks)) != blocks || uint64(len(rec.T.Accesses)) != accesses {
 			t.Fatal("reported counts disagree with replayed events")
+		}
+	})
+}
+
+// FuzzReaderMatchesReadFile checks the streaming Reader and the one-shot
+// ReadFile decode any byte stream identically, including where and how
+// they fail.
+func FuzzReaderMatchesReadFile(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Block(1, 10)
+	w.Access(0x2000)
+	w.Block(2, 20)
+	w.Access(0x2040)
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	for cut := 0; cut < len(valid); cut += 3 {
+		f.Add(append([]byte{}, valid[:cut]...))
+	}
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole := NewRecorder(0, 0)
+		wb, wa, werr := ReadFile(bytes.NewReader(data), whole)
+
+		streamed := NewRecorder(0, 0)
+		r := NewReader(bytes.NewReader(data))
+		var serr error
+		for {
+			ev, err := r.Next()
+			if err != nil {
+				if err != io.EOF {
+					serr = err
+				}
+				break
+			}
+			ev.Feed(streamed)
+		}
+		sb, sa := r.Counts()
+		if sb != wb || sa != wa {
+			t.Fatalf("counts differ: reader %d/%d, readfile %d/%d", sb, sa, wb, wa)
+		}
+		if (serr == nil) != (werr == nil) {
+			t.Fatalf("error disagreement: reader %v, readfile %v", serr, werr)
+		}
+		if len(streamed.T.Accesses) != len(whole.T.Accesses) || len(streamed.T.Blocks) != len(whole.T.Blocks) {
+			t.Fatal("decoded events differ")
 		}
 	})
 }
