@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"lpp/internal/server"
@@ -32,6 +34,64 @@ type streamReport struct {
 	Boundaries   int     `json:"boundaries"`
 	Predictions  int     `json:"predictions"`
 	Retries429   int     `json:"retries_429"`
+	Retries5xx   int     `json:"retries_5xx"`
+	RetriesConn  int     `json:"retries_conn"`
+	Replayed     int     `json:"replayed"`
+}
+
+// retryCounts tallies the transient failures the client rode out.
+type retryCounts struct {
+	r429, r5xx, conn, replayed int
+}
+
+// maxAttempts bounds the retry loop for one chunk; with the capped
+// backoff below it spans roughly half a minute of server unavailability.
+const maxAttempts = 60
+
+// postChunk sends one chunk, retrying transient failures — 429
+// backpressure, 5xx, and connection errors — with exponential backoff
+// and jitter, resending the same body under the same sequence number
+// each time. The sequence number makes retries idempotent: a chunk the
+// server already applied is answered from its response cache instead
+// of being double-fed into the detector.
+func postChunk(client *http.Client, url string, seq uint64, body []byte, rc *retryCounts) (*http.Response, error) {
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/x-lpp-trace")
+		req.Header.Set("X-Lpp-Seq", strconv.FormatUint(seq, 10))
+		resp, err := client.Do(req)
+		switch {
+		case err != nil:
+			rc.conn++
+			lastErr = err
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rc.r429++
+			lastErr = fmt.Errorf("server answered %s", resp.Status)
+		case resp.StatusCode >= 500:
+			rc.r5xx++
+			lastErr = fmt.Errorf("server answered %s", resp.Status)
+		default:
+			if resp.Header.Get("X-Lpp-Replayed") == "true" {
+				rc.replayed++
+			}
+			return resp, nil
+		}
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+	return nil, fmt.Errorf("seq %d: gave up after %d attempts: %w", seq, maxAttempts, lastErr)
 }
 
 // runStream replays a recorded trace file against an lppserve instance
@@ -56,7 +116,10 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		if err != nil {
 			return err
 		}
-		srv := server.New(server.Config{})
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			return err
+		}
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
 		defer func() {
@@ -72,10 +135,11 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		lats       []time.Duration
 		boundaries int
 		preds      int
-		retries    int
+		rc         retryCounts
 	)
 	client := &http.Client{}
 	start := time.Now()
+	seq := uint64(0)
 	for off := 0; off < len(events); off += chunkLen {
 		end := off + chunkLen
 		if end > len(events) {
@@ -89,34 +153,25 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		for {
-			t0 := time.Now()
-			resp, err := client.Post(session, "application/x-lpp-trace", bytes.NewReader(buf.Bytes()))
-			if err != nil {
-				return err
-			}
-			if resp.StatusCode == http.StatusTooManyRequests {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				retries++
-				time.Sleep(10 * time.Millisecond)
-				continue
-			}
-			if resp.StatusCode != http.StatusOK {
-				msg, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				return fmt.Errorf("chunk at %d: %s: %s", off, resp.Status, bytes.TrimSpace(msg))
-			}
-			b, p, err := countPhaseEvents(resp.Body)
-			resp.Body.Close()
-			if err != nil {
-				return err
-			}
-			lats = append(lats, time.Since(t0))
-			boundaries += b
-			preds += p
-			break
+		seq++
+		t0 := time.Now()
+		resp, err := postChunk(client, session, seq, buf.Bytes(), &rc)
+		if err != nil {
+			return fmt.Errorf("chunk at %d: %w", off, err)
 		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("chunk at %d: %s: %s", off, resp.Status, bytes.TrimSpace(msg))
+		}
+		b, p, err := countPhaseEvents(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		lats = append(lats, time.Since(t0))
+		boundaries += b
+		preds += p
 	}
 	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/bench", nil)
 	resp, err := client.Do(req)
@@ -149,15 +204,18 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		LatencyP99Ms: pct(0.99),
 		Boundaries:   boundaries,
 		Predictions:  preds,
-		Retries429:   retries,
+		Retries429:   rc.r429,
+		Retries5xx:   rc.r5xx,
+		RetriesConn:  rc.conn,
+		Replayed:     rc.replayed,
 	}
 
 	fmt.Printf("streamed %d events in %d chunks to %s in %v\n",
 		rep.Events, rep.Chunks, rep.Addr, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput %.0f events/s; chunk latency p50 %.2fms p90 %.2fms p99 %.2fms\n",
 		rep.EventsPerSec, rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms)
-	fmt.Printf("phase events: %d boundaries, %d predictions; %d chunks retried on 429\n",
-		rep.Boundaries, rep.Predictions, rep.Retries429)
+	fmt.Printf("phase events: %d boundaries, %d predictions; retries: %d on 429, %d on 5xx, %d on connection errors; %d chunks replayed\n",
+		rep.Boundaries, rep.Predictions, rep.Retries429, rep.Retries5xx, rep.RetriesConn, rep.Replayed)
 
 	out := "BENCH_stream.json"
 	if outDir != "" {

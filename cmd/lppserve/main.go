@@ -4,62 +4,131 @@
 // events or the lpptrace binary format — and receive the phase
 // boundaries and predictions those chunks produced as NDJSON:
 //
-//	lppserve -addr :8080
+//	lppserve -addr :8080 -data /var/lib/lppserve
 //	curl -X POST --data-binary @chunk.ndjson localhost:8080/v1/sessions/run1/events
 //	curl -X DELETE localhost:8080/v1/sessions/run1      # flush + close
 //	curl localhost:8080/metrics
 //
+// With -data, sessions are durable: accepted chunks are write-ahead
+// logged and detectors checkpointed, so a crash or restart resumes
+// every session exactly where it left off. SIGTERM drains gracefully:
+// the listener closes, in-flight requests finish, every session is
+// checkpointed, and the process exits 0 within the -drain deadline.
+//
 // Usage:
 //
 //	lppserve [-addr :8080] [-queue 8] [-max-sessions 256] [-max-chunk 8388608]
+//	         [-data DIR] [-sync] [-checkpoint-every 64] [-idle-timeout 0]
+//	         [-drain 10s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"lpp/internal/online"
 	"lpp/internal/server"
 )
 
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		queue       = flag.Int("queue", 0, "per-session chunk queue depth (0 = default 8)")
-		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap (0 = default 256)")
-		maxChunk    = flag.Int64("max-chunk", 0, "max POST body bytes (0 = default 8MiB)")
-		maxStride   = flag.Int("max-stride", 0, "load-shedding stride cap (0 = default 16, 1 disables)")
-	)
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
-		os.Exit(2)
-	}
-
-	srv := server.New(server.Config{
-		Detector:      online.Config{MaxStride: *maxStride},
-		QueueDepth:    *queue,
-		MaxSessions:   *maxSessions,
-		MaxChunkBytes: *maxChunk,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	go func() {
-		<-stop
-		log.Print("shutting down")
-		httpSrv.Close()
-	}()
-
-	log.Printf("lppserve listening on %s", *addr)
-	err := httpSrv.ListenAndServe()
-	srv.Close() // flush remaining sessions
-	if err != nil && err != http.ErrServerClosed {
+	if err := run(os.Args[1:], nil); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// run is main minus the process exit, so tests can drive a full
+// serve-and-drain cycle in-process. If ready is non-nil it receives
+// the bound listen address once the server is accepting connections.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("lppserve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		queue       = fs.Int("queue", 0, "per-session chunk queue depth (0 = default 8)")
+		maxSessions = fs.Int("max-sessions", 0, "concurrent session cap (0 = default 256)")
+		maxChunk    = fs.Int64("max-chunk", 0, "max POST body bytes (0 = default 8MiB)")
+		maxStride   = fs.Int("max-stride", 0, "load-shedding stride cap (0 = default 16, 1 disables)")
+		dataDir     = fs.String("data", "", "durable session directory (empty = in-memory only)")
+		syncWrites  = fs.Bool("sync", false, "fsync every WAL append and checkpoint")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "accepted chunks between checkpoints (0 = default 64)")
+		idleTimeout = fs.Duration("idle-timeout", 0, "checkpoint and evict sessions idle this long (0 = never; needs -data)")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv, err := server.New(server.Config{
+		Detector:        online.Config{MaxStride: *maxStride},
+		QueueDepth:      *queue,
+		MaxSessions:     *maxSessions,
+		MaxChunkBytes:   *maxChunk,
+		DataDir:         *dataDir,
+		SyncWrites:      *syncWrites,
+		CheckpointEvery: *ckptEvery,
+		IdleTimeout:     *idleTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		n, err := srv.RecoverSessions()
+		if err != nil {
+			return fmt.Errorf("recover sessions: %w", err)
+		}
+		if n > 0 {
+			log.Printf("recovered %d session(s) from %s", n, *dataDir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("lppserve listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-stop:
+		log.Printf("%v: draining (deadline %v)", sig, *drain)
+	case err := <-errc:
+		srv.Close()
+		return err
+	}
+	// Stop accepting and finish in-flight requests, then checkpoint
+	// every session. Past the deadline we exit anyway: the WAL already
+	// holds every accepted chunk, so sessions stay recoverable even
+	// without their final checkpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+		log.Print("drained; all sessions checkpointed")
+	case <-ctx.Done():
+		log.Print("drain deadline exceeded; exiting on WAL durability alone")
+	}
+	return nil
 }

@@ -1,0 +1,215 @@
+package online
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// collectEvents records a workload run as a replayable event list.
+type eventCollector struct{ events []trace.Event }
+
+func (c *eventCollector) Block(id trace.BlockID, instrs int) {
+	c.events = append(c.events, trace.Event{Kind: trace.EventBlock, Block: id, Instrs: instrs})
+}
+func (c *eventCollector) Access(addr trace.Addr) {
+	c.events = append(c.events, trace.Event{Kind: trace.EventAccess, Addr: addr})
+}
+
+// runStraight feeds every event through one detector and returns its
+// output events.
+func runStraight(cfg Config, events []trace.Event) []PhaseEvent {
+	var out []PhaseEvent
+	cfg.OnEvent = func(ev PhaseEvent) { out = append(out, ev) }
+	d := NewDetector(cfg)
+	for _, ev := range events {
+		ev.Feed(d)
+	}
+	d.Flush()
+	return out
+}
+
+// runInterrupted feeds the stream with a snapshot+restore into a brand
+// new detector at every cut point, simulating a crash and recovery.
+func runInterrupted(t *testing.T, cfg Config, events []trace.Event, cuts []int) []PhaseEvent {
+	t.Helper()
+	var out []PhaseEvent
+	cfg.OnEvent = func(ev PhaseEvent) { out = append(out, ev) }
+	d := NewDetector(cfg)
+	prev := 0
+	for _, cut := range cuts {
+		for _, ev := range events[prev:cut] {
+			ev.Feed(d)
+		}
+		prev = cut
+		snap := d.Snapshot()
+		nd, err := NewDetectorFromSnapshot(cfg, snap)
+		if err != nil {
+			t.Fatalf("restore at event %d: %v", cut, err)
+		}
+		// The restored detector must itself re-snapshot to identical
+		// bytes: Snapshot∘Restore is the identity on state.
+		if again := nd.Snapshot(); !bytes.Equal(snap, again) {
+			t.Fatalf("re-snapshot at event %d differs: %d vs %d bytes", cut, len(snap), len(again))
+		}
+		d = nd
+	}
+	for _, ev := range events[prev:] {
+		ev.Feed(d)
+	}
+	d.Flush()
+	return out
+}
+
+func assertSameEvents(t *testing.T, got, want []PhaseEvent) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("event count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotRestoreParitySynthetic interrupts a synthetic phased
+// stream at several points; boundaries and predictions must be
+// identical to the uninterrupted run.
+func TestSnapshotRestoreParitySynthetic(t *testing.T) {
+	var col eventCollector
+	phasedStream(&col, 20, 6)
+	cfg := Config{}
+	want := runStraight(cfg, col.events)
+	if len(want) == 0 {
+		t.Fatal("workload produced no phase events; parity is vacuous")
+	}
+	n := len(col.events)
+	got := runInterrupted(t, cfg, col.events, []int{1, n / 5, n / 3, n / 2, 4 * n / 5})
+	assertSameEvents(t, got, want)
+}
+
+// TestSnapshotRestoreParityWorkloads runs the full nine-workload sweep:
+// for each workload the stream is cut mid-run, snapshotted, restored
+// into a fresh detector, and must emit exactly the boundaries and
+// next-phase predictions of the uninterrupted run.
+func TestSnapshotRestoreParityWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine-workload sweep is seconds-long; skipped in -short")
+	}
+	for _, c := range parityCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := workload.ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var col eventCollector
+			spec.Make(c.train).Run(&col)
+
+			cfg := Config{KeepIrregular: c.keepIrregular}
+			want := runStraight(cfg, col.events)
+			if len(want) == 0 {
+				t.Fatal("workload produced no phase events; parity is vacuous")
+			}
+			n := len(col.events)
+			got := runInterrupted(t, cfg, col.events, []int{n / 4, 2 * n / 4, 3 * n / 4})
+			assertSameEvents(t, got, want)
+		})
+	}
+}
+
+func TestSnapshotConfigMismatch(t *testing.T) {
+	d := NewDetector(Config{})
+	phasedStream(d, 3, 6)
+	snap := d.Snapshot()
+	other := DefaultConfig()
+	other.MaxDataSamples = 99
+	if _, err := NewDetectorFromSnapshot(other, snap); !errors.Is(err, ErrSnapshotConfig) {
+		t.Fatalf("restore under different config: err = %v, want ErrSnapshotConfig", err)
+	}
+}
+
+// TestSnapshotRejectsCorrupt sweeps truncations, bit flips, and a
+// version skew over a real snapshot: decode must detect every one and
+// must never partially apply (the detector stays usable).
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	d := NewDetector(Config{})
+	phasedStream(d, 6, 6)
+	snap := d.Snapshot()
+
+	fresh := func() *Detector { return NewDetector(Config{}) }
+	for cut := 0; cut < len(snap); cut += 1 + cut/16 {
+		if err := fresh().Restore(snap[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	for off := 0; off < len(snap); off += 1 + off/16 {
+		bad := append([]byte(nil), snap...)
+		bad[off] ^= 0x40
+		if err := fresh().Restore(bad); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", off)
+		}
+	}
+	// Version skew: bump the version byte and fix up the CRC so only
+	// the version check can reject it.
+	skew := append([]byte(nil), snap...)
+	skew[len(snapMagic)] = snapVersion + 1
+	skew = skew[:len(skew)-4]
+	skew = binary.LittleEndian.AppendUint32(skew, crc32.ChecksumIEEE(skew))
+	if err := fresh().Restore(skew); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("version skew: err = %v, want ErrSnapshotVersion", err)
+	}
+
+	// A failed restore must leave the target detector intact.
+	target := NewDetector(Config{})
+	phasedStream(target, 2, 6)
+	before := target.Snapshot()
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)/2] ^= 1
+	if err := target.Restore(bad); err == nil {
+		t.Fatal("corrupt restore accepted")
+	}
+	if !bytes.Equal(before, target.Snapshot()) {
+		t.Fatal("failed restore mutated the detector")
+	}
+}
+
+// FuzzSnapshotRestore asserts decode never panics and that a restored
+// detector is immediately usable.
+func FuzzSnapshotRestore(f *testing.F) {
+	d := NewDetector(Config{})
+	phasedStream(d, 6, 6)
+	valid := d.Snapshot()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("garbage"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	skew := append([]byte(nil), valid...)
+	skew[len(snapMagic)] = snapVersion + 1
+	skew = skew[:len(skew)-4]
+	skew = binary.LittleEndian.AppendUint32(skew, crc32.ChecksumIEEE(skew))
+	f.Add(skew)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nd := NewDetector(Config{})
+		if err := nd.Restore(data); err != nil {
+			return
+		}
+		// Whatever decoded must hold together under use.
+		for i := 0; i < 256; i++ {
+			nd.Access(trace.Addr(i * 64))
+		}
+		nd.Flush()
+		nd.Snapshot()
+	})
+}

@@ -1,0 +1,141 @@
+package sequitur
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RuleState is one rule's right-hand side in a BuilderState.
+type RuleState struct {
+	ID   int
+	Body []Symbol
+}
+
+// DigramState pins one entry of the digram index to a concrete symbol
+// occurrence: position Pos (0-based) in rule Rule's body. The index
+// must be captured explicitly because it is not a pure function of the
+// rule bodies: in an overlapping chain like "a a a" only one of the two
+// (a,a) occurrences is indexed, and which one depends on edit history.
+// Restoring the wrong occurrence would make a future Append rewrite the
+// grammar differently from the original builder.
+type DigramState struct {
+	Rule int
+	Pos  int
+}
+
+// BuilderState is the complete serializable state of a Builder: a
+// builder restored from it appends exactly as the original would have.
+// Rules are sorted by ID and digrams by (rule, pos), so identical
+// builders produce identical states.
+type BuilderState struct {
+	NextID  int
+	Rules   []RuleState
+	Digrams []DigramState
+}
+
+// State snapshots the builder.
+func (b *Builder) State() BuilderState {
+	st := BuilderState{NextID: b.nextID}
+	ids := make([]int, 0, len(b.rules))
+	for id := range b.rules {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := b.rules[id]
+		rs := RuleState{ID: id}
+		pos := 0
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.rule != nil {
+				rs.Body = append(rs.Body, Symbol{Value: s.rule.id})
+			} else {
+				rs.Body = append(rs.Body, Symbol{Terminal: true, Value: s.terminal})
+			}
+			// Record the digram index entry anchored at this symbol, if
+			// this very occurrence is the indexed one.
+			if !s.next.isGuard() {
+				if m, ok := b.digrams[digramOf(s)]; ok && m == s {
+					st.Digrams = append(st.Digrams, DigramState{Rule: id, Pos: pos})
+				}
+			}
+			pos++
+		}
+		st.Rules = append(st.Rules, rs)
+	}
+	return st
+}
+
+var errBuilderState = errors.New("sequitur: invalid builder state")
+
+// NewBuilderFromState reconstructs a Builder from a BuilderState,
+// validating referential integrity so corrupt snapshots are rejected
+// instead of panicking on a later Append.
+func NewBuilderFromState(st BuilderState) (*Builder, error) {
+	if st.NextID < 1 {
+		return nil, fmt.Errorf("%w: next ID %d < 1", errBuilderState, st.NextID)
+	}
+	b := &Builder{
+		digrams: make(map[digram]*symbol),
+		rules:   make(map[int]*rule, len(st.Rules)),
+		nextID:  st.NextID,
+	}
+	for _, rs := range st.Rules {
+		if rs.ID < 0 {
+			return nil, fmt.Errorf("%w: negative rule ID %d", errBuilderState, rs.ID)
+		}
+		if rs.ID >= st.NextID {
+			return nil, fmt.Errorf("%w: rule ID %d >= next ID %d", errBuilderState, rs.ID, st.NextID)
+		}
+		if _, dup := b.rules[rs.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate rule ID %d", errBuilderState, rs.ID)
+		}
+		b.rules[rs.ID] = newRule(rs.ID)
+	}
+	start, ok := b.rules[0]
+	if !ok {
+		return nil, fmt.Errorf("%w: no start rule", errBuilderState)
+	}
+	b.start = start
+	for _, rs := range st.Rules {
+		r := b.rules[rs.ID]
+		for _, sym := range rs.Body {
+			var s *symbol
+			if sym.Terminal {
+				if sym.Value < 0 {
+					return nil, fmt.Errorf("%w: negative terminal %d", errBuilderState, sym.Value)
+				}
+				s = &symbol{terminal: sym.Value}
+			} else {
+				ref, ok := b.rules[sym.Value]
+				if !ok || sym.Value == 0 {
+					return nil, fmt.Errorf("%w: rule %d references missing rule %d", errBuilderState, rs.ID, sym.Value)
+				}
+				s = &symbol{rule: ref}
+			}
+			b.insertAfter(r.last(), s)
+		}
+	}
+	for _, ds := range st.Digrams {
+		r, ok := b.rules[ds.Rule]
+		if !ok {
+			return nil, fmt.Errorf("%w: digram in missing rule %d", errBuilderState, ds.Rule)
+		}
+		if ds.Pos < 0 {
+			return nil, fmt.Errorf("%w: negative digram position", errBuilderState)
+		}
+		s := r.first()
+		for i := 0; i < ds.Pos && !s.isGuard(); i++ {
+			s = s.next
+		}
+		if s.isGuard() || s.next.isGuard() {
+			return nil, fmt.Errorf("%w: digram position %d out of rule %d", errBuilderState, ds.Pos, ds.Rule)
+		}
+		d := digramOf(s)
+		if _, dup := b.digrams[d]; dup {
+			return nil, fmt.Errorf("%w: duplicate digram index entry", errBuilderState)
+		}
+		b.digrams[d] = s
+	}
+	return b, nil
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lpp/internal/faultfs"
+	"lpp/internal/online"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// collector records a workload run as a replayable event list.
+type collector struct{ events []trace.Event }
+
+func (c *collector) Block(id trace.BlockID, instrs int) {
+	c.events = append(c.events, trace.Event{Kind: trace.EventBlock, Block: id, Instrs: instrs})
+}
+func (c *collector) Access(addr trace.Addr) {
+	c.events = append(c.events, trace.Event{Kind: trace.EventAccess, Addr: addr})
+}
+
+// postSeq posts one binary chunk under an explicit sequence number.
+func postSeq(t *testing.T, h http.Handler, id string, seq uint64, events []trace.Event) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/sessions/"+id+"/events", bytes.NewReader(encodeBinary(t, events)))
+	req.Header.Set("Content-Type", "application/x-lpp-trace")
+	req.Header.Set("X-Lpp-Seq", fmt.Sprint(seq))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+// expectedCfg runs events through a local detector under cfg.
+func expectedCfg(cfg online.Config, events []trace.Event) []online.PhaseEvent {
+	var got []online.PhaseEvent
+	cfg.OnEvent = func(ev online.PhaseEvent) { got = append(got, ev) }
+	d := online.NewDetector(cfg)
+	for _, ev := range events {
+		ev.Feed(d)
+	}
+	d.Flush()
+	return got
+}
+
+// chunkBounds splits n events into count nearly-equal chunks.
+func chunkBounds(n, count int) [][2]int {
+	var out [][2]int
+	size := n / count
+	if size == 0 {
+		size = 1
+	}
+	for off := 0; off < n; off += size {
+		end := off + size
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{off, end})
+	}
+	return out
+}
+
+// TestSeqProtocol exercises the idempotency contract: a duplicate of
+// the last accepted sequence number replays the cached response, a gap
+// answers 409, a malformed number answers 400.
+func TestSeqProtocol(t *testing.T) {
+	s := mustServer(t, Config{})
+	defer s.Close()
+	h := s.Handler()
+	events := syntheticEvents(11, 4, 6)
+	bounds := chunkBounds(len(events), 4)
+
+	first := postSeq(t, h, "seq", 1, events[bounds[0][0]:bounds[0][1]])
+	if first.Code != http.StatusOK || first.Header().Get("X-Lpp-Seq") != "1" {
+		t.Fatalf("seq 1: status %d, X-Lpp-Seq %q", first.Code, first.Header().Get("X-Lpp-Seq"))
+	}
+	// Duplicate: must NOT re-feed the detector, must return the same body.
+	dup := postSeq(t, h, "seq", 1, events[bounds[0][0]:bounds[0][1]])
+	if dup.Code != http.StatusOK || dup.Header().Get("X-Lpp-Replayed") != "true" {
+		t.Fatalf("dup seq 1: status %d, replayed %q", dup.Code, dup.Header().Get("X-Lpp-Replayed"))
+	}
+	if dup.Body.String() != first.Body.String() {
+		t.Fatal("replayed response differs from the original")
+	}
+	// Gap.
+	if rr := postSeq(t, h, "seq", 3, events[bounds[1][0]:bounds[1][1]]); rr.Code != http.StatusConflict {
+		t.Fatalf("seq 3 after 1: status %d, want 409: %s", rr.Code, rr.Body.String())
+	} else if !strings.Contains(rr.Body.String(), "sequence gap") {
+		t.Fatalf("gap body: %s", rr.Body.String())
+	}
+	// The expected next still works.
+	if rr := postSeq(t, h, "seq", 2, events[bounds[1][0]:bounds[1][1]]); rr.Code != http.StatusOK {
+		t.Fatalf("seq 2: status %d", rr.Code)
+	}
+	// Malformed.
+	req := httptest.NewRequest("POST", "/v1/sessions/seq/events?seq=zero", bytes.NewReader(encodeBinary(t, events[:10])))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad seq: status %d", rr.Code)
+	}
+	// The detector must have seen chunks 1 and 2 exactly once: its
+	// stream matches a local run of the same prefix.
+	stats := do(t, h, "GET", "/v1/sessions/seq/stats")
+	var st map[string]int64
+	json.Unmarshal(stats.Body.Bytes(), &st)
+	if st["seq"] != 2 {
+		t.Fatalf("stats seq = %d, want 2", st["seq"])
+	}
+	metricsBody := do(t, h, "GET", "/metrics").Body.String()
+	if !strings.Contains(metricsBody, "lpp_replayed_chunks_total 1") {
+		t.Errorf("metrics missing replayed chunk:\n%s", metricsBody)
+	}
+}
+
+// TestRestartRecoversSession kills a durable server between chunks and
+// resumes the stream on a fresh instance over the same data directory:
+// the combined responses must match an uninterrupted local run.
+func TestRestartRecoversSession(t *testing.T) {
+	dir := t.TempDir()
+	events := syntheticEvents(12, 8, 6)
+	bounds := chunkBounds(len(events), 8)
+	want := expectedCfg(online.Config{}, events)
+	if len(want) == 0 {
+		t.Fatal("workload produced no phase events")
+	}
+
+	var got []phaseWire
+	s1 := mustServer(t, Config{DataDir: dir, CheckpointEvery: 3})
+	for i := 0; i < 4; i++ {
+		rr := postSeq(t, s1.Handler(), "r", uint64(i+1), events[bounds[i][0]:bounds[i][1]])
+		if rr.Code != http.StatusOK {
+			t.Fatalf("chunk %d: status %d: %s", i, rr.Code, rr.Body.String())
+		}
+		got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	}
+	s1.Kill()
+
+	s2 := mustServer(t, Config{DataDir: dir, CheckpointEvery: 3})
+	defer s2.Close()
+	n, err := s2.RecoverSessions()
+	if err != nil || n != 1 {
+		t.Fatalf("RecoverSessions = %d, %v", n, err)
+	}
+	stats := do(t, s2.Handler(), "GET", "/v1/sessions/r/stats")
+	var st map[string]int64
+	json.Unmarshal(stats.Body.Bytes(), &st)
+	if st["seq"] != 4 {
+		t.Fatalf("recovered seq = %d, want 4", st["seq"])
+	}
+	for i := 4; i < len(bounds); i++ {
+		rr := postSeq(t, s2.Handler(), "r", uint64(i+1), events[bounds[i][0]:bounds[i][1]])
+		if rr.Code != http.StatusOK {
+			t.Fatalf("chunk %d after restart: status %d: %s", i, rr.Code, rr.Body.String())
+		}
+		got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	}
+	rr := do(t, s2.Handler(), "DELETE", "/v1/sessions/r")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("delete: status %d", rr.Code)
+	}
+	got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	assertMatches(t, got, want)
+}
+
+// TestChaosRecoveryParityWorkloads is the headline durability check:
+// for each of the nine paper workloads, the session is killed once —
+// at a chunk boundary in one mode, mid-chunk (after the WAL append,
+// before the detector feed) in the other — recovered on a fresh server
+// over the same directory, and the stitched-together responses must be
+// byte-identical to an uninterrupted run.
+func TestChaosRecoveryParityWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine-workload chaos sweep is seconds-long; skipped in -short")
+	}
+	cases := []struct {
+		name          string
+		params        workload.Params
+		keepIrregular bool
+	}{
+		{"fft", workload.Params{N: 512, Steps: 6, Seed: 1}, false},
+		{"applu", workload.Params{N: 14, Steps: 5, Seed: 1}, false},
+		{"compress", workload.Params{N: 8192, Steps: 5, Seed: 1}, false},
+		{"gcc", workload.Params{N: 60, Steps: 20, Seed: 1}, true},
+		{"tomcatv", workload.Params{N: 48, Steps: 6, Seed: 1}, false},
+		{"swim", workload.Params{N: 48, Steps: 6, Seed: 1}, false},
+		{"vortex", workload.Params{N: 1 << 12, Steps: 6, Seed: 1}, true},
+		{"mesh", workload.Params{N: 2048, Steps: 6, Seed: 1}, false},
+		{"moldyn", workload.Params{N: 200, Steps: 6, Seed: 1}, false},
+	}
+	// Fixed seed: the kill point is arbitrary but the run reproducible.
+	rng := rand.New(rand.NewSource(20260806))
+	for _, c := range cases {
+		spec, err := workload.ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var col collector
+		spec.Make(c.params).Run(&col)
+		dcfg := online.Config{KeepIrregular: c.keepIrregular}
+		want := expectedCfg(dcfg, col.events)
+		if len(want) == 0 {
+			t.Fatalf("%s produced no phase events", c.name)
+		}
+		bounds := chunkBounds(len(col.events), 10)
+		killChunk := 1 + rng.Intn(len(bounds)-2) // never first or last
+		for _, mode := range []string{"boundary", "midchunk"} {
+			mode := mode
+			t.Run(c.name+"/"+mode, func(t *testing.T) {
+				dir := t.TempDir()
+				cfg := Config{Detector: dcfg, DataDir: dir, CheckpointEvery: 3}
+				s1 := mustServer(t, cfg)
+				if mode == "midchunk" {
+					var n int32
+					s1.testChunkHook = func() {
+						// Die after the WAL accepted the chunk but
+						// before the detector saw any of it.
+						if atomic.AddInt32(&n, 1) == int32(killChunk+1) {
+							runtime.Goexit()
+						}
+					}
+				}
+				var got []phaseWire
+				fail := -1
+				for i := 0; i <= killChunk; i++ {
+					rr := postSeq(t, s1.Handler(), "chaos", uint64(i+1), col.events[bounds[i][0]:bounds[i][1]])
+					if rr.Code != http.StatusOK {
+						if mode != "midchunk" || i != killChunk {
+							t.Fatalf("chunk %d: status %d: %s", i, rr.Code, rr.Body.String())
+						}
+						fail = i
+						break
+					}
+					got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+				}
+				if mode == "midchunk" && fail != killChunk {
+					t.Fatalf("mid-chunk kill did not fire at chunk %d (failed at %d)", killChunk, fail)
+				}
+				s1.Kill()
+
+				s2 := mustServer(t, cfg)
+				defer s2.Close()
+				if _, err := s2.RecoverSessions(); err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				// Resume: retransmit the killed chunk (same seq) first.
+				resume := killChunk + 1
+				if mode == "midchunk" {
+					resume = killChunk
+				}
+				for i := resume; i < len(bounds); i++ {
+					rr := postSeq(t, s2.Handler(), "chaos", uint64(i+1), col.events[bounds[i][0]:bounds[i][1]])
+					if rr.Code != http.StatusOK {
+						t.Fatalf("chunk %d after recovery: status %d: %s", i, rr.Code, rr.Body.String())
+					}
+					if i == killChunk && mode == "midchunk" && rr.Header().Get("X-Lpp-Replayed") != "true" {
+						t.Errorf("retransmit of WAL-logged chunk %d not served from cache", i)
+					}
+					got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+				}
+				rr := do(t, s2.Handler(), "DELETE", "/v1/sessions/chaos")
+				if rr.Code != http.StatusOK {
+					t.Fatalf("delete: status %d: %s", rr.Code, rr.Body.String())
+				}
+				got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+				assertMatches(t, got, want)
+			})
+		}
+	}
+}
+
+// TestQuarantineAfterPanic: a panic while feeding the detector must
+// quarantine the session — 500 with a "quarantined" body on every
+// later request — not crash the server or corrupt other sessions.
+func TestQuarantineAfterPanic(t *testing.T) {
+	s := mustServer(t, Config{})
+	defer s.Close()
+	h := s.Handler()
+	events := syntheticEvents(13, 2, 2)
+	s.testChunkHook = func() { panic("detector bug") }
+	rr := postSeq(t, h, "q", 1, events[:100])
+	if rr.Code != http.StatusInternalServerError || !strings.Contains(rr.Body.String(), "quarantined") {
+		t.Fatalf("panicking chunk: status %d body %s", rr.Code, rr.Body.String())
+	}
+	s.testChunkHook = nil
+	// The worker survives but refuses the detector.
+	if rr := postSeq(t, h, "q", 2, events[:100]); rr.Code != http.StatusInternalServerError ||
+		!strings.Contains(rr.Body.String(), "quarantined") {
+		t.Fatalf("post after quarantine: status %d body %s", rr.Code, rr.Body.String())
+	}
+	stats := do(t, h, "GET", "/v1/sessions/q/stats")
+	var st map[string]int64
+	json.Unmarshal(stats.Body.Bytes(), &st)
+	if st["quarantined"] != 1 {
+		t.Fatalf("stats quarantined = %d, want 1", st["quarantined"])
+	}
+	if body := do(t, h, "GET", "/metrics").Body.String(); !strings.Contains(body, "lpp_session_panics_total 1") {
+		t.Errorf("metrics missing panic count:\n%s", body)
+	}
+	// Other sessions are unaffected.
+	if rr := postSeq(t, h, "healthy", 1, events[:100]); rr.Code != http.StatusOK {
+		t.Fatalf("healthy session: status %d", rr.Code)
+	}
+	// DELETE still tears the quarantined session down.
+	if rr := do(t, h, "DELETE", "/v1/sessions/q"); rr.Code != http.StatusInternalServerError {
+		t.Fatalf("delete quarantined: status %d", rr.Code)
+	}
+	if rr := do(t, h, "GET", "/v1/sessions/q/stats"); rr.Code != http.StatusNotFound {
+		t.Fatalf("quarantined session survives delete (status %d)", rr.Code)
+	}
+}
+
+// TestIdleReaperSuspends: an idle durable session is checkpointed and
+// evicted, then transparently recovered by the next request, with no
+// detector state lost.
+func TestIdleReaperSuspends(t *testing.T) {
+	dir := t.TempDir()
+	s := mustServer(t, Config{
+		DataDir:      dir,
+		IdleTimeout:  30 * time.Millisecond,
+		ReapInterval: 5 * time.Millisecond,
+	})
+	defer s.Close()
+	h := s.Handler()
+	events := syntheticEvents(14, 6, 6)
+	bounds := chunkBounds(len(events), 2)
+	want := expectedCfg(online.Config{}, events)
+	if len(want) == 0 {
+		t.Fatal("workload produced no phase events")
+	}
+
+	var got []phaseWire
+	rr := postSeq(t, h, "idle", 1, events[bounds[0][0]:bounds[0][1]])
+	if rr.Code != http.StatusOK {
+		t.Fatalf("chunk 1: status %d", rr.Code)
+	}
+	got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+
+	// Poll the metric, not the session map: eviction from the map
+	// happens before the checkpoint finishes and the counter ticks.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if body := do(t, h, "GET", "/metrics").Body.String(); strings.Contains(body, "lpp_sessions_reaped_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session not reaped within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The next chunk recovers the session where it left off.
+	rr = postSeq(t, h, "idle", 2, events[bounds[1][0]:bounds[1][1]])
+	if rr.Code != http.StatusOK {
+		t.Fatalf("chunk 2 after reap: status %d: %s", rr.Code, rr.Body.String())
+	}
+	got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	rr = do(t, h, "DELETE", "/v1/sessions/idle")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("delete: status %d", rr.Code)
+	}
+	got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	assertMatches(t, got, want)
+}
+
+// TestGracefulCloseLeavesSessionsRecoverable: Close checkpoints every
+// session; a new server over the same directory resumes them.
+func TestGracefulCloseLeavesSessionsRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	events := syntheticEvents(15, 6, 6)
+	bounds := chunkBounds(len(events), 3)
+	want := expectedCfg(online.Config{}, events)
+
+	var got []phaseWire
+	s1 := mustServer(t, Config{DataDir: dir})
+	for i := 0; i < 2; i++ {
+		rr := postSeq(t, s1.Handler(), "g", uint64(i+1), events[bounds[i][0]:bounds[i][1]])
+		if rr.Code != http.StatusOK {
+			t.Fatalf("chunk %d: status %d", i, rr.Code)
+		}
+		got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	}
+	s1.Close() // graceful: checkpoint, not flush
+
+	s2 := mustServer(t, Config{DataDir: dir})
+	defer s2.Close()
+	rr := postSeq(t, s2.Handler(), "g", 3, events[bounds[2][0]:bounds[2][1]])
+	if rr.Code != http.StatusOK {
+		t.Fatalf("chunk 3 after close: status %d: %s", rr.Code, rr.Body.String())
+	}
+	got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	rr = do(t, s2.Handler(), "DELETE", "/v1/sessions/g")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("delete: status %d", rr.Code)
+	}
+	got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+	assertMatches(t, got, want)
+
+	// DELETE discarded the durable state too.
+	if n, err := s2.RecoverSessions(); err != nil || n != 0 {
+		t.Fatalf("durable state survives delete: %d sessions, %v", n, err)
+	}
+}
+
+// TestWALErrorSurfaces: an injected disk fault on the WAL append makes
+// the chunk fail closed (500, not applied); once the disk heals, the
+// same sequence number succeeds.
+func TestWALErrorSurfaces(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	s := mustServer(t, Config{DataDir: t.TempDir(), FS: inj})
+	defer s.Close()
+	h := s.Handler()
+	events := syntheticEvents(16, 2, 2)
+
+	if rr := postSeq(t, h, "w", 1, events[:200]); rr.Code != http.StatusOK {
+		t.Fatalf("chunk 1: status %d", rr.Code)
+	}
+	inj.FailWritesAfter(0, nil)
+	rr := postSeq(t, h, "w", 2, events[200:400])
+	if rr.Code != http.StatusInternalServerError || !strings.Contains(rr.Body.String(), "wal append failed") {
+		t.Fatalf("chunk under fault: status %d body %s", rr.Code, rr.Body.String())
+	}
+	inj.Disarm()
+	// Same seq again: the failed chunk was never applied, so this is
+	// not a duplicate.
+	rr = postSeq(t, h, "w", 2, events[200:400])
+	if rr.Code != http.StatusOK || rr.Header().Get("X-Lpp-Replayed") == "true" {
+		t.Fatalf("chunk after heal: status %d replayed %q", rr.Code, rr.Header().Get("X-Lpp-Replayed"))
+	}
+	if body := do(t, h, "GET", "/metrics").Body.String(); !strings.Contains(body, "lpp_wal_errors_total 1") {
+		t.Errorf("metrics missing wal error:\n%s", body)
+	}
+}

@@ -14,7 +14,7 @@ import (
 // leak, or any data race under -race, breaks the comparison.
 func TestConcurrentSessionsIsolated(t *testing.T) {
 	const sessions = 9
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	defer s.Close()
 	h := s.Handler()
 

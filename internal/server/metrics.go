@@ -34,6 +34,12 @@ type metrics struct {
 	rejectedChunks atomic.Int64
 	boundaries     atomic.Int64
 	predictions    atomic.Int64
+	panics         atomic.Int64
+	recovered      atomic.Int64
+	reaped         atomic.Int64
+	walErrors      atomic.Int64
+	checkpoints    atomic.Int64
+	replayed       atomic.Int64
 
 	mu   sync.Mutex
 	ring [latencyRingSize]chunkSample
@@ -101,6 +107,18 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "lpp_boundaries_total %d\n", m.boundaries.Load())
 	fmt.Fprintf(w, "# TYPE lpp_predictions_total counter\n")
 	fmt.Fprintf(w, "lpp_predictions_total %d\n", m.predictions.Load())
+	fmt.Fprintf(w, "# TYPE lpp_session_panics_total counter\n")
+	fmt.Fprintf(w, "lpp_session_panics_total %d\n", m.panics.Load())
+	fmt.Fprintf(w, "# TYPE lpp_sessions_recovered_total counter\n")
+	fmt.Fprintf(w, "lpp_sessions_recovered_total %d\n", m.recovered.Load())
+	fmt.Fprintf(w, "# TYPE lpp_sessions_reaped_total counter\n")
+	fmt.Fprintf(w, "lpp_sessions_reaped_total %d\n", m.reaped.Load())
+	fmt.Fprintf(w, "# TYPE lpp_wal_errors_total counter\n")
+	fmt.Fprintf(w, "lpp_wal_errors_total %d\n", m.walErrors.Load())
+	fmt.Fprintf(w, "# TYPE lpp_checkpoints_total counter\n")
+	fmt.Fprintf(w, "lpp_checkpoints_total %d\n", m.checkpoints.Load())
+	fmt.Fprintf(w, "# TYPE lpp_replayed_chunks_total counter\n")
+	fmt.Fprintf(w, "lpp_replayed_chunks_total %d\n", m.replayed.Load())
 	fmt.Fprintf(w, "# TYPE lpp_events_per_second gauge\n")
 	fmt.Fprintf(w, "lpp_events_per_second %.1f\n", rate)
 	fmt.Fprintf(w, "# TYPE lpp_detect_latency_seconds gauge\n")

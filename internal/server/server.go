@@ -5,6 +5,16 @@
 // Ingestion is backpressured: each session has a bounded chunk queue,
 // and a full queue answers 429 instead of growing; queue occupancy also
 // drives the detector's load-shedding stride.
+//
+// With a DataDir configured, sessions are durable: every accepted
+// chunk is written to a per-session WAL before processing, the
+// detector is checkpointed periodically, and a restarted server
+// replays the WAL suffix so the recovered detector emits exactly the
+// phase boundaries an uninterrupted run would have. Clients may tag
+// chunks with monotonically increasing sequence numbers (X-Lpp-Seq);
+// a retransmit of the last accepted sequence number replays its cached
+// response instead of double-feeding the detector, and a gap answers
+// 409.
 package server
 
 import (
@@ -15,11 +25,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"lpp/internal/durable"
+	"lpp/internal/faultfs"
 	"lpp/internal/online"
 	"lpp/internal/trace"
 )
@@ -38,6 +50,26 @@ type Config struct {
 	MaxSessions int
 	// MaxChunkBytes caps a single POST body (default 8 MiB).
 	MaxChunkBytes int64
+	// DataDir enables durability: each session keeps a checkpoint and
+	// a write-ahead log under this directory and survives a crash or
+	// restart. Empty means in-memory only.
+	DataDir string
+	// FS overrides the filesystem the durable layer writes through
+	// (fault-injection tests). Nil means the real filesystem.
+	FS faultfs.FS
+	// SyncWrites fsyncs every WAL append and checkpoint, trading
+	// latency for durability against power loss.
+	SyncWrites bool
+	// CheckpointEvery is the number of accepted chunks between
+	// detector checkpoints (default 64). It bounds recovery replay.
+	CheckpointEvery int
+	// IdleTimeout suspends sessions idle longer than this: checkpoint,
+	// evict from memory, recover transparently on the next request.
+	// Zero disables the reaper; it requires DataDir.
+	IdleTimeout time.Duration
+	// ReapInterval is how often the reaper scans for idle sessions
+	// (default IdleTimeout/4, at least 10ms).
+	ReapInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -50,31 +82,54 @@ func (c Config) withDefaults() Config {
 	if c.MaxChunkBytes <= 0 {
 		c.MaxChunkBytes = 8 << 20
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.ReapInterval <= 0 {
+		c.ReapInterval = c.IdleTimeout / 4
+		if c.ReapInterval < 10*time.Millisecond {
+			c.ReapInterval = 10 * time.Millisecond
+		}
+	}
 	return c
 }
 
 // Server routes HTTP requests to per-session detector workers.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	store *durable.Store // nil when ephemeral
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	closed   bool
 
+	stop     chan struct{}
+	stopOnce sync.Once
+	reapWG   sync.WaitGroup
+
 	m metrics
 
-	// testChunkHook, when set (tests only), runs at the start of each
-	// chunk's processing, letting tests hold a worker mid-chunk.
+	// testChunkHook, when set (tests only), runs during each chunk's
+	// processing — after the WAL append, before the detector feed — so
+	// tests can hold or kill a worker mid-chunk.
 	testChunkHook func()
 }
 
 // New returns a Server; use Handler to serve it.
-func New(cfg Config) *Server {
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		mux:      http.NewServeMux(),
 		sessions: make(map[string]*session),
+		stop:     make(chan struct{}),
+	}
+	if s.cfg.DataDir != "" {
+		store, err := durable.Open(s.cfg.DataDir, s.cfg.FS, s.cfg.SyncWrites)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
 	}
 	s.m.start = time.Now()
 	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
@@ -82,14 +137,45 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	if s.store != nil && s.cfg.IdleTimeout > 0 {
+		s.reapWG.Add(1)
+		go s.reap()
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP handler for the server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close shuts every session down, flushing their detectors.
+// RecoverSessions eagerly revives every session with durable state,
+// replaying each WAL so detectors are warm before traffic arrives. It
+// returns the number of sessions recovered. Without a DataDir it is a
+// no-op; recovery also happens lazily on the first request for an id.
+func (s *Server) RecoverSessions() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	ids, err := s.store.List()
+	if err != nil {
+		return 0, err
+	}
+	for i, id := range ids {
+		sess, err := s.getSession(id, true)
+		if err != nil {
+			return i, fmt.Errorf("recover session %q: %w", id, err)
+		}
+		<-sess.ready
+	}
+	return len(ids), nil
+}
+
+// Close stops the reaper and tears every session down gracefully:
+// queued chunks are processed, then each session is checkpointed (with
+// durability) and its worker exits. Durable sessions stay recoverable
+// on disk; ephemeral state is discarded.
 func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.reapWG.Wait()
 	s.mu.Lock()
 	s.closed = true
 	sessions := make([]*session, 0, len(s.sessions))
@@ -99,34 +185,46 @@ func (s *Server) Close() {
 	s.sessions = make(map[string]*session)
 	s.mu.Unlock()
 	for _, sess := range sessions {
-		sess.shutdown()
+		c := chunk{op: opSuspend, reply: make(chan result, 1)}
+		select {
+		case sess.queue <- c:
+			select {
+			case <-c.reply:
+			case <-sess.done:
+			}
+		case <-sess.done:
+		}
 	}
 	s.m.sessionsActive.Store(0)
 }
 
-// chunk is one unit of per-session work.
-type chunk struct {
-	events []trace.Event
-	flush  bool
-	reply  chan []online.PhaseEvent
+// Kill simulates a crash: every worker stops where it stands; nothing
+// is flushed or checkpointed. Durable state is whatever the WAL and
+// the last checkpoint already captured. Chaos tests use it; production
+// shutdown uses Close.
+func (s *Server) Kill() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.reapWG.Wait()
+	s.mu.Lock()
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.killOnce.Do(func() { close(sess.kill) })
+	}
 }
 
-// session is one detection stream. The worker goroutine is the sole
-// owner of the detector; handlers communicate through the queue and
-// read only the atomic counters.
-type session struct {
-	id    string
-	queue chan chunk
-
-	closeOnce sync.Once
-
-	// Counters maintained by the worker, read by handlers.
-	events      atomic.Int64
-	boundaries  atomic.Int64
-	predictions atomic.Int64
-	dropped     atomic.Int64
-	shed        atomic.Int64
-}
+var (
+	errNoSession       = errors.New("no such session")
+	errTooManySessions = errors.New("session limit reached")
+	errServerClosed    = errors.New("server closed")
+	errQueueFull       = errors.New("session queue full")
+	errSessionDown     = errors.New("session terminated")
+)
 
 func (s *Server) getSession(id string, create bool) (*session, error) {
 	s.mu.Lock()
@@ -146,7 +244,11 @@ func (s *Server) getSession(id string, create bool) (*session, error) {
 	sess := &session{
 		id:    id,
 		queue: make(chan chunk, s.cfg.QueueDepth),
+		kill:  make(chan struct{}),
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
 	}
+	sess.lastActive.Store(time.Now().UnixNano())
 	s.sessions[id] = sess
 	s.m.sessionsActive.Add(1)
 	s.m.sessionsTotal.Add(1)
@@ -154,86 +256,87 @@ func (s *Server) getSession(id string, create bool) (*session, error) {
 	return sess, nil
 }
 
-var (
-	errNoSession       = errors.New("no such session")
-	errTooManySessions = errors.New("session limit reached")
-	errServerClosed    = errors.New("server closed")
-)
-
-// run is the session worker: the only goroutine touching the detector.
-func (s *Server) run(sess *session) {
-	var pending []online.PhaseEvent
-	cfg := s.cfg.Detector
-	cfg.OnEvent = func(ev online.PhaseEvent) { pending = append(pending, ev) }
-	det := online.NewDetector(cfg)
-	for c := range sess.queue {
-		if s.testChunkHook != nil {
-			s.testChunkHook()
-		}
-		// Queue occupancy is the pressure signal: a backed-up
-		// consumer degrades detection fidelity instead of memory.
-		det.SetPressure(float64(len(sess.queue)) / float64(cap(sess.queue)))
-		for _, ev := range c.events {
-			ev.Feed(det)
-		}
-		if c.flush {
-			det.Flush()
-		}
-		st := det.Stats()
-		sess.events.Store(st.Accesses + st.Blocks)
-		sess.boundaries.Store(st.Boundaries)
-		sess.predictions.Store(st.Predictions)
-		sess.dropped.Store(st.DroppedEvents)
-		sess.shed.Store(st.Shed)
-		out := pending
-		pending = nil
-		c.reply <- out
+// dropSession removes a dead session from the map, if it is still the
+// registered one.
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	if s.sessions[sess.id] == sess {
+		delete(s.sessions, sess.id)
+		s.m.sessionsActive.Add(-1)
 	}
+	s.mu.Unlock()
 }
 
-// shutdown closes the session's queue after draining a final flush.
-func (sess *session) shutdown() []online.PhaseEvent {
-	var out []online.PhaseEvent
-	sess.closeOnce.Do(func() {
-		reply := make(chan []online.PhaseEvent, 1)
-		sess.queue <- chunk{flush: true, reply: reply}
-		out = <-reply
-		close(sess.queue)
-	})
-	return out
+// dispatch enqueues c on session id's worker and waits for its reply.
+// A session whose worker died (crash simulation, suspend race) is
+// dropped and — on the enqueue path — re-created once, which recovers
+// it from durable state.
+func (s *Server) dispatch(id string, c chunk) (result, error) {
+	for attempt := 0; ; attempt++ {
+		sess, err := s.getSession(id, true)
+		if err != nil {
+			return result{}, err
+		}
+		sess.lastActive.Store(time.Now().UnixNano())
+		select {
+		case sess.queue <- c:
+		case <-sess.done:
+			s.dropSession(sess)
+			if attempt == 0 {
+				continue
+			}
+			return result{}, errSessionDown
+		default:
+			return result{}, errQueueFull
+		}
+		select {
+		case res := <-c.reply:
+			return res, nil
+		case <-sess.done:
+			// The worker may have replied and exited in the same
+			// breath; the reply, if any, is already buffered.
+			select {
+			case res := <-c.reply:
+				return res, nil
+			default:
+			}
+			s.dropSession(sess)
+			return result{}, errSessionDown
+		}
+	}
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	events, err := s.decodeChunk(r)
+	seq, err := parseSeq(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sess, err := s.getSession(id, true)
+	events, err := s.decodeChunk(r)
 	if err != nil {
-		status := http.StatusServiceUnavailable
-		http.Error(w, err.Error(), status)
+		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	start := time.Now()
-	reply := make(chan []online.PhaseEvent, 1)
-	select {
-	case sess.queue <- chunk{events: events, reply: reply}:
-	default:
-		// Backpressure: the session's queue is full. The client
-		// should retry after draining; the chunk is not partially
-		// applied.
+	c := chunk{op: opEvents, seq: seq, events: events, reply: make(chan result, 1)}
+	res, err := s.dispatch(id, c)
+	switch {
+	case err == nil:
+		if res.status == http.StatusOK && !res.replayed {
+			s.m.observeChunk(time.Since(start), len(events))
+		}
+		writeResult(w, res)
+	case errors.Is(err, errQueueFull):
+		// Backpressure: the client should retry after draining; the
+		// chunk is not partially applied.
 		s.m.rejectedChunks.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "session queue full", http.StatusTooManyRequests)
-		return
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errSessionDown):
+		writeErr(w, http.StatusServiceUnavailable, "session terminated; retry")
+	default:
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	}
-	out := <-reply
-	s.m.observeChunk(time.Since(start), len(events))
-	s.m.boundaries.Add(countKind(out, online.BoundaryDetected))
-	s.m.predictions.Add(countKind(out, online.PhasePredicted))
-	writeEvents(w, out)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -245,24 +348,70 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		http.Error(w, errNoSession.Error(), http.StatusNotFound)
+		// Not in memory — but a suspended session may still hold
+		// durable state. Revive it so the close can flush the detector
+		// and return the final phase events before discarding.
+		if s.store == nil || !s.store.Exists(id) {
+			writeErr(w, http.StatusNotFound, errNoSession.Error())
+			return
+		}
+		revived, err := s.getSession(id, true)
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		s.mu.Lock()
+		if s.sessions[id] == revived {
+			delete(s.sessions, id)
+			ok = true
+		}
+		s.mu.Unlock()
+		if !ok {
+			writeErr(w, http.StatusServiceUnavailable, "session contended; retry")
+			return
+		}
+		sess = revived
+	}
+	s.m.sessionsActive.Add(-1)
+	start := time.Now()
+	c := chunk{op: opClose, reply: make(chan result, 1)}
+	select {
+	case sess.queue <- c:
+	case <-sess.done:
+		// Dead worker. Keep the durable state: a retried DELETE will
+		// revive the session and flush it properly.
+		if s.store != nil && s.store.Exists(id) {
+			writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
+			return
+		}
+		writeResult(w, result{status: http.StatusOK})
 		return
 	}
-	start := time.Now()
-	out := sess.shutdown()
-	s.m.sessionsActive.Add(-1)
+	var res result
+	select {
+	case res = <-c.reply:
+	case <-sess.done:
+		select {
+		case res = <-c.reply:
+		default:
+			writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
+			return
+		}
+	}
 	s.m.observeChunk(time.Since(start), 0)
-	s.m.boundaries.Add(countKind(out, online.BoundaryDetected))
-	s.m.predictions.Add(countKind(out, online.PhasePredicted))
-	writeEvents(w, out)
+	writeResult(w, res)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess, err := s.getSession(id, false)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeErr(w, http.StatusNotFound, err.Error())
 		return
+	}
+	quarantined := int64(0)
+	if sess.quarantined.Load() {
+		quarantined = 1
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int64{
@@ -271,6 +420,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"predictions": sess.predictions.Load(),
 		"dropped":     sess.dropped.Load(),
 		"shed":        sess.shed.Load(),
+		"seq":         int64(sess.seq.Load()),
+		"quarantined": quarantined,
 	})
 }
 
@@ -282,6 +433,110 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.m.write(w)
+}
+
+// reap periodically suspends idle sessions: checkpoint to disk, evict
+// from memory. The next request for the id recovers transparently.
+func (s *Server) reap() {
+	defer s.reapWG.Done()
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+			s.mu.Lock()
+			var idle []*session
+			for _, sess := range s.sessions {
+				if sess.lastActive.Load() < cutoff {
+					idle = append(idle, sess)
+				}
+			}
+			s.mu.Unlock()
+			for _, sess := range idle {
+				if s.suspendSession(sess) {
+					s.m.reaped.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// suspendSession evicts sess after checkpointing it. Returns false if
+// another goroutine already owns the teardown.
+func (s *Server) suspendSession(sess *session) bool {
+	s.mu.Lock()
+	if s.sessions[sess.id] != sess {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	s.m.sessionsActive.Add(-1)
+	c := chunk{op: opSuspend, reply: make(chan result, 1)}
+	select {
+	case sess.queue <- c:
+		select {
+		case <-c.reply:
+		case <-sess.done:
+		}
+	case <-sess.done:
+	}
+	return true
+}
+
+// parseSeq extracts the client sequence number from the X-Lpp-Seq
+// header (or ?seq= for header-less clients). Absent means "assign the
+// next one"; sequence numbers start at 1.
+func parseSeq(r *http.Request) (uint64, error) {
+	v := r.Header.Get("X-Lpp-Seq")
+	if v == "" {
+		v = r.URL.Query().Get("seq")
+	}
+	if v == "" {
+		return 0, nil
+	}
+	seq, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || seq == 0 {
+		return 0, fmt.Errorf("bad sequence number %q", v)
+	}
+	return seq, nil
+}
+
+// writeResult renders a worker result: the sequence headers, then the
+// NDJSON body (or the JSON error body for failures).
+func writeResult(w http.ResponseWriter, res result) {
+	if res.seq > 0 {
+		w.Header().Set("X-Lpp-Seq", strconv.FormatUint(res.seq, 10))
+	}
+	if res.replayed {
+		w.Header().Set("X-Lpp-Replayed", "true")
+	}
+	if res.status >= 400 {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// writeErr sends a JSON error body; retryable statuses carry
+// Retry-After.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	w.Write(errBody(msg))
+}
+
+func errBody(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return append(b, '\n')
 }
 
 // wireEvent is the NDJSON representation of a trace event (input) or
@@ -359,10 +614,10 @@ type phaseWire struct {
 	Phase        int    `json:"phase"`
 }
 
-func writeEvents(w http.ResponseWriter, events []online.PhaseEvent) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+// encodeEvents renders detector output as NDJSON body bytes.
+func encodeEvents(events []online.PhaseEvent) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	for _, ev := range events {
 		enc.Encode(phaseWire{
 			Kind:         ev.Kind.String(),
@@ -371,7 +626,7 @@ func writeEvents(w http.ResponseWriter, events []online.PhaseEvent) {
 			Phase:        ev.Phase,
 		})
 	}
-	bw.Flush()
+	return buf.Bytes()
 }
 
 func countKind(events []online.PhaseEvent, k online.Kind) int64 {

@@ -82,6 +82,16 @@ func decodeResponse(t *testing.T, body []byte) []phaseWire {
 	return out
 }
 
+// mustServer builds a Server or fails the test.
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func post(t *testing.T, h http.Handler, path, contentType string, body []byte) *httptest.ResponseRecorder {
 	t.Helper()
 	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
@@ -158,7 +168,7 @@ func assertMatches(t *testing.T, got []phaseWire, want []online.PhaseEvent) {
 }
 
 func TestNDJSONSessionMatchesLocalDetector(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	defer s.Close()
 	events := syntheticEvents(1, 8, 6)
 	got := chunked(t, s.Handler(), "ndjson", events, 10000, false)
@@ -170,7 +180,7 @@ func TestNDJSONSessionMatchesLocalDetector(t *testing.T) {
 }
 
 func TestBinarySessionMatchesLocalDetector(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	defer s.Close()
 	events := syntheticEvents(2, 8, 6)
 	got := chunked(t, s.Handler(), "binary", events, 10000, true)
@@ -184,7 +194,7 @@ func TestBinarySessionMatchesLocalDetector(t *testing.T) {
 // TestBinarySniffedWithoutContentType: a binary body with no
 // Content-Type must be recognized by its magic header.
 func TestBinarySniffedWithoutContentType(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	defer s.Close()
 	body := encodeBinary(t, syntheticEvents(3, 1, 1)[:500])
 	rr := post(t, s.Handler(), "/v1/sessions/sniff/events", "", body)
@@ -202,7 +212,7 @@ func TestBinarySniffedWithoutContentType(t *testing.T) {
 }
 
 func TestMalformedChunksRejected(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	defer s.Close()
 	h := s.Handler()
 	for name, body := range map[string][]byte{
@@ -222,7 +232,7 @@ func TestMalformedChunksRejected(t *testing.T) {
 }
 
 func TestBackpressure429(t *testing.T) {
-	s := New(Config{QueueDepth: 1})
+	s := mustServer(t, Config{QueueDepth: 1})
 	defer s.Close()
 	h := s.Handler()
 	started := make(chan struct{}, 4)
@@ -272,7 +282,7 @@ func TestBackpressure429(t *testing.T) {
 }
 
 func TestSessionLimit(t *testing.T) {
-	s := New(Config{MaxSessions: 2})
+	s := mustServer(t, Config{MaxSessions: 2})
 	defer s.Close()
 	h := s.Handler()
 	body := encodeNDJSON(syntheticEvents(5, 1, 1)[:50])
@@ -294,7 +304,7 @@ func TestSessionLimit(t *testing.T) {
 }
 
 func TestDeleteUnknownSession(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	defer s.Close()
 	if rr := do(t, s.Handler(), "DELETE", "/v1/sessions/ghost"); rr.Code != http.StatusNotFound {
 		t.Errorf("status %d deleting unknown session, want 404", rr.Code)
@@ -302,7 +312,7 @@ func TestDeleteUnknownSession(t *testing.T) {
 }
 
 func TestHealthzAndMetrics(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	defer s.Close()
 	h := s.Handler()
 	if rr := do(t, h, "GET", "/healthz"); rr.Code != http.StatusOK || rr.Body.String() != "ok\n" {

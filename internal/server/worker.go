@@ -1,0 +1,312 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"lpp/internal/durable"
+	"lpp/internal/online"
+	"lpp/internal/trace"
+)
+
+// op selects what a queued chunk asks the worker to do.
+type op int
+
+const (
+	// opEvents feeds a chunk of trace events to the detector.
+	opEvents op = iota
+	// opClose flushes the detector and discards all session state,
+	// durable state included.
+	opClose
+	// opSuspend checkpoints the session and stops the worker, leaving
+	// the durable state recoverable. The detector is NOT flushed: a
+	// flush would advance it past where an uninterrupted run would be,
+	// breaking recovery parity.
+	opSuspend
+)
+
+// chunk is one unit of per-session work.
+type chunk struct {
+	op op
+	// seq is the client's sequence number for an opEvents chunk;
+	// 0 means "assign the next one" (no idempotency requested).
+	seq    uint64
+	events []trace.Event
+	reply  chan result
+}
+
+// result is the worker's answer to one chunk.
+type result struct {
+	status   int
+	body     []byte
+	seq      uint64
+	replayed bool
+}
+
+// session is one detection stream. The worker goroutine is the sole
+// owner of the detector and the durable log; handlers communicate
+// through the queue and read only the atomic counters.
+type session struct {
+	id    string
+	queue chan chunk
+	// kill simulates a crash (chaos tests): the worker stops where it
+	// stands without flushing or checkpointing.
+	kill     chan struct{}
+	killOnce sync.Once
+	// done is closed when the worker has exited, however it exited.
+	done chan struct{}
+	// ready is closed once recovery/replay has finished.
+	ready chan struct{}
+
+	// Counters maintained by the worker, read by handlers.
+	lastActive  atomic.Int64
+	seq         atomic.Uint64
+	quarantined atomic.Bool
+	events      atomic.Int64
+	boundaries  atomic.Int64
+	predictions atomic.Int64
+	dropped     atomic.Int64
+	shed        atomic.Int64
+}
+
+// worker holds the state only the session goroutine touches.
+type worker struct {
+	s    *Server
+	sess *session
+	cfg  online.Config
+	det  *online.Detector
+	// pending accumulates detector output between chunk boundaries.
+	pending []online.PhaseEvent
+	// log is the session's durable state; nil when the server is
+	// ephemeral.
+	log *durable.Log
+	// lastSeq is the highest accepted sequence number; cached is the
+	// response body it produced, replayed verbatim on a duplicate POST.
+	lastSeq   uint64
+	cached    []byte
+	sinceCkpt int
+	// quarantined is set when the detector panicked (or recovery failed)
+	// and its state can no longer be trusted. The worker stays up to
+	// answer requests with an error, but never feeds the detector again
+	// and never checkpoints.
+	quarantined bool
+}
+
+// run is the session worker: the only goroutine touching the detector.
+func (s *Server) run(sess *session) {
+	defer close(sess.done)
+	w := &worker{s: s, sess: sess}
+	w.cfg = s.cfg.Detector
+	w.cfg.OnEvent = func(ev online.PhaseEvent) { w.pending = append(w.pending, ev) }
+	w.det = online.NewDetector(w.cfg)
+	if s.store != nil {
+		w.log = s.store.Session(sess.id)
+		w.restore()
+		sess.seq.Store(w.lastSeq)
+	}
+	close(sess.ready)
+	for {
+		select {
+		case c := <-sess.queue:
+			res := w.handle(c)
+			sess.seq.Store(w.lastSeq)
+			c.reply <- res
+			if c.op != opEvents {
+				return
+			}
+		case <-sess.kill:
+			return
+		}
+	}
+}
+
+func (w *worker) handle(c chunk) result {
+	switch c.op {
+	case opClose:
+		return w.close()
+	case opSuspend:
+		return w.suspend()
+	default:
+		return w.events(c)
+	}
+}
+
+// safe runs f, converting a panic into quarantine. Returns false if f
+// panicked.
+func (w *worker) safe(f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.poison()
+			w.s.m.panics.Add(1)
+		}
+	}()
+	f()
+	return true
+}
+
+func (w *worker) poison() {
+	w.quarantined = true
+	w.sess.quarantined.Store(true)
+}
+
+func (w *worker) quarantineResult(seq uint64) result {
+	return result{status: http.StatusInternalServerError, body: errBody("quarantined"), seq: seq}
+}
+
+// restore rebuilds the detector from durable state: load the
+// checkpoint, then replay the WAL suffix exactly as the chunks were
+// first processed (pressure 0, same order), so the recovered detector
+// emits the same boundaries an uninterrupted run would have.
+func (w *worker) restore() {
+	st, err := w.log.Load()
+	if err != nil {
+		w.s.m.walErrors.Add(1)
+		w.poison()
+		return
+	}
+	if st.Snapshot == nil && len(st.Entries) == 0 && st.Seq == 0 {
+		return // fresh session
+	}
+	if st.Snapshot != nil {
+		nd, err := online.NewDetectorFromSnapshot(w.cfg, st.Snapshot)
+		if err != nil {
+			w.s.m.walErrors.Add(1)
+			w.poison()
+			return
+		}
+		w.det = nd
+	}
+	w.lastSeq = st.Seq
+	w.cached = st.Response
+	ok := w.safe(func() {
+		for _, e := range st.Entries {
+			w.pending = nil
+			w.det.SetPressure(0)
+			for _, ev := range e.Events {
+				ev.Feed(w.det)
+			}
+			if e.Flush {
+				w.det.Flush()
+			}
+			w.lastSeq = e.Seq
+			w.cached = encodeEvents(w.pending)
+		}
+	})
+	w.pending = nil
+	if ok {
+		w.updateStats()
+		w.s.m.recovered.Add(1)
+	}
+}
+
+func (w *worker) events(c chunk) result {
+	if w.quarantined {
+		return w.quarantineResult(w.lastSeq)
+	}
+	seq := c.seq
+	if seq == 0 {
+		seq = w.lastSeq + 1
+	}
+	switch {
+	case seq == w.lastSeq && seq > 0:
+		// Idempotent retransmit: the chunk was already applied; hand
+		// back the response it produced the first time.
+		w.s.m.replayed.Add(1)
+		return result{status: http.StatusOK, body: w.cached, seq: seq, replayed: true}
+	case seq != w.lastSeq+1:
+		return result{
+			status: http.StatusConflict,
+			body:   errBody(fmt.Sprintf("sequence gap: got %d, want %d", seq, w.lastSeq+1)),
+			seq:    seq,
+		}
+	}
+	// Log before processing: a worker killed between here and the reply
+	// replays this chunk on recovery instead of losing it.
+	if w.log != nil {
+		if err := w.log.Append(durable.Entry{Seq: seq, Events: c.events}); err != nil {
+			w.s.m.walErrors.Add(1)
+			return result{status: http.StatusInternalServerError, body: errBody("wal append failed"), seq: seq}
+		}
+	}
+	if !w.safe(func() {
+		if hook := w.s.testChunkHook; hook != nil {
+			hook()
+		}
+		// Queue occupancy is the pressure signal: a backed-up consumer
+		// degrades detection fidelity instead of memory.
+		w.det.SetPressure(float64(len(w.sess.queue)) / float64(cap(w.sess.queue)))
+		for _, ev := range c.events {
+			ev.Feed(w.det)
+		}
+	}) {
+		return w.quarantineResult(seq)
+	}
+	w.updateStats()
+	body := w.emit()
+	w.lastSeq = seq
+	w.cached = body
+	w.sinceCkpt++
+	if w.log != nil && w.sinceCkpt >= w.s.cfg.CheckpointEvery {
+		w.checkpoint()
+	}
+	return result{status: http.StatusOK, body: body, seq: seq}
+}
+
+// emit encodes and counts the pending detector output.
+func (w *worker) emit() []byte {
+	w.s.m.boundaries.Add(countKind(w.pending, online.BoundaryDetected))
+	w.s.m.predictions.Add(countKind(w.pending, online.PhasePredicted))
+	body := encodeEvents(w.pending)
+	w.pending = nil
+	return body
+}
+
+func (w *worker) checkpoint() {
+	var snap []byte
+	if !w.safe(func() { snap = w.det.Snapshot() }) {
+		return
+	}
+	if err := w.log.Checkpoint(w.lastSeq, snap, w.cached); err != nil {
+		w.s.m.walErrors.Add(1)
+		return
+	}
+	w.sinceCkpt = 0
+	w.s.m.checkpoints.Add(1)
+}
+
+func (w *worker) close() result {
+	if w.log != nil {
+		if err := w.log.Remove(); err != nil {
+			w.s.m.walErrors.Add(1)
+		}
+	}
+	if w.quarantined {
+		return w.quarantineResult(w.lastSeq)
+	}
+	if !w.safe(func() { w.det.Flush() }) {
+		return w.quarantineResult(w.lastSeq)
+	}
+	w.updateStats()
+	return result{status: http.StatusOK, body: w.emit(), seq: w.lastSeq}
+}
+
+func (w *worker) suspend() result {
+	if w.log != nil {
+		if !w.quarantined && w.sinceCkpt > 0 {
+			w.checkpoint()
+		}
+		w.log.Close()
+	}
+	return result{status: http.StatusNoContent, seq: w.lastSeq}
+}
+
+func (w *worker) updateStats() {
+	st := w.det.Stats()
+	w.sess.events.Store(st.Accesses + st.Blocks)
+	w.sess.boundaries.Store(st.Boundaries)
+	w.sess.predictions.Store(st.Predictions)
+	w.sess.dropped.Store(st.DroppedEvents)
+	w.sess.shed.Store(st.Shed)
+}
