@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"lpp/internal/server"
+	"lpp/internal/trace"
+)
+
+// ingestReport is the BENCH_ingest.json schema: aggregate throughput
+// and latency for a multi-session concurrent ingest run.
+type ingestReport struct {
+	Addr             string  `json:"addr"`
+	Sessions         int     `json:"sessions"`
+	Concurrency      int     `json:"concurrency"`
+	Shards           int     `json:"shards"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	EventsPerSession int     `json:"events_per_session"`
+	Events           int     `json:"events"`
+	Chunks           int     `json:"chunks"`
+	ChunkLen         int     `json:"chunk_len"`
+	Seconds          float64 `json:"seconds"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	LatencyP50Ms     float64 `json:"latency_p50_ms"`
+	LatencyP99Ms     float64 `json:"latency_p99_ms"`
+	AllocsPerChunk   float64 `json:"allocs_per_chunk"`
+	AllocsPerEvent   float64 `json:"allocs_per_event"`
+	Retries429       int     `json:"retries_429"`
+	Retries5xx       int     `json:"retries_5xx"`
+	RetriesConn      int     `json:"retries_conn"`
+}
+
+// ingestEvents synthesizes a deterministic phased access trace for one
+// session: strided sweeps over a region that drifts every few blocks,
+// so the detector sees realistic phase structure rather than noise.
+func ingestEvents(seed int64, n int) []trace.Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]trace.Event, 0, n)
+	base := trace.Addr(uint64(seed+1) << 24)
+	var block trace.BlockID
+	for len(events) < n {
+		events = append(events, trace.Event{Kind: trace.EventBlock, Block: block, Instrs: 512})
+		block++
+		span := 64 + rng.Intn(192)
+		for i := 0; i < span && len(events) < n; i++ {
+			events = append(events, trace.Event{Kind: trace.EventAccess, Addr: base + trace.Addr(i*64)})
+		}
+		if block%16 == 0 {
+			base += 1 << 16
+		}
+	}
+	return events
+}
+
+// encodeChunks pre-encodes a session's events into binary wire chunks
+// so the timed section measures HTTP, decode, and detection — not
+// client-side encoding.
+func encodeChunks(events []trace.Event, chunkLen int) ([][]byte, error) {
+	var chunks [][]byte
+	for off := 0; off < len(events); off += chunkLen {
+		end := off + chunkLen
+		if end > len(events) {
+			end = len(events)
+		}
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		for _, ev := range events[off:end] {
+			ev.Feed(w)
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, buf.Bytes())
+	}
+	return chunks, nil
+}
+
+// runIngest drives sessions concurrent ingest streams — each session's
+// chunks sent in order under the seq protocol, with up to concurrency
+// sessions in flight — against a running lppserve at addr, or an
+// in-process server with the given shard count when addr is empty.
+// It writes BENCH_ingest.json with aggregate throughput, chunk-latency
+// percentiles, and (in-process only) whole-process allocations per
+// chunk from runtime.MemStats.
+func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, chunkLen int) error {
+	if sessions <= 0 {
+		return fmt.Errorf("-sessions must be positive")
+	}
+	if concurrency <= 0 {
+		concurrency = sessions
+	}
+	if concurrency > sessions {
+		concurrency = sessions
+	}
+
+	// Pre-encode every session's chunk stream before timing.
+	sessionChunks := make([][][]byte, sessions)
+	for i := range sessionChunks {
+		chunks, err := encodeChunks(ingestEvents(int64(i), perSession), chunkLen)
+		if err != nil {
+			return err
+		}
+		sessionChunks[i] = chunks
+	}
+
+	inProcess := addr == ""
+	if inProcess {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{Shards: shards})
+		if err != nil {
+			return err
+		}
+		shards = srv.ShardCount()
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer func() {
+			hs.Close()
+			srv.Close()
+		}()
+		addr = ln.Addr().String()
+	}
+	base := "http://" + addr
+
+	type workerState struct {
+		lats []time.Duration
+		rc   retryCounts
+		err  error
+	}
+	states := make([]workerState, concurrency)
+	jobs := make(chan int, sessions)
+	for i := 0; i < sessions; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	var before, after runtime.MemStats
+	if inProcess {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &states[w]
+			client := &http.Client{}
+			for si := range jobs {
+				url := fmt.Sprintf("%s/v1/sessions/ingest-%d/events", base, si)
+				for ci, body := range sessionChunks[si] {
+					t0 := time.Now()
+					resp, err := postChunk(client, url, uint64(ci+1), body, &st.rc)
+					if err != nil {
+						st.err = fmt.Errorf("session %d chunk %d: %w", si, ci, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						st.err = fmt.Errorf("session %d chunk %d: %s", si, ci, resp.Status)
+						return
+					}
+					st.lats = append(st.lats, time.Since(t0))
+				}
+				req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/sessions/ingest-%d", base, si), nil)
+				if resp, err := client.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if inProcess {
+		runtime.ReadMemStats(&after)
+	}
+
+	var lats []time.Duration
+	var rc retryCounts
+	for i := range states {
+		if states[i].err != nil {
+			return states[i].err
+		}
+		lats = append(lats, states[i].lats...)
+		rc.r429 += states[i].rc.r429
+		rc.r5xx += states[i].rc.r5xx
+		rc.conn += states[i].rc.conn
+	}
+	if len(lats) == 0 {
+		return fmt.Errorf("no chunks completed")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		return lats[int(q*float64(len(lats)-1))].Seconds() * 1e3
+	}
+
+	totalEvents := sessions * perSession
+	rep := ingestReport{
+		Addr:             addr,
+		Sessions:         sessions,
+		Concurrency:      concurrency,
+		Shards:           shards,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		EventsPerSession: perSession,
+		Events:           totalEvents,
+		Chunks:           len(lats),
+		ChunkLen:         chunkLen,
+		Seconds:          elapsed.Seconds(),
+		EventsPerSec:     float64(totalEvents) / elapsed.Seconds(),
+		LatencyP50Ms:     pct(0.50),
+		LatencyP99Ms:     pct(0.99),
+		Retries429:       rc.r429,
+		Retries5xx:       rc.r5xx,
+		RetriesConn:      rc.conn,
+	}
+	if inProcess {
+		allocs := float64(after.Mallocs - before.Mallocs)
+		rep.AllocsPerChunk = allocs / float64(len(lats))
+		rep.AllocsPerEvent = allocs / float64(totalEvents)
+	}
+
+	fmt.Printf("ingested %d events across %d sessions (%d workers, %d shards) in %v\n",
+		rep.Events, rep.Sessions, rep.Concurrency, rep.Shards, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput %.0f events/s; chunk latency p50 %.2fms p99 %.2fms\n",
+		rep.EventsPerSec, rep.LatencyP50Ms, rep.LatencyP99Ms)
+	if inProcess {
+		fmt.Printf("allocations (whole process, client+server): %.1f/chunk, %.4f/event\n",
+			rep.AllocsPerChunk, rep.AllocsPerEvent)
+	}
+	if rc.r429+rc.r5xx+rc.conn > 0 {
+		fmt.Printf("retries: %d on 429, %d on 5xx, %d on connection errors\n", rc.r429, rc.r5xx, rc.conn)
+	}
+
+	out := "BENCH_ingest.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		out = filepath.Join(outDir, out)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}

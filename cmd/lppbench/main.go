@@ -9,6 +9,7 @@
 //	lppbench -out results/      # also write CSV artifacts
 //	lppbench -list              # list experiments
 //	lppbench -stream t.trace    # replay a trace against lppserve, write BENCH_stream.json
+//	lppbench -sessions 8 -concurrency 8   # concurrent multi-session ingest, write BENCH_ingest.json
 package main
 
 import (
@@ -32,10 +33,21 @@ func main() {
 		parallel = flag.Bool("j", false, "run experiments concurrently (output stays ordered)")
 		html     = flag.String("html", "", "write a self-contained HTML report to this file (needs -out)")
 		stream   = flag.String("stream", "", "trace file to replay against lppserve (see -addr)")
-		addr     = flag.String("addr", "", "lppserve address for -stream (default: in-process server)")
-		chunkLen = flag.Int("chunk", 16384, "events per chunk for -stream")
+		addr     = flag.String("addr", "", "lppserve address for -stream/-sessions (default: in-process server)")
+		chunkLen = flag.Int("chunk", 16384, "events per chunk for -stream and -sessions")
+		sessions = flag.Int("sessions", 0, "multi-session ingest load mode: number of sessions (writes BENCH_ingest.json)")
+		conc     = flag.Int("concurrency", 0, "concurrent sessions in flight for -sessions (default: all)")
+		shards   = flag.Int("shards", 0, "session-table shard count for the in-process server (0 = server default)")
+		perSess  = flag.Int("events", 200_000, "events per session for -sessions")
 	)
 	flag.Parse()
+
+	if *sessions > 0 {
+		if err := runIngest(*addr, *out, *sessions, *conc, *shards, *perSess, *chunkLen); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *stream != "" {
 		if err := runStream(*stream, *addr, *out, *chunkLen); err != nil {

@@ -17,9 +17,9 @@
 //
 // Usage:
 //
-//	lppserve [-addr :8080] [-queue 8] [-max-sessions 256] [-max-chunk 8388608]
-//	         [-data DIR] [-sync] [-checkpoint-every 64] [-idle-timeout 0]
-//	         [-drain 10s]
+//	lppserve [-addr :8080] [-queue 8] [-shards 16] [-max-sessions 256]
+//	         [-max-chunk 8388608] [-data DIR] [-sync] [-checkpoint-every 64]
+//	         [-idle-timeout 0] [-drain 10s]
 package main
 
 import (
@@ -55,6 +55,7 @@ func run(args []string, ready chan<- string) error {
 		maxSessions = fs.Int("max-sessions", 0, "concurrent session cap (0 = default 256)")
 		maxChunk    = fs.Int64("max-chunk", 0, "max POST body bytes (0 = default 8MiB)")
 		maxStride   = fs.Int("max-stride", 0, "load-shedding stride cap (0 = default 16, 1 disables)")
+		shards      = fs.Int("shards", 0, "session-table lock stripes, rounded up to a power of two (0 = default 16)")
 		dataDir     = fs.String("data", "", "durable session directory (empty = in-memory only)")
 		syncWrites  = fs.Bool("sync", false, "fsync every WAL append and checkpoint")
 		ckptEvery   = fs.Int("checkpoint-every", 0, "accepted chunks between checkpoints (0 = default 64)")
@@ -71,6 +72,7 @@ func run(args []string, ready chan<- string) error {
 	srv, err := server.New(server.Config{
 		Detector:        online.Config{MaxStride: *maxStride},
 		QueueDepth:      *queue,
+		Shards:          *shards,
 		MaxSessions:     *maxSessions,
 		MaxChunkBytes:   *maxChunk,
 		DataDir:         *dataDir,

@@ -125,6 +125,12 @@ type Detector struct {
 	boundaries    int64
 	predictions   int64
 	droppedEvents int64
+
+	// AccessBatch scratch (batch.go): reused across batches so the
+	// steady-state batched path allocates nothing. Bounded by the
+	// longest run of consecutive access events in one batch.
+	batchAddrs []trace.Addr
+	batchDists []int64
 }
 
 // fsample is one filtered (kept) access sample pending partitioning.
@@ -178,7 +184,16 @@ func (d *Detector) Access(addr trace.Addr) {
 	if d.analyzer.Distinct() > d.cfg.MaxLive {
 		d.analyzer.EvictOldest(d.cfg.MaxLive / 2)
 	}
+	d.sample(t, addr, dist)
+}
 
+// sample runs the post-analyzer half of Access — variable-distance
+// sampling and the threshold feedback loop — on one reference whose
+// reuse distance is already known. AccessBatch computes distances for a
+// run of references first (with the eviction rule interleaved inside
+// internal/reuse), then replays this half per reference in order, so
+// both paths make every decision with identical state.
+func (d *Detector) sample(t int64, addr trace.Addr, dist int64) {
 	if dist != reuse.Infinite {
 		if id, ok := d.dataIDs[addr]; ok {
 			if dist > d.temporal {

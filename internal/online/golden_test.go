@@ -1,0 +1,193 @@
+package online
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden trace fixtures")
+
+// goldenEvent mirrors PhaseEvent with a stable wire spelling so fixture
+// diffs read as English, not iota values.
+type goldenEvent struct {
+	Kind         string `json:"kind"`
+	Time         int64  `json:"time"`
+	Instructions int64  `json:"instructions"`
+	Phase        int    `json:"phase"`
+}
+
+// goldenCounters pins the deterministic counters of Stats. Gauges
+// (window length, live buckets, pending events) are deliberately
+// excluded: they describe transient memory state, not detection output.
+type goldenCounters struct {
+	Accesses     int64 `json:"accesses"`
+	Blocks       int64 `json:"blocks"`
+	Instructions int64 `json:"instructions"`
+	Samples      int64 `json:"samples"`
+	Filtered     int64 `json:"filtered"`
+	Boundaries   int64 `json:"boundaries"`
+	Predictions  int64 `json:"predictions"`
+	Adjustments  int   `json:"adjustments"`
+}
+
+type goldenFixture struct {
+	Workload string         `json:"workload"`
+	Events   []goldenEvent  `json:"events"`
+	Stats    goldenCounters `json:"stats"`
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// goldenChunkSizes slices each trace into uneven chunks so batch
+// boundaries land inside access runs, on block events, and on
+// single-event chunks — the shapes the ingest service produces.
+var goldenChunkSizes = []int{1, 7, 64, 1, 1024, 4096, 3, 509}
+
+// recordedEvents converts a recorded trace into the flat event stream
+// the server's decoder hands to AccessBatch, in Replay order.
+func recordedEvents(rec *trace.Recorded) []trace.Event {
+	events := make([]trace.Event, 0, len(rec.Accesses)+len(rec.Blocks))
+	next := 0
+	for i, b := range rec.Blocks {
+		end := len(rec.Accesses)
+		if i+1 < len(rec.Blocks) {
+			end = int(rec.Blocks[i+1].AccessIndex)
+		}
+		events = append(events, trace.Event{Kind: trace.EventBlock, Block: b.ID, Instrs: int(b.Instrs)})
+		for ; next < end; next++ {
+			events = append(events, trace.Event{Kind: trace.EventAccess, Addr: rec.Accesses[next]})
+		}
+	}
+	for ; next < len(rec.Accesses); next++ {
+		events = append(events, trace.Event{Kind: trace.EventAccess, Addr: rec.Accesses[next]})
+	}
+	return events
+}
+
+// goldenRun streams a trace through a fresh detector via feed and
+// returns the fixture-shaped result. Events are collected through
+// OnEvent so nothing can be dropped by the bounded buffer.
+func goldenRun(c parityCase, rec *trace.Recorded, feed func(*Detector, *trace.Recorded)) goldenFixture {
+	var events []goldenEvent
+	cfg := DefaultConfig()
+	cfg.KeepIrregular = c.keepIrregular
+	cfg.OnEvent = func(ev PhaseEvent) {
+		events = append(events, goldenEvent{
+			Kind:         ev.Kind.String(),
+			Time:         ev.Time,
+			Instructions: ev.Instructions,
+			Phase:        ev.Phase,
+		})
+	}
+	d := NewDetector(cfg)
+	feed(d, rec)
+	d.Flush()
+	st := d.Stats()
+	return goldenFixture{
+		Workload: c.name,
+		Events:   events,
+		Stats: goldenCounters{
+			Accesses:     st.Accesses,
+			Blocks:       st.Blocks,
+			Instructions: st.Instructions,
+			Samples:      st.Samples,
+			Filtered:     st.Filtered,
+			Boundaries:   st.Boundaries,
+			Predictions:  st.Predictions,
+			Adjustments:  st.Adjustments,
+		},
+	}
+}
+
+func feedPerEvent(d *Detector, rec *trace.Recorded) {
+	rec.Replay(d)
+}
+
+func feedBatched(d *Detector, rec *trace.Recorded) {
+	events := recordedEvents(rec)
+	for off, k := 0, 0; off < len(events); k++ {
+		end := off + goldenChunkSizes[k%len(goldenChunkSizes)]
+		if end > len(events) {
+			end = len(events)
+		}
+		d.AccessBatch(events[off:end])
+		off = end
+	}
+}
+
+func diffFixtures(t *testing.T, label string, got, want goldenFixture) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Errorf("%s: counters diverge:\n got  %+v\n want %+v", label, got.Stats, want.Stats)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Errorf("%s: %d events, want %d", label, len(got.Events), len(want.Events))
+		return
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Errorf("%s: event %d = %+v, want %+v", label, i, got.Events[i], want.Events[i])
+			return
+		}
+	}
+}
+
+// TestGoldenTraces replays the nine benchmark workloads through the
+// detector on both ingest paths — one call per event, and server-style
+// uneven batches through AccessBatch — and pins the complete output
+// (every phase event plus the deterministic counters) against checked-in
+// fixtures. Run with -update to regenerate the fixtures after an
+// intentional algorithm change; the batched path must match the
+// per-event path regardless, so -update cannot paper over a batching
+// bug.
+func TestGoldenTraces(t *testing.T) {
+	for _, c := range parityCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := workload.ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := trace.NewRecorder(1<<20, 1<<16)
+			spec.Make(c.train).Run(rec)
+
+			perEvent := goldenRun(c, &rec.T, feedPerEvent)
+			batched := goldenRun(c, &rec.T, feedBatched)
+			diffFixtures(t, "batched vs per-event", batched, perEvent)
+
+			path := goldenPath(c.name)
+			if *updateGolden {
+				buf, err := json.MarshalIndent(perEvent, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d events)", path, len(perEvent.Events))
+				return
+			}
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run go test ./internal/online -run TestGoldenTraces -update): %v", err)
+			}
+			var want goldenFixture
+			if err := json.Unmarshal(buf, &want); err != nil {
+				t.Fatalf("corrupt fixture %s: %v", path, err)
+			}
+			diffFixtures(t, "per-event vs fixture", perEvent, want)
+			diffFixtures(t, "batched vs fixture", batched, want)
+		})
+	}
+}

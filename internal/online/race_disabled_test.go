@@ -1,0 +1,5 @@
+//go:build !race
+
+package online
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package online
+
+// raceEnabled lets allocation-regression tests skip under -race:
+// testing.AllocsPerRun counts the race runtime's own bookkeeping
+// allocations, so the guards only hold on unsanitized builds.
+const raceEnabled = true

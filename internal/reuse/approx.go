@@ -24,6 +24,10 @@ type ApproxAnalyzer struct {
 	buckets []approxBucket
 	now     int64
 	live    int64 // total live elements across buckets
+
+	// newerScratch is compact's reusable prefix-sum buffer, so steady-
+	// state compaction allocates nothing.
+	newerScratch []int64
 }
 
 type approxBucket struct {
@@ -69,6 +73,28 @@ func (a *ApproxAnalyzer) Access(addr trace.Addr) int64 {
 		a.compact()
 	}
 	return dist
+}
+
+// AccessBatch records a reference to each address in order, writing the
+// approximate reuse distance of addrs[i] into dists[i] (len(dists) must
+// be at least len(addrs)). When maxLive is positive, the streaming
+// detector's eviction rule runs after each access — once more than
+// maxLive distinct addresses are live, the oldest are forgotten down to
+// maxLive/2 — interleaved exactly as a caller making one Access and one
+// EvictOldest check per reference would, so batched and per-call
+// processing yield identical distances. The batch entry point exists to
+// keep the per-reference cost to one concrete call on the ingest hot
+// path instead of a call, a gauge read, and a branch per event.
+func (a *ApproxAnalyzer) AccessBatch(addrs []trace.Addr, maxLive int, dists []int64) []int64 {
+	dists = dists[:len(addrs)]
+	for i, addr := range addrs {
+		d := a.Access(addr)
+		if maxLive > 0 && len(a.last) > maxLive {
+			a.EvictOldest(maxLive / 2)
+		}
+		dists[i] = d
+	}
+	return dists
 }
 
 // Distinct returns the number of distinct elements seen so far.
@@ -135,7 +161,10 @@ func (a *ApproxAnalyzer) targetBuckets() int {
 func (a *ApproxAnalyzer) compact() {
 	n := len(a.buckets)
 	// newer[i]: live elements in buckets strictly newer than i.
-	newer := make([]int64, n)
+	if cap(a.newerScratch) < n {
+		a.newerScratch = make([]int64, n)
+	}
+	newer := a.newerScratch[:n]
 	var acc int64
 	for i := n - 1; i >= 0; i-- {
 		newer[i] = acc

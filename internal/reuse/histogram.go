@@ -23,6 +23,14 @@ func NewHistogram() *Histogram {
 	return &Histogram{counts: make([]int64, exactLimit)}
 }
 
+// ensure backfills the exact-count table so the zero Histogram value is
+// usable, not just NewHistogram's.
+func (h *Histogram) ensure() {
+	if h.counts == nil {
+		h.counts = make([]int64, exactLimit)
+	}
+}
+
 // Add records one reuse distance (use Infinite for a cold access).
 func (h *Histogram) Add(d int64) {
 	h.total++
@@ -30,6 +38,7 @@ func (h *Histogram) Add(d int64) {
 		h.cold++
 		return
 	}
+	h.ensure()
 	if d > h.maxDist {
 		h.maxDist = d
 	}
@@ -58,9 +67,14 @@ func (h *Histogram) MissRate(capacity int64) float64 {
 	if h.total == 0 {
 		return 0
 	}
+	if capacity < 0 {
+		// A cache that holds nothing misses everything; a negative
+		// capacity must not index the count table.
+		capacity = 0
+	}
 	misses := h.cold
 	if capacity < exactLimit {
-		for d := capacity; d < exactLimit; d++ {
+		for d := capacity; d < int64(len(h.counts)); d++ {
 			misses += h.counts[d]
 		}
 		for _, c := range h.overflow {
@@ -85,6 +99,9 @@ func (h *Histogram) MissRates(capacities []int64) []float64 {
 
 // Merge adds the contents of other into h.
 func (h *Histogram) Merge(other *Histogram) {
+	if len(other.counts) > 0 {
+		h.ensure()
+	}
 	for d, c := range other.counts {
 		h.counts[d] += c
 	}

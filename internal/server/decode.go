@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+
+	"lpp/internal/trace"
+)
+
+// decodeState bundles the reusable buffers for one in-flight chunk
+// decode: the read buffer, a binary trace reader, the NDJSON scanner
+// buffer, and the decoded event slice itself. States cycle through a
+// sync.Pool, so the steady-state ingest path decodes chunk after chunk
+// without allocating per event.
+type decodeState struct {
+	br     *bufio.Reader
+	tr     *trace.Reader
+	buf    []byte
+	events []trace.Event
+}
+
+// maxRetainedEvents caps the event-slice capacity a pooled state keeps:
+// an occasional pathologically dense chunk must not pin its worst-case
+// buffer in the pool forever.
+const maxRetainedEvents = 1 << 20
+
+var decodePool = sync.Pool{New: func() any {
+	return &decodeState{
+		br:  bufio.NewReaderSize(nil, 1<<16),
+		buf: make([]byte, 64<<10),
+	}
+}}
+
+func getDecodeState() *decodeState { return decodePool.Get().(*decodeState) }
+
+// putDecodeState recycles st. Callers must only do so once nothing else
+// can reference st.events: after the session worker replied, or when
+// the chunk was never enqueued. Chunks lost to a dying worker are left
+// to the garbage collector instead.
+func putDecodeState(st *decodeState) {
+	st.trimForPool()
+	decodePool.Put(st)
+}
+
+// trimForPool drops buffers too large to keep pooled.
+func (st *decodeState) trimForPool() {
+	if cap(st.events) > maxRetainedEvents {
+		st.events = nil
+	}
+}
+
+// decodeChunk parses a request body as either the binary trace format
+// (recognized by its magic header or Content-Type) or NDJSON events.
+// The returned slice is owned by st and valid until st is recycled.
+func (s *Server) decodeChunk(r *http.Request, st *decodeState) ([]trace.Event, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxChunkBytes)
+	st.br.Reset(body)
+	st.events = st.events[:0]
+	ct := r.Header.Get("Content-Type")
+	head, _ := st.br.Peek(len("LPPTRACE1\n"))
+	if strings.HasPrefix(ct, "application/x-lpp-trace") || bytes.Equal(head, []byte("LPPTRACE1\n")) {
+		return st.decodeBinary()
+	}
+	return st.decodeNDJSON()
+}
+
+func (st *decodeState) decodeBinary() ([]trace.Event, error) {
+	if st.tr == nil {
+		st.tr = trace.NewReader(nil)
+	}
+	// st.br is a 64KiB *bufio.Reader, so Reset adopts it directly
+	// instead of stacking a second buffer on top.
+	st.tr.Reset(st.br)
+	for {
+		ev, err := st.tr.Next()
+		if err == io.EOF {
+			return st.events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("binary chunk: %w", err)
+		}
+		st.events = append(st.events, ev)
+	}
+}
+
+func (st *decodeState) decodeNDJSON() ([]trace.Event, error) {
+	sc := bufio.NewScanner(st.br)
+	sc.Buffer(st.buf, 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		ev, ok := parseWireEvent(text)
+		if !ok {
+			// Anything beyond the canonical encoding — string escapes,
+			// non-integer numbers, unknown keys — goes through
+			// encoding/json, which also owns all error reporting, so
+			// unusual-but-valid lines decode identically and invalid
+			// ones fail with the messages clients already match on.
+			var we wireEvent
+			if err := json.Unmarshal(text, &we); err != nil {
+				return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+			}
+			switch we.Kind {
+			case "access":
+				ev = trace.Event{Kind: trace.EventAccess, Addr: trace.Addr(we.Addr)}
+			case "block":
+				ev = trace.Event{Kind: trace.EventBlock, Block: trace.BlockID(we.Block), Instrs: we.Instrs}
+			default:
+				return nil, fmt.Errorf("ndjson line %d: unknown kind %q", line, we.Kind)
+			}
+		}
+		st.events = append(st.events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	return st.events, nil
+}
+
+// lineParser is a minimal cursor over one NDJSON line.
+type lineParser struct {
+	b []byte
+	i int
+}
+
+func (p *lineParser) ws() {
+	for p.i < len(p.b) && (p.b[p.i] == ' ' || p.b[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *lineParser) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// str consumes a JSON string without escapes and returns its contents.
+func (p *lineParser) str() ([]byte, bool) {
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '"':
+			s := p.b[start:p.i]
+			p.i++
+			return s, true
+		case '\\':
+			return nil, false
+		}
+		p.i++
+	}
+	return nil, false
+}
+
+// uint consumes a non-negative decimal integer.
+func (p *lineParser) uint() (uint64, bool) {
+	start := p.i
+	var v uint64
+	for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+		d := uint64(p.b[p.i] - '0')
+		if v > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+		p.i++
+	}
+	if p.i == start {
+		return 0, false
+	}
+	// A trailing fraction or exponent means this is not a plain
+	// integer; defer to encoding/json.
+	if p.i < len(p.b) && (p.b[p.i] == '.' || p.b[p.i] == 'e' || p.b[p.i] == 'E') {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseWireEvent decodes the canonical one-line JSON encoding of a wire
+// event — unescaped keys and string values, plain unsigned integers —
+// without allocating. It reports !ok for anything else (including all
+// malformed input) so the caller falls back to encoding/json; the fast
+// path therefore never needs to produce errors of its own.
+func parseWireEvent(b []byte) (trace.Event, bool) {
+	p := lineParser{b: b}
+	var kind []byte
+	var addr, block, instrs uint64
+	p.ws()
+	if !p.eat('{') {
+		return trace.Event{}, false
+	}
+	p.ws()
+	if p.eat('}') {
+		return trace.Event{}, false // no kind: let the slow path reject it
+	}
+	for {
+		key, ok := p.str()
+		if !ok {
+			return trace.Event{}, false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return trace.Event{}, false
+		}
+		p.ws()
+		switch string(key) {
+		case "kind":
+			if kind, ok = p.str(); !ok {
+				return trace.Event{}, false
+			}
+		case "addr":
+			if addr, ok = p.uint(); !ok {
+				return trace.Event{}, false
+			}
+		case "block":
+			if block, ok = p.uint(); !ok {
+				return trace.Event{}, false
+			}
+		case "instrs":
+			if instrs, ok = p.uint(); !ok {
+				return trace.Event{}, false
+			}
+		default:
+			return trace.Event{}, false
+		}
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat('}') {
+			break
+		}
+		return trace.Event{}, false
+	}
+	p.ws()
+	if p.i != len(p.b) {
+		return trace.Event{}, false
+	}
+	switch string(kind) {
+	case "access":
+		return trace.Event{Kind: trace.EventAccess, Addr: trace.Addr(addr)}, true
+	case "block":
+		if instrs > math.MaxInt {
+			return trace.Event{}, false
+		}
+		return trace.Event{Kind: trace.EventBlock, Block: trace.BlockID(block), Instrs: int(instrs)}, true
+	}
+	return trace.Event{}, false
+}

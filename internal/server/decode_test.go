@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+// decodeVia runs one body through the pooled decoder and copies the
+// result out (the slice is only valid until the state is recycled).
+func decodeVia(t *testing.T, s *Server, contentType string, body []byte) ([]trace.Event, error) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/sessions/x/events", bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	st := getDecodeState()
+	defer putDecodeState(st)
+	events, err := s.decodeChunk(req, st)
+	if err != nil {
+		return nil, err
+	}
+	return append([]trace.Event(nil), events...), nil
+}
+
+// TestNDJSONFastPathMatchesEncodingJSON cross-checks the hand-rolled
+// line parser against encoding/json on canonical lines, whitespace
+// variants, reordered keys, and every fallback shape (escapes, floats,
+// unknown keys, overflow). Both paths must agree event for event.
+func TestNDJSONFastPathMatchesEncodingJSON(t *testing.T) {
+	lines := []string{
+		`{"kind":"access","addr":4096}`,
+		`{"kind":"access","addr":0}`,
+		`{"kind":"access","addr":18446744073709551615}`,
+		`{"kind":"block","block":7,"instrs":64}`,
+		`{"kind":"block","block":0,"instrs":0}`,
+		`{"kind":"block"}`,
+		`{"addr":64,"kind":"access"}`,
+		`{"instrs":9,"block":3,"kind":"block"}`,
+		`  { "kind" : "access" , "addr" : 12 }  `,
+		`{"kind":"acc\u0065ss","addr":5}`,   // escaped string → fallback
+		`{"kind":"access","addr":77,"x":1}`, // unknown key → fallback
+		`{"kind":"access","addr":77,"x":{"y":[1,2]}}`,
+	}
+	for _, line := range lines {
+		t.Run(line, func(t *testing.T) {
+			var we wireEvent
+			if err := json.Unmarshal([]byte(line), &we); err != nil {
+				t.Fatalf("reference unmarshal: %v", err)
+			}
+			var want trace.Event
+			switch we.Kind {
+			case "access":
+				want = trace.Event{Kind: trace.EventAccess, Addr: trace.Addr(we.Addr)}
+			case "block":
+				want = trace.Event{Kind: trace.EventBlock, Block: trace.BlockID(we.Block), Instrs: we.Instrs}
+			default:
+				t.Fatalf("reference kind %q", we.Kind)
+			}
+			got, ok := parseWireEvent(bytes.TrimSpace([]byte(line)))
+			if ok && got != want {
+				t.Errorf("fast path = %+v, want %+v", got, want)
+			}
+			// ok=false is always legal (fallback owns it); verify the
+			// full decoder agrees with the reference either way.
+			s := mustServer(t, Config{})
+			defer s.Close()
+			events, err := decodeVia(t, s, "", []byte(line+"\n"))
+			if err != nil {
+				t.Fatalf("decodeChunk: %v", err)
+			}
+			if len(events) != 1 || events[0] != want {
+				t.Errorf("decodeChunk = %+v, want [%+v]", events, want)
+			}
+		})
+	}
+}
+
+// TestNDJSONFastPathRejectsMalformed: lines the fast path cannot prove
+// canonical must reach encoding/json so errors keep their wording.
+func TestNDJSONFastPathRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		`{not json`,
+		`{}`,
+		`{"kind":"jump","addr":1}`,
+		`{"kind":"access","addr":-1}`,
+		`{"kind":"access","addr":1.0e3}`, // float: encoding/json rejects for uint64 too
+		`[1,2,3]`,
+		`{"kind":"access","addr":184467440737095516150}`, // uint64 overflow
+	} {
+		if ev, ok := parseWireEvent([]byte(line)); ok {
+			// Only acceptable if encoding/json also accepts it with the
+			// same result; none of these qualify except via kind check.
+			t.Errorf("fast path accepted %q as %+v", line, ev)
+		}
+	}
+	s := mustServer(t, Config{})
+	defer s.Close()
+	if _, err := decodeVia(t, s, "", []byte(`{"kind":"jump","addr":1}`+"\n")); err == nil ||
+		!bytes.Contains([]byte(err.Error()), []byte("unknown kind")) {
+		t.Errorf("unknown kind error = %v", err)
+	}
+	if _, err := decodeVia(t, s, "", []byte("{not json\n")); err == nil ||
+		!bytes.Contains([]byte(err.Error()), []byte("ndjson line 1")) {
+		t.Errorf("malformed line error = %v", err)
+	}
+}
+
+// TestDecodeReuseIsClean: a pooled state must not leak one chunk's
+// events, reader position, or delta-decoding state into the next.
+func TestDecodeReuseIsClean(t *testing.T) {
+	s := mustServer(t, Config{})
+	defer s.Close()
+	big := syntheticEvents(1, 2, 1)[:3000]
+	small := syntheticEvents(2, 1, 1)[:10]
+	bigBin := encodeBinary(t, big)
+	smallBin := encodeBinary(t, small)
+	st := getDecodeState()
+	defer putDecodeState(st)
+	decode := func(body []byte) []trace.Event {
+		req := httptest.NewRequest("POST", "/x", bytes.NewReader(body))
+		events, err := s.decodeChunk(req, st)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return events
+	}
+	if got := decode(bigBin); len(got) != len(big) || got[len(got)-1] != big[len(big)-1] {
+		t.Fatalf("big chunk decoded to %d events", len(got))
+	}
+	got := decode(smallBin)
+	if len(got) != len(small) {
+		t.Fatalf("after reuse: %d events, want %d", len(got), len(small))
+	}
+	for i := range small {
+		if got[i] != small[i] {
+			t.Fatalf("event %d = %+v, want %+v (stale state leaked)", i, got[i], small[i])
+		}
+	}
+	if got := decode(encodeNDJSON(small)); len(got) != len(small) || got[0] != small[0] {
+		t.Fatalf("ndjson after binary reuse: %d events", len(got))
+	}
+}
+
+// TestDecodeSteadyStateAllocs pins the per-event allocation cost of
+// both decoders at zero in the steady state: a warm pooled state
+// decodes a chunk with only per-chunk constant overhead (the
+// MaxBytesReader wrapper, the scanner struct), which amortizes to
+// under a hundredth of an allocation per event.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	s := mustServer(t, Config{})
+	defer s.Close()
+	events := syntheticEvents(1, 2, 2)[:4096]
+	for name, c := range map[string]struct {
+		body []byte
+		ct   string
+	}{
+		"binary": {encodeBinary(t, events), "application/x-lpp-trace"},
+		"ndjson": {encodeNDJSON(events), ""},
+	} {
+		t.Run(name, func(t *testing.T) {
+			st := getDecodeState()
+			defer putDecodeState(st)
+			reader := bytes.NewReader(c.body)
+			req := httptest.NewRequest("POST", "/x", reader)
+			req.Header.Set("Content-Type", c.ct)
+			run := func() {
+				reader.Reset(c.body)
+				req.Body = io.NopCloser(reader)
+				if _, err := s.decodeChunk(req, st); err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+			}
+			run() // warm: grow the event slice once
+			avg := testing.AllocsPerRun(100, run)
+			if perEvent := avg / float64(len(events)); perEvent > 0.01 {
+				t.Errorf("%s decode: %.1f allocs per %d-event chunk (%.4f/event), want ~0",
+					name, avg, len(events), perEvent)
+			}
+		})
+	}
+}
+
+// TestDecodePoolBoundsRetention: a pathologically dense chunk must not
+// pin its worst-case buffer in the pool. The trim is checked directly —
+// putting a synthetic state into the shared pool would poison it for
+// whichever test draws it next.
+func TestDecodePoolBoundsRetention(t *testing.T) {
+	st := &decodeState{events: make([]trace.Event, maxRetainedEvents+1)}
+	st.trimForPool()
+	if st.events != nil {
+		t.Error("oversized event buffer retained for the pool")
+	}
+	small := &decodeState{events: make([]trace.Event, 128)}
+	small.trimForPool()
+	if cap(small.events) != 128 {
+		t.Error("right-sized buffer dropped")
+	}
+}
+
+// BenchmarkIngestChunk measures the full HTTP ingest path — decode,
+// dispatch, detector feed, response encode — for both wire formats.
+func BenchmarkIngestChunk(b *testing.B) {
+	for _, format := range []string{"binary", "ndjson"} {
+		b.Run(format, func(b *testing.B) {
+			s, err := New(Config{QueueDepth: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			h := s.Handler()
+			events := syntheticEvents(1, 4, 2)[:8192]
+			var body []byte
+			ct := ""
+			if format == "binary" {
+				var buf bytes.Buffer
+				w := trace.NewWriter(&buf)
+				for _, ev := range events {
+					ev.Feed(w)
+				}
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				body = buf.Bytes()
+				ct = "application/x-lpp-trace"
+			} else {
+				body = encodeNDJSON(events)
+			}
+			reader := bytes.NewReader(body)
+			req := httptest.NewRequest("POST", "/v1/sessions/bench/events", reader)
+			if ct != "" {
+				req.Header.Set("Content-Type", ct)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(body)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reader.Reset(body)
+				req.Body = io.NopCloser(reader)
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, req)
+				if rr.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(events))/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -9,9 +9,9 @@ import (
 	"time"
 )
 
-// latencyRingSize bounds the per-chunk latency history used for the
-// percentile and events/sec gauges: recent window, O(1) memory.
-const latencyRingSize = 1024
+// latencyRingSize bounds each shard's chunk-latency history used for
+// the percentile and events/sec gauges: recent window, O(1) memory.
+const latencyRingSize = 256
 
 // chunkSample is one processed chunk's contribution to the windowed
 // rate and latency metrics.
@@ -21,8 +21,17 @@ type chunkSample struct {
 	events  int
 }
 
+// latencyRing is one shard's bounded window of recent chunk samples.
+// Rings shard with the session table so the hot-path observation never
+// contends across shards; scrapes merge all rings.
+type latencyRing struct {
+	mu   sync.Mutex
+	ring [latencyRingSize]chunkSample
+	n    int // samples written (ring index = n % latencyRingSize)
+}
+
 // metrics aggregates server-wide counters (atomics, updated on the hot
-// path) and a bounded ring of recent chunk samples (mutex-guarded,
+// path) and per-shard rings of recent chunk samples (each mutex-guarded,
 // folded into percentiles only on scrape).
 type metrics struct {
 	start time.Time
@@ -41,41 +50,43 @@ type metrics struct {
 	checkpoints    atomic.Int64
 	replayed       atomic.Int64
 
-	mu   sync.Mutex
-	ring [latencyRingSize]chunkSample
-	n    int // samples written (ring index = n % latencyRingSize)
+	rings []latencyRing // one per session-table shard
 }
 
-// observeChunk records one completed chunk: its end-to-end detection
-// latency (enqueue to reply) and event count.
-func (m *metrics) observeChunk(lat time.Duration, events int) {
+// observeChunk records one completed chunk on its session's shard: the
+// end-to-end detection latency (enqueue to reply) and event count.
+func (m *metrics) observeChunk(shard int, lat time.Duration, events int) {
 	m.chunksTotal.Add(1)
 	m.eventsTotal.Add(int64(events))
-	m.mu.Lock()
-	m.ring[m.n%latencyRingSize] = chunkSample{done: time.Now(), latency: lat, events: events}
-	m.n++
-	m.mu.Unlock()
+	r := &m.rings[shard]
+	r.mu.Lock()
+	r.ring[r.n%latencyRingSize] = chunkSample{done: time.Now(), latency: lat, events: events}
+	r.n++
+	r.mu.Unlock()
 }
 
-// snapshot computes the windowed gauges from the ring.
+// snapshot merges every shard's ring into the windowed gauges.
 func (m *metrics) snapshot() (rate float64, p50, p90, p99 time.Duration) {
-	m.mu.Lock()
-	count := m.n
-	if count > latencyRingSize {
-		count = latencyRingSize
-	}
-	lats := make([]time.Duration, 0, count)
+	var lats []time.Duration
 	var events int
 	oldest := time.Time{}
-	for i := 0; i < count; i++ {
-		s := m.ring[i]
-		lats = append(lats, s.latency)
-		events += s.events
-		if oldest.IsZero() || s.done.Before(oldest) {
-			oldest = s.done
+	for i := range m.rings {
+		r := &m.rings[i]
+		r.mu.Lock()
+		count := r.n
+		if count > latencyRingSize {
+			count = latencyRingSize
 		}
+		for j := 0; j < count; j++ {
+			s := r.ring[j]
+			lats = append(lats, s.latency)
+			events += s.events
+			if oldest.IsZero() || s.done.Before(oldest) {
+				oldest = s.done
+			}
+		}
+		r.mu.Unlock()
 	}
-	m.mu.Unlock()
 	if len(lats) == 0 {
 		return 0, 0, 0, 0
 	}

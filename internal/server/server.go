@@ -18,7 +18,6 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -26,14 +25,13 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lpp/internal/durable"
 	"lpp/internal/faultfs"
 	"lpp/internal/online"
-	"lpp/internal/trace"
 )
 
 // Config tunes the server. The zero value takes the defaults below.
@@ -70,6 +68,11 @@ type Config struct {
 	// ReapInterval is how often the reaper scans for idle sessions
 	// (default IdleTimeout/4, at least 10ms).
 	ReapInterval time.Duration
+	// Shards is the number of lock stripes for the session table
+	// (default 16), rounded up to a power of two. Sessions hash to a
+	// shard by ID; sessions on different shards never contend on a
+	// table lock. 1 reproduces the old single-mutex behavior.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +88,10 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 64
 	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	c.Shards = nextPow2(c.Shards)
 	if c.ReapInterval <= 0 {
 		c.ReapInterval = c.IdleTimeout / 4
 		if c.ReapInterval < 10*time.Millisecond {
@@ -100,9 +107,11 @@ type Server struct {
 	mux   *http.ServeMux
 	store *durable.Store // nil when ephemeral
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	closed   bool
+	// shards stripes the session table by ID hash (see shard.go);
+	// shardMask is len(shards)-1, a power-of-two mask.
+	shards    []shard
+	shardMask uint32
+	closed    atomic.Bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -119,11 +128,16 @@ type Server struct {
 // New returns a Server; use Handler to serve it.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		cfg:      cfg.withDefaults(),
-		mux:      http.NewServeMux(),
-		sessions: make(map[string]*session),
-		stop:     make(chan struct{}),
+		cfg:  cfg.withDefaults(),
+		mux:  http.NewServeMux(),
+		stop: make(chan struct{}),
 	}
+	s.shards = make([]shard, s.cfg.Shards)
+	s.shardMask = uint32(s.cfg.Shards - 1)
+	for i := range s.shards {
+		s.shards[i].sessions = make(map[string]*session)
+	}
+	s.m.rings = make([]latencyRing, s.cfg.Shards)
 	if s.cfg.DataDir != "" {
 		store, err := durable.Open(s.cfg.DataDir, s.cfg.FS, s.cfg.SyncWrites)
 		if err != nil {
@@ -146,6 +160,10 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the HTTP handler for the server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// ShardCount reports the resolved number of session-table lock stripes
+// (Config.Shards after defaulting and power-of-two rounding).
+func (s *Server) ShardCount() int { return len(s.shards) }
 
 // RecoverSessions eagerly revives every session with durable state,
 // replaying each WAL so detectors are warm before traffic arrives. It
@@ -176,15 +194,11 @@ func (s *Server) RecoverSessions() (int, error) {
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.reapWG.Wait()
-	s.mu.Lock()
-	s.closed = true
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.sessions = make(map[string]*session)
-	s.mu.Unlock()
-	for _, sess := range sessions {
+	// Store closed before draining: any create serialized after this
+	// point is refused inside its shard's critical section, and any
+	// create that got in first is visible to the drain.
+	s.closed.Store(true)
+	for _, sess := range s.drainSessions() {
 		c := chunk{op: opSuspend, reply: make(chan result, 1)}
 		select {
 		case sess.queue <- c:
@@ -205,15 +219,8 @@ func (s *Server) Close() {
 func (s *Server) Kill() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.reapWG.Wait()
-	s.mu.Lock()
-	s.closed = true
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.sessions = make(map[string]*session)
-	s.mu.Unlock()
-	for _, sess := range sessions {
+	s.closed.Store(true)
+	for _, sess := range s.drainSessions() {
 		sess.killOnce.Do(func() { close(sess.kill) })
 	}
 }
@@ -227,19 +234,33 @@ var (
 )
 
 func (s *Server) getSession(id string, create bool) (*session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// The closed check must happen inside the shard critical section:
+	// Close stores the flag before draining the shards, so a create
+	// serialized after the store is refused here, and one serialized
+	// before it is already in the map when the drain takes this lock.
+	if s.closed.Load() {
 		return nil, errServerClosed
 	}
-	if sess, ok := s.sessions[id]; ok {
+	if sess, ok := sh.sessions[id]; ok {
 		return sess, nil
 	}
 	if !create {
 		return nil, errNoSession
 	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		return nil, errTooManySessions
+	// The session cap is global while the table lock is per-shard, so
+	// the cap is claimed by CAS on the active-session counter (which
+	// tracks total table population exactly).
+	for {
+		n := s.m.sessionsActive.Load()
+		if n >= int64(s.cfg.MaxSessions) {
+			return nil, errTooManySessions
+		}
+		if s.m.sessionsActive.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
 	sess := &session{
 		id:    id,
@@ -249,22 +270,22 @@ func (s *Server) getSession(id string, create bool) (*session, error) {
 		ready: make(chan struct{}),
 	}
 	sess.lastActive.Store(time.Now().UnixNano())
-	s.sessions[id] = sess
-	s.m.sessionsActive.Add(1)
+	sh.sessions[id] = sess
 	s.m.sessionsTotal.Add(1)
 	go s.run(sess)
 	return sess, nil
 }
 
-// dropSession removes a dead session from the map, if it is still the
+// dropSession removes a dead session from its shard, if it is still the
 // registered one.
 func (s *Server) dropSession(sess *session) {
-	s.mu.Lock()
-	if s.sessions[sess.id] == sess {
-		delete(s.sessions, sess.id)
+	sh := s.shardFor(sess.id)
+	sh.mu.Lock()
+	if sh.sessions[sess.id] == sess {
+		delete(sh.sessions, sess.id)
 		s.m.sessionsActive.Add(-1)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // dispatch enqueues c on session id's worker and waits for its reply.
@@ -313,8 +334,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	events, err := s.decodeChunk(r)
+	st := getDecodeState()
+	events, err := s.decodeChunk(r, st)
 	if err != nil {
+		putDecodeState(st)
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -323,30 +346,38 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	res, err := s.dispatch(id, c)
 	switch {
 	case err == nil:
+		// The worker replied, so nothing references the decoded events
+		// any more (the WAL encodes them before the reply).
+		putDecodeState(st)
 		if res.status == http.StatusOK && !res.replayed {
-			s.m.observeChunk(time.Since(start), len(events))
+			s.m.observeChunk(s.shardIndex(id), time.Since(start), len(events))
 		}
 		writeResult(w, res)
 	case errors.Is(err, errQueueFull):
 		// Backpressure: the client should retry after draining; the
-		// chunk is not partially applied.
+		// chunk is not partially applied (and was never enqueued).
+		putDecodeState(st)
 		s.m.rejectedChunks.Add(1)
 		writeErr(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, errSessionDown):
+		// The chunk may still sit in a dead worker's queue; leave the
+		// state to the garbage collector rather than alias its events.
 		writeErr(w, http.StatusServiceUnavailable, "session terminated; retry")
 	default:
+		putDecodeState(st)
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sess, ok := sh.sessions[id]
 	if ok {
-		delete(s.sessions, id)
+		delete(sh.sessions, id)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		// Not in memory — but a suspended session may still hold
 		// durable state. Revive it so the close can flush the detector
@@ -360,12 +391,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
-		s.mu.Lock()
-		if s.sessions[id] == revived {
-			delete(s.sessions, id)
+		sh.mu.Lock()
+		if sh.sessions[id] == revived {
+			delete(sh.sessions, id)
 			ok = true
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		if !ok {
 			writeErr(w, http.StatusServiceUnavailable, "session contended; retry")
 			return
@@ -398,7 +429,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.m.observeChunk(time.Since(start), 0)
+	s.m.observeChunk(s.shardIndex(id), time.Since(start), 0)
 	writeResult(w, res)
 }
 
@@ -447,14 +478,17 @@ func (s *Server) reap() {
 			return
 		case <-t.C:
 			cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
-			s.mu.Lock()
 			var idle []*session
-			for _, sess := range s.sessions {
-				if sess.lastActive.Load() < cutoff {
-					idle = append(idle, sess)
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				for _, sess := range sh.sessions {
+					if sess.lastActive.Load() < cutoff {
+						idle = append(idle, sess)
+					}
 				}
+				sh.mu.Unlock()
 			}
-			s.mu.Unlock()
 			for _, sess := range idle {
 				if s.suspendSession(sess) {
 					s.m.reaped.Add(1)
@@ -467,13 +501,14 @@ func (s *Server) reap() {
 // suspendSession evicts sess after checkpointing it. Returns false if
 // another goroutine already owns the teardown.
 func (s *Server) suspendSession(sess *session) bool {
-	s.mu.Lock()
-	if s.sessions[sess.id] != sess {
-		s.mu.Unlock()
+	sh := s.shardFor(sess.id)
+	sh.mu.Lock()
+	if sh.sessions[sess.id] != sess {
+		sh.mu.Unlock()
 		return false
 	}
-	delete(s.sessions, sess.id)
-	s.mu.Unlock()
+	delete(sh.sessions, sess.id)
+	sh.mu.Unlock()
 	s.m.sessionsActive.Add(-1)
 	c := chunk{op: opSuspend, reply: make(chan result, 1)}
 	select {
@@ -546,64 +581,6 @@ type wireEvent struct {
 	Addr   uint64 `json:"addr,omitempty"`
 	Block  uint64 `json:"block,omitempty"`
 	Instrs int    `json:"instrs,omitempty"`
-}
-
-// decodeChunk parses a request body as either the binary trace format
-// (recognized by its magic header or Content-Type) or NDJSON events.
-func (s *Server) decodeChunk(r *http.Request) ([]trace.Event, error) {
-	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxChunkBytes)
-	br := bufio.NewReaderSize(body, 1<<16)
-	ct := r.Header.Get("Content-Type")
-	head, _ := br.Peek(len("LPPTRACE1\n"))
-	if strings.HasPrefix(ct, "application/x-lpp-trace") || bytes.Equal(head, []byte("LPPTRACE1\n")) {
-		return decodeBinary(br)
-	}
-	return decodeNDJSON(br)
-}
-
-func decodeBinary(r io.Reader) ([]trace.Event, error) {
-	tr := trace.NewReader(r)
-	var events []trace.Event
-	for {
-		ev, err := tr.Next()
-		if err == io.EOF {
-			return events, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("binary chunk: %w", err)
-		}
-		events = append(events, ev)
-	}
-}
-
-func decodeNDJSON(r *bufio.Reader) ([]trace.Event, error) {
-	var events []trace.Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := bytes.TrimSpace(sc.Bytes())
-		if len(text) == 0 {
-			continue
-		}
-		var we wireEvent
-		if err := json.Unmarshal(text, &we); err != nil {
-			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
-		}
-		switch we.Kind {
-		case "access":
-			events = append(events, trace.Event{Kind: trace.EventAccess, Addr: trace.Addr(we.Addr)})
-		case "block":
-			events = append(events, trace.Event{Kind: trace.EventBlock, Block: trace.BlockID(we.Block), Instrs: we.Instrs})
-		default:
-			return nil, fmt.Errorf("ndjson line %d: unknown kind %q", line, we.Kind)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ndjson: %w", err)
-	}
-	return events, nil
 }
 
 // phaseWire is the NDJSON representation of one detector output event.

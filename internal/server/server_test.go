@@ -257,9 +257,10 @@ func TestBackpressure429(t *testing.T) {
 	asyncPost() // worker picks this up and blocks in the hook
 	<-started
 	asyncPost() // sits in the queue (depth 1)
-	s.mu.Lock()
-	sess := s.sessions["bp"]
-	s.mu.Unlock()
+	sh := s.shardFor("bp")
+	sh.mu.Lock()
+	sess := sh.sessions["bp"]
+	sh.mu.Unlock()
 	for len(sess.queue) == 0 {
 		runtime.Gosched()
 	}

@@ -1,0 +1,68 @@
+package server
+
+import "sync"
+
+// shard is one lock stripe of the session table. Sessions are assigned
+// by a hash of their ID, so two sessions on different shards never
+// contend on a table lock — only the global counters (atomics) are
+// shared. Server-wide invariants that used to live under one mutex are
+// split accordingly: membership of one id is a shard-local question,
+// while the session cap and the closed flag are global atomics checked
+// inside the shard critical section.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// FNV-1a, inlined: the IDs are short and the hash runs on every
+// request, so this avoids the hash/fnv allocation-and-interface dance.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv1a(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// shardFor returns the stripe owning id. The shard count is a power of
+// two, so the mask keeps the mapping branch-free.
+func (s *Server) shardFor(id string) *shard {
+	return &s.shards[fnv1a(id)&s.shardMask]
+}
+
+// shardIndex is shardFor as an index, for the per-shard metrics rings.
+func (s *Server) shardIndex(id string) int {
+	return int(fnv1a(id) & s.shardMask)
+}
+
+// drainSessions atomically empties every shard and returns all removed
+// sessions. Callers must have made new creations impossible first (by
+// storing closed), so the returned snapshot is complete.
+func (s *Server) drainSessions() []*session {
+	var all []*session
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			all = append(all, sess)
+		}
+		sh.sessions = make(map[string]*session)
+		sh.mu.Unlock()
+	}
+	return all
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -184,9 +184,7 @@ func (w *worker) restore() {
 		for _, e := range st.Entries {
 			w.pending = nil
 			w.det.SetPressure(0)
-			for _, ev := range e.Events {
-				ev.Feed(w.det)
-			}
+			w.det.AccessBatch(e.Events)
 			if e.Flush {
 				w.det.Flush()
 			}
@@ -237,9 +235,7 @@ func (w *worker) events(c chunk) result {
 		// Queue occupancy is the pressure signal: a backed-up consumer
 		// degrades detection fidelity instead of memory.
 		w.det.SetPressure(float64(len(w.sess.queue)) / float64(cap(w.sess.queue)))
-		for _, ev := range c.events {
-			ev.Feed(w.det)
-		}
+		w.det.AccessBatch(c.events)
 	}) {
 		return w.quarantineResult(seq)
 	}

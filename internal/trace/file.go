@@ -116,7 +116,10 @@ func (e Event) Feed(ins Instrumenter) {
 // consumed without materializing them. The header is read lazily on
 // the first Next.
 type Reader struct {
-	br        *bufio.Reader
+	br *bufio.Reader
+	// own is the Reader-owned buffer, kept across Resets whose source
+	// is not itself an adequately sized *bufio.Reader.
+	own       *bufio.Reader
 	prevAddr  Addr
 	gotHeader bool
 	blocks    uint64
@@ -126,6 +129,26 @@ type Reader struct {
 // NewReader returns a streaming Reader over r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Reset re-aims the Reader at a new stream, reusing its buffer, so a
+// pooled Reader decodes chunk after chunk without allocating. As in
+// NewReader, a src that is already a large-enough *bufio.Reader is used
+// directly instead of being wrapped again.
+func (r *Reader) Reset(src io.Reader) {
+	if br, ok := src.(*bufio.Reader); ok && br.Size() >= 1<<16 {
+		r.br = br
+	} else {
+		if r.own == nil {
+			r.own = bufio.NewReaderSize(nil, 1<<16)
+		}
+		r.own.Reset(src)
+		r.br = r.own
+	}
+	r.prevAddr = 0
+	r.gotHeader = false
+	r.blocks = 0
+	r.accesses = 0
 }
 
 // Counts returns the number of block and access events decoded so far.
@@ -138,12 +161,12 @@ func (r *Reader) Counts() (blocks, accesses uint64) {
 // io.ErrUnexpectedEOF instead, so callers can tell the two apart.
 func (r *Reader) Next() (Event, error) {
 	if !r.gotHeader {
-		magic := make([]byte, len(fileMagic))
-		if _, err := io.ReadFull(r.br, magic); err != nil {
+		var magic [len(fileMagic)]byte
+		if _, err := io.ReadFull(r.br, magic[:]); err != nil {
 			return Event{}, fmt.Errorf("trace: read header: %w", err)
 		}
-		if string(magic) != fileMagic {
-			return Event{}, fmt.Errorf("trace: bad magic %q", magic)
+		if string(magic[:]) != fileMagic {
+			return Event{}, fmt.Errorf("trace: bad magic %q", magic[:])
 		}
 		r.gotHeader = true
 	}

@@ -142,3 +142,55 @@ func TestFileCompactness(t *testing.T) {
 		t.Errorf("sequential encoding = %.2f bytes/event, want <= 2.5", perEvent)
 	}
 }
+
+// TestReaderReset: one pooled Reader must decode successive independent
+// chunks identically to fresh Readers, resetting its delta state and
+// header expectation each time, whether the source is a plain reader or
+// an already-buffered one.
+func TestReaderReset(t *testing.T) {
+	chunk := func(addrs ...Addr) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Block(1, 4)
+		for _, a := range addrs {
+			w.Access(a)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	chunks := [][]byte{
+		chunk(0x1000, 0x1008, 0x40),
+		chunk(0xdeadbeef),
+		chunk(0x40, 0x1000), // same addrs as chunk 0's tail, fresh deltas
+	}
+	r := NewReader(bytes.NewReader(chunks[0]))
+	src := bytes.NewReader(nil)
+	for i, c := range chunks {
+		src.Reset(c)
+		r.Reset(src)
+		var got []Addr
+		for {
+			ev, err := r.Next()
+			if err != nil {
+				break
+			}
+			if ev.Kind == EventAccess {
+				got = append(got, ev.Addr)
+			}
+		}
+		fresh := NewRecorder(0, 0)
+		if _, _, err := ReadFile(bytes.NewReader(c), fresh); err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if len(got) != len(fresh.T.Accesses) {
+			t.Fatalf("chunk %d: %d accesses, want %d", i, len(got), len(fresh.T.Accesses))
+		}
+		for j := range got {
+			if got[j] != fresh.T.Accesses[j] {
+				t.Fatalf("chunk %d access %d = %#x, want %#x", i, j, got[j], fresh.T.Accesses[j])
+			}
+		}
+	}
+}
