@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"lpp/internal/core"
 	"lpp/internal/marker"
 	"lpp/internal/predictor"
+	"lpp/internal/profiling"
 	"lpp/internal/stats"
 	"lpp/internal/workload"
 )
@@ -31,8 +33,17 @@ func main() {
 		saveProf = flag.String("save", "", "write the detection profile to this file")
 		loadProf = flag.String("load", "", "skip detection; load a profile written by -save")
 		subph    = flag.Bool("subphases", false, "refine detected phases with a smaller threshold")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "detection worker-pool size; 1 = strictly sequential (results are identical at any setting)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, s := range workload.All() {
@@ -72,7 +83,9 @@ func main() {
 			*loadProf, det.Selection.PhaseCount, det.Hierarchy)
 	} else {
 		fmt.Printf("detecting phases of %s (N=%d, steps=%d)...\n", spec.Name, train.N, train.Steps)
-		det, err = core.Detect(spec.Make(train), core.DefaultConfig())
+		cfg := core.DefaultConfig()
+		cfg.Workers = *jobs
+		det, err = core.Detect(spec.Make(train), cfg)
 		if err != nil {
 			fatal(err)
 		}

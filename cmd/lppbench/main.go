@@ -7,21 +7,23 @@
 //	lppbench -exp table2,fig6   # run selected experiments
 //	lppbench -quick             # shrunken inputs (seconds, not minutes)
 //	lppbench -out results/      # also write CSV artifacts
+//	lppbench -j 8               # analysis worker pool (default GOMAXPROCS)
 //	lppbench -list              # list experiments
+//	lppbench -offline           # offline-pipeline benchmark, write BENCH_offline.json
 //	lppbench -stream t.trace    # replay a trace against lppserve, write BENCH_stream.json
 //	lppbench -sessions 8 -concurrency 8   # concurrent multi-session ingest, write BENCH_ingest.json
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"lpp/internal/experiments"
+	"lpp/internal/profiling"
 )
 
 func main() {
@@ -30,8 +32,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink inputs for a fast run")
 		out      = flag.String("out", "", "directory for CSV/SVG artifacts")
 		list     = flag.Bool("list", false, "list experiments and exit")
-		parallel = flag.Bool("j", false, "run experiments concurrently (output stays ordered)")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "analysis worker-pool size; 1 = strictly sequential (output is identical at any setting)")
 		html     = flag.String("html", "", "write a self-contained HTML report to this file (needs -out)")
+		offline  = flag.Bool("offline", false, "benchmark the offline pipeline at -j 1 vs -j N (writes BENCH_offline.json)")
 		stream   = flag.String("stream", "", "trace file to replay against lppserve (see -addr)")
 		addr     = flag.String("addr", "", "lppserve address for -stream/-sessions (default: in-process server)")
 		chunkLen = flag.Int("chunk", 16384, "events per chunk for -stream and -sessions")
@@ -39,8 +42,26 @@ func main() {
 		conc     = flag.Int("concurrency", 0, "concurrent sessions in flight for -sessions (default: all)")
 		shards   = flag.Int("shards", 0, "session-table shard count for the in-process server (0 = server default)")
 		perSess  = flag.Int("events", 200_000, "events per session for -sessions")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		*jobs = 1
+	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
+	if *offline {
+		if err := runOffline(*out, *jobs, *quick); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *sessions > 0 {
 		if err := runIngest(*addr, *out, *sessions, *conc, *shards, *perSess, *chunkLen); err != nil {
@@ -79,6 +100,13 @@ func main() {
 		}
 	}
 
+	opts := experiments.Options{
+		Quick:  *quick,
+		OutDir: *out,
+		Jobs:   *jobs,
+		Cache:  experiments.NewCache(),
+	}
+
 	if *html != "" {
 		if *out == "" {
 			fatal(fmt.Errorf("-html needs -out for the figure artifacts"))
@@ -87,7 +115,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		err = experiments.HTMLReport(f, run, experiments.Options{Quick: *quick, OutDir: *out})
+		err = experiments.HTMLReport(f, run, opts)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -97,52 +125,15 @@ func main() {
 		fmt.Printf("report written to %s\n", *html)
 		return
 	}
-	if *parallel {
-		runParallel(run, *quick, *out)
-		return
-	}
-	opts := experiments.Options{W: os.Stdout, Quick: *quick, OutDir: *out}
-	for _, e := range run {
-		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
-		start := time.Now()
-		if err := e.Run(opts); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.Name, err))
-		}
-		fmt.Printf("---- %s done in %v ----\n\n", e.Name, time.Since(start).Round(time.Millisecond))
-	}
-}
 
-// runParallel executes every experiment concurrently (they share no
-// state; all randomness is seeded) and prints the buffered reports in
-// the original order.
-func runParallel(run []experiments.Experiment, quick bool, out string) {
-	type result struct {
-		buf  bytes.Buffer
-		err  error
-		took time.Duration
+	// The report itself is deterministic and ordered; timing goes to
+	// stderr so stdout is byte-identical at every -j.
+	start := time.Now()
+	if err := experiments.RunReport(os.Stdout, run, opts); err != nil {
+		fatal(err)
 	}
-	results := make([]result, len(run))
-	var wg sync.WaitGroup
-	for i, e := range run {
-		wg.Add(1)
-		go func(i int, e experiments.Experiment) {
-			defer wg.Done()
-			start := time.Now()
-			results[i].err = e.Run(experiments.Options{
-				W: &results[i].buf, Quick: quick, OutDir: out,
-			})
-			results[i].took = time.Since(start)
-		}(i, e)
-	}
-	wg.Wait()
-	for i, e := range run {
-		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
-		os.Stdout.Write(results[i].buf.Bytes())
-		if results[i].err != nil {
-			fatal(fmt.Errorf("%s: %w", e.Name, results[i].err))
-		}
-		fmt.Printf("---- %s done in %v ----\n\n", e.Name, results[i].took.Round(time.Millisecond))
-	}
+	fmt.Fprintf(os.Stderr, "lppbench: %d experiments in %v (-j %d)\n",
+		len(run), time.Since(start).Round(time.Millisecond), *jobs)
 }
 
 func fatal(err error) {

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"lpp/internal/core"
+	"lpp/internal/experiments"
+	"lpp/internal/workload"
+)
+
+// offlineReport is the BENCH_offline.json schema: wall-clock and
+// allocation cost of the offline analysis pipeline — one workload's
+// end-to-end Detect, and the full nine-workload evaluation report —
+// at -j 1 (strictly sequential) versus -j N (pipelined detection,
+// concurrent per-workload analyses, shared analysis cache).
+type offlineReport struct {
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	Jobs       int  `json:"jobs"`
+	Quick      bool `json:"quick"`
+
+	DetectWorkload  string  `json:"detect_workload"`
+	DetectAccesses  int64   `json:"detect_accesses"`
+	DetectSecondsJ1 float64 `json:"detect_seconds_j1"`
+	DetectSecondsJN float64 `json:"detect_seconds_jn"`
+	DetectSpeedup   float64 `json:"detect_speedup"`
+	DetectAllocsJ1  uint64  `json:"detect_allocs_j1"`
+	DetectAllocsJN  uint64  `json:"detect_allocs_jn"`
+	DetectParityOK  bool    `json:"detect_parity_ok"`
+
+	ReportExperiments int     `json:"report_experiments"`
+	ReportSecondsJ1   float64 `json:"report_seconds_j1"`
+	ReportSecondsJN   float64 `json:"report_seconds_jn"`
+	ReportSpeedup     float64 `json:"report_speedup"`
+	ReportParityOK    bool    `json:"report_parity_ok"`
+
+	PeakRSSBytes int64  `json:"peak_rss_bytes"`
+	Note         string `json:"note,omitempty"`
+}
+
+// runOffline benchmarks the offline pipeline and writes
+// BENCH_offline.json (to outDir when set, else the working directory).
+// Both halves double as parity checks: the -j N results must equal the
+// -j 1 results exactly, and the run fails loudly if they do not.
+func runOffline(outDir string, jobs int, quick bool) error {
+	if jobs < 2 {
+		jobs = runtime.GOMAXPROCS(0)
+		if jobs < 2 {
+			jobs = 4 // still exercise the pipelined path on one CPU
+		}
+	}
+	rep := offlineReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       jobs,
+		Quick:      quick,
+	}
+
+	// Half 1: single-workload end-to-end Detect (trace generation,
+	// sampling with exact reuse distances, wavelet filtering,
+	// partitioning, marker selection).
+	spec, err := workload.ByName("tomcatv")
+	if err != nil {
+		return err
+	}
+	train := spec.Train
+	if quick {
+		train.N /= 2
+		if train.Steps > 6 {
+			train.Steps = 6
+		}
+	}
+	rep.DetectWorkload = spec.Name
+
+	seqDet, seqSecs, seqAllocs, err := timeDetect(spec, train, 1)
+	if err != nil {
+		return err
+	}
+	parDet, parSecs, parAllocs, err := timeDetect(spec, train, jobs)
+	if err != nil {
+		return err
+	}
+	rep.DetectAccesses = seqDet.Accesses
+	rep.DetectSecondsJ1 = seqSecs
+	rep.DetectSecondsJN = parSecs
+	rep.DetectSpeedup = seqSecs / parSecs
+	rep.DetectAllocsJ1 = seqAllocs
+	rep.DetectAllocsJN = parAllocs
+	parDet.Config.Workers = seqDet.Config.Workers
+	rep.DetectParityOK = reflect.DeepEqual(seqDet, parDet)
+
+	fmt.Printf("detect %s (%d accesses): %.3fs at -j 1, %.3fs at -j %d (%.2fx), parity %v\n",
+		rep.DetectWorkload, rep.DetectAccesses, seqSecs, parSecs, jobs,
+		rep.DetectSpeedup, rep.DetectParityOK)
+
+	// Half 2: the full nine-workload evaluation report, once with a
+	// serial cache fill and once with the concurrent prewarm.
+	exps := experiments.All()
+	rep.ReportExperiments = len(exps)
+	serialOut, serialSecs, err := timeReport(exps, quick, 1)
+	if err != nil {
+		return err
+	}
+	parallelOut, parallelSecs, err := timeReport(exps, quick, jobs)
+	if err != nil {
+		return err
+	}
+	rep.ReportSecondsJ1 = serialSecs
+	rep.ReportSecondsJN = parallelSecs
+	rep.ReportSpeedup = serialSecs / parallelSecs
+	rep.ReportParityOK = bytes.Equal(serialOut, parallelOut)
+
+	fmt.Printf("report (%d experiments, nine workloads): %.3fs at -j 1, %.3fs at -j %d (%.2fx), parity %v\n",
+		len(exps), serialSecs, parallelSecs, jobs, rep.ReportSpeedup, rep.ReportParityOK)
+
+	rep.PeakRSSBytes = peakRSSBytes()
+	if rep.GOMAXPROCS == 1 {
+		rep.Note = "single-CPU runner: goroutines are time-sliced on one core, so wall-clock " +
+			"speedup cannot exceed ~1x here; the memoized analysis cache is still in effect " +
+			"at both -j settings. Re-run on a multi-core machine for the parallel speedup."
+	}
+	if !rep.DetectParityOK || !rep.ReportParityOK {
+		return fmt.Errorf("offline parity violated: detect=%v report=%v",
+			rep.DetectParityOK, rep.ReportParityOK)
+	}
+
+	out := "BENCH_offline.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		out = filepath.Join(outDir, out)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}
+
+// timeDetect runs one end-to-end detection and returns the result,
+// wall-clock seconds, and whole-process allocation count.
+func timeDetect(spec workload.Spec, train workload.Params, workers int) (*core.Detection, float64, uint64, error) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	det, err := core.Detect(spec.Make(train), cfg)
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return det, secs, after.Mallocs - before.Mallocs, nil
+}
+
+// timeReport runs the full report into a buffer with a fresh analysis
+// cache and returns the report bytes and wall-clock seconds. Artifacts
+// go to a throwaway directory so runs cannot contaminate each other.
+func timeReport(exps []experiments.Experiment, quick bool, jobs int) ([]byte, float64, error) {
+	dir, err := os.MkdirTemp("", "lppbench-offline-*")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	var buf bytes.Buffer
+	o := experiments.Options{
+		Quick:  quick,
+		OutDir: dir,
+		Jobs:   jobs,
+		Cache:  experiments.NewCache(),
+	}
+	start := time.Now()
+	err = experiments.RunReport(&buf, exps, o)
+	return buf.Bytes(), time.Since(start).Seconds(), err
+}
+
+// peakRSSBytes reads the process's high-water resident set size
+// (VmHWM) from /proc/self/status, returning 0 where unavailable.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

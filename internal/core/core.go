@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"lpp/internal/marker"
 	"lpp/internal/phasedet"
@@ -47,6 +48,21 @@ type Config struct {
 	// programs whose phase lengths cannot be predicted. The detected
 	// phases are then typically flagged inconsistent.
 	KeepIrregular bool
+	// Workers bounds the worker pool the off-line analysis may use:
+	// Detect pipelines trace generation with the exact reuse-distance
+	// analysis and fans the per-data-sample wavelet filtering out
+	// across min(Workers, GOMAXPROCS-equivalent) goroutines. 0 means
+	// GOMAXPROCS; 1 forces the strictly sequential path. Results are
+	// bit-identical at every setting.
+	Workers int
+}
+
+// workers resolves Config.Workers to a concrete pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig returns the paper's settings. The marker blank-region
@@ -100,18 +116,50 @@ type Detection struct {
 }
 
 // Detect runs the full off-line analysis over one training execution
-// of prog.
+// of prog. With more than one worker configured (the default resolves
+// to GOMAXPROCS), trace generation is pipelined with the exact
+// reuse-distance analysis: the workload streams its accesses to an
+// analyzer goroutine in batches, so the analyzer — the expensive,
+// strictly sequential part of sampling — never idles waiting for the
+// full trace. The threshold/feedback half of sampling (which needs the
+// final trace length for pacing) then replays the precomputed
+// distances, making the result bit-identical to the sequential path.
 func Detect(prog trace.Runner, cfg Config) (*Detection, error) {
 	// Step 0: collect the training trace (ATOM's role).
 	rec := trace.NewRecorder(1<<20, 1<<16)
-	prog.Run(rec)
-	return DetectTrace(&rec.T, cfg)
+	if cfg.workers() <= 1 {
+		prog.Run(rec)
+		return DetectTrace(&rec.T, cfg)
+	}
+	pipe := newDistPipeline()
+	prog.Run(trace.Tee{rec, pipe})
+	dists := pipe.Wait()
+	cfg, scfg, err := normalizeConfig(&rec.T, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := sampling.RunTraceDists(rec.T.Accesses, dists, scfg)
+	return finishDetection(&rec.T, cfg, res)
 }
 
 // DetectTrace runs the off-line analysis over an already-recorded
 // training trace — e.g. one captured to a file with trace.Writer and
 // replayed with trace.ReadFile.
 func DetectTrace(t *trace.Recorded, cfg Config) (*Detection, error) {
+	cfg, scfg, err := normalizeConfig(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Step 1: variable-distance sampling of the reuse trace.
+	res := sampling.RunTrace(t.Accesses, scfg)
+	return finishDetection(t, cfg, res)
+}
+
+// normalizeConfig fills config defaults that depend on the recorded
+// trace and derives the sampling configuration. The feedback loop
+// needs tens of checks over the run to steer the thresholds, whatever
+// the trace length.
+func normalizeConfig(t *trace.Recorded, cfg Config) (Config, sampling.Config, error) {
 	def := DefaultConfig()
 	if cfg.MaxSpan == 0 {
 		cfg.MaxSpan = def.MaxSpan
@@ -120,7 +168,7 @@ func DetectTrace(t *trace.Recorded, cfg Config) (*Detection, error) {
 		cfg.MinSubTrace = def.MinSubTrace
 	}
 	if len(t.Accesses) == 0 {
-		return nil, fmt.Errorf("core: training run produced no accesses")
+		return cfg, sampling.Config{}, fmt.Errorf("core: training run produced no accesses")
 	}
 	if cfg.Marker.BlankThreshold == 0 {
 		// The paper requires a phase execution to consume at least
@@ -143,10 +191,6 @@ func DetectTrace(t *trace.Recorded, cfg Config) (*Detection, error) {
 		// boundary), so allow a modest slack.
 		cfg.Marker.FreqSlack = 1.3
 	}
-
-	// Step 1: variable-distance sampling of the reuse trace. The
-	// feedback loop needs tens of checks over the run to steer the
-	// thresholds, whatever the trace length.
 	scfg := cfg.Sampling
 	if scfg.ExpectedLength == 0 {
 		scfg.ExpectedLength = int64(len(t.Accesses))
@@ -157,10 +201,15 @@ func DetectTrace(t *trace.Recorded, cfg Config) (*Detection, error) {
 			scfg.CheckEvery = 2000
 		}
 	}
-	res := sampling.RunTrace(t.Accesses, scfg)
+	return cfg, scfg, nil
+}
 
+// finishDetection runs the trace-independent tail of the analysis —
+// wavelet filtering, partitioning, marker selection, hierarchy,
+// consistency — over a completed sampling result.
+func finishDetection(t *trace.Recorded, cfg Config, res sampling.Result) (*Detection, error) {
 	// Step 2: wavelet filtering of each data sample's sub-trace.
-	filtered := filterSamples(res, cfg.Wavelet, cfg.MinSubTrace, cfg.KeepIrregular)
+	filtered := filterSamplesWorkers(res, cfg.Wavelet, cfg.MinSubTrace, cfg.KeepIrregular, cfg.workers())
 
 	// Step 3: optimal phase partitioning of the filtered trace.
 	ids := make([]int, len(filtered))

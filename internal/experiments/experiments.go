@@ -30,6 +30,16 @@ type Options struct {
 	Quick bool
 	// OutDir, when non-empty, receives CSV artifacts.
 	OutDir string
+	// Jobs bounds the analysis worker pool: Prewarm analyzes up to
+	// Jobs workloads concurrently, and each detection's internal
+	// pipeline uses up to Jobs workers. 0 means GOMAXPROCS; 1 is the
+	// strictly sequential baseline. Report output is byte-identical
+	// at every setting.
+	Jobs int
+	// Cache, when non-nil, memoizes per-workload analyses so each
+	// workload's training trace is replayed once per report run and
+	// shared by every table and figure (see NewCache).
+	Cache *Cache
 }
 
 func (o Options) out() io.Writer {
@@ -134,10 +144,22 @@ type analysis struct {
 }
 
 // analyze runs detection on the training input and prediction (both
-// policies, one pass) on the reference input.
+// policies, one pass) on the reference input. With a Cache configured,
+// the result is memoized per workload, so each training trace is
+// replayed once per report run no matter how many tables and figures
+// ask for it.
 func (o Options) analyze(spec workload.Spec) (*analysis, error) {
+	if o.Cache != nil {
+		return o.Cache.get(spec, func() (*analysis, error) { return o.analyzeUncached(spec) })
+	}
+	return o.analyzeUncached(spec)
+}
+
+func (o Options) analyzeUncached(spec workload.Spec) (*analysis, error) {
 	train, ref := o.params(spec)
-	det, err := core.Detect(spec.Make(train), core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Workers = o.jobs()
+	det, err := core.Detect(spec.Make(train), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: detect: %w", spec.Name, err)
 	}

@@ -141,10 +141,12 @@ func Partition(ids []int, cfg Config) []int {
 	return bounds
 }
 
-// Penalty computes the total weight of a given partition of ids, using
-// the same cost model as Partition — exposed for testing and for the
-// ablation benchmarks.
-func Penalty(ids []int, bounds []int, alpha float64) float64 {
+// PartitionCost computes the total weight of a given partition of ids,
+// using the same cost model as Partition — exposed for testing, for
+// fuzzing (a partition returned by Partition must never cost more than
+// any other valid partition of the same trace), and for the ablation
+// benchmarks.
+func PartitionCost(ids []int, bounds []int, alpha float64) float64 {
 	if alpha == 0 {
 		alpha = DefaultAlpha
 	}
@@ -168,4 +170,9 @@ func Penalty(ids []int, bounds []int, alpha float64) float64 {
 		total += alpha*float64(r) + 1
 	}
 	return total
+}
+
+// Penalty is the historical name of PartitionCost.
+func Penalty(ids []int, bounds []int, alpha float64) float64 {
+	return PartitionCost(ids, bounds, alpha)
 }

@@ -17,7 +17,7 @@
 package reuse
 
 import (
-	"sort"
+	"slices"
 
 	"lpp/internal/trace"
 )
@@ -30,12 +30,21 @@ type Analyzer struct {
 	last map[trace.Addr]int64 // element -> last access time (tree index)
 	tree []int64              // Fenwick tree over time slots, 1-based
 	now  int64                // next time slot to use
+
+	// scratch is reused across compactions so the steady state of
+	// the Access hot loop allocates nothing.
+	scratch []int64
 }
+
+// lastMapHint pre-sizes the last-access map: the analyzer sits on the
+// hot path of every sampled access, and growing the map from empty
+// costs a rehash cascade during the first thousands of accesses.
+const lastMapHint = 1 << 12
 
 // NewAnalyzer returns an empty Analyzer.
 func NewAnalyzer() *Analyzer {
 	return &Analyzer{
-		last: make(map[trace.Addr]int64),
+		last: make(map[trace.Addr]int64, lastMapHint),
 		tree: make([]int64, 1<<16),
 		now:  0,
 	}
@@ -69,27 +78,48 @@ func (a *Analyzer) Distinct() int { return len(a.last) }
 
 // compact remaps live last-access times onto 0..n-1 (order-preserving)
 // and rebuilds the Fenwick tree, growing it if the live set needs room.
+// The scratch buffer and the tree itself are reused across compactions,
+// so a steady-state compaction performs no allocations: ranks come from
+// a binary search over the sorted live times (each live element holds a
+// distinct time, so the search is exact), and the rebuilt tree — one
+// set bit per slot 0..n-1 — is written directly in one O(size) pass
+// instead of n individual O(log size) point updates.
 func (a *Analyzer) compact() {
-	times := make([]int64, 0, len(a.last))
+	times := a.scratch[:0]
 	for _, t := range a.last {
 		times = append(times, t)
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	rank := make(map[int64]int64, len(times))
-	for i, t := range times {
-		rank[t] = int64(i)
-	}
+	slices.Sort(times)
+	a.scratch = times
 	size := len(a.tree)
 	for size < 4*(len(times)+1) || size < 1<<16 {
 		size *= 2
 	}
-	a.tree = make([]int64, size)
-	for addr, t := range a.last {
-		r := rank[t]
-		a.last[addr] = r
-		a.add(r, 1)
+	if size == len(a.tree) {
+		clear(a.tree)
+	} else {
+		a.tree = make([]int64, size)
 	}
-	a.now = int64(len(times))
+	for addr, t := range a.last {
+		r, _ := slices.BinarySearch(times, t)
+		a.last[addr] = int64(r)
+	}
+	// Slots 0..n-1 (tree indices 1..n) each hold one set bit; a
+	// Fenwick node i covers (i-lowbit(i), i], so its value is the
+	// overlap of that range with [1, n].
+	n := int64(len(times))
+	for i := int64(1); i < int64(len(a.tree)); i++ {
+		lo := i - i&(-i)
+		if lo >= n {
+			continue
+		}
+		hi := i
+		if hi > n {
+			hi = n
+		}
+		a.tree[i] = hi - lo
+	}
+	a.now = n
 }
 
 // add adds delta at time slot t (0-based externally, 1-based in tree).

@@ -203,3 +203,55 @@ func BenchmarkAnalyzerAccess(b *testing.B) {
 		a.Access(trace.Addr(rng.Intn(1 << 16)))
 	}
 }
+
+// BenchmarkAnalyzerCompact pins the periodic tree rebuild: a live set
+// of 32K elements is remapped and the Fenwick tree reconstructed on
+// every iteration, the way the Access hot loop triggers it once per
+// O(tree size) accesses.
+func BenchmarkAnalyzerCompact(b *testing.B) {
+	a := NewAnalyzer()
+	for i := 0; i < 1<<15; i++ {
+		a.Access(trace.Addr(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.compact()
+	}
+}
+
+// TestCompactSteadyStateAllocs: once the scratch buffer and tree have
+// reached the live set's size, a compaction must not allocate — the
+// Access hot loop's amortized allocation rate depends on it.
+func TestCompactSteadyStateAllocs(t *testing.T) {
+	a := NewAnalyzer()
+	rng := stats.NewRNG(11)
+	for i := 0; i < 1<<14; i++ {
+		a.Access(trace.Addr(rng.Intn(1 << 12)))
+	}
+	a.compact() // warm the scratch buffer
+	if allocs := testing.AllocsPerRun(10, func() { a.compact() }); allocs > 0 {
+		t.Errorf("steady-state compact allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestCompactPreservesDistances: distances across a forced compaction
+// must equal those of a never-compacted reference analyzer.
+func TestCompactPreservesDistances(t *testing.T) {
+	ref := NewAnalyzer()
+	sub := NewAnalyzer()
+	rng := stats.NewRNG(13)
+	var addrs []trace.Addr
+	for i := 0; i < 4096; i++ {
+		addrs = append(addrs, trace.Addr(rng.Intn(512)))
+	}
+	for i, addr := range addrs {
+		want := ref.Access(addr)
+		if i%777 == 0 {
+			sub.compact()
+		}
+		if got := sub.Access(addr); got != want {
+			t.Fatalf("access %d (%#x): distance %d after compaction, want %d", i, addr, got, want)
+		}
+	}
+}

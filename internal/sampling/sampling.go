@@ -111,6 +111,14 @@ type Sampler struct {
 // New returns a Sampler with the given configuration (zero fields take
 // defaults).
 func New(cfg Config) *Sampler {
+	s := newSampler(cfg)
+	s.analyzer = reuse.NewAnalyzer()
+	return s
+}
+
+// newSampler builds a Sampler without a reuse analyzer — for callers
+// that feed precomputed distances through AccessDist.
+func newSampler(cfg Config) *Sampler {
 	def := DefaultConfig()
 	if cfg.TargetSamples <= 0 {
 		cfg.TargetSamples = def.TargetSamples
@@ -129,7 +137,6 @@ func New(cfg Config) *Sampler {
 	}
 	return &Sampler{
 		cfg:      cfg,
-		analyzer: reuse.NewAnalyzer(),
 		qual:     cfg.Qualification,
 		temporal: cfg.Temporal,
 		spatial:  cfg.Spatial,
@@ -142,9 +149,19 @@ func (s *Sampler) Block(trace.BlockID, int) {}
 
 // Access feeds one data access to the sampler.
 func (s *Sampler) Access(addr trace.Addr) {
+	s.AccessDist(addr, s.analyzer.Access(addr))
+}
+
+// AccessDist feeds one data access whose reuse distance has already
+// been measured. It is the pipelined entry point: the exact
+// reuse-distance analysis — the expensive, threshold-independent part
+// of sampling — can run concurrently with trace generation, and the
+// threshold/feedback logic (which needs the final trace length for
+// pacing) replays the (addr, dist) stream afterwards. Feeding the same
+// stream through Access and AccessDist yields bit-identical results.
+func (s *Sampler) AccessDist(addr trace.Addr, dist int64) {
 	t := s.now
 	s.now++
-	dist := s.analyzer.Access(addr)
 	if dist == reuse.Infinite {
 		return
 	}
@@ -253,6 +270,22 @@ func RunTrace(accesses []trace.Addr, cfg Config) Result {
 	s := New(cfg)
 	for _, a := range accesses {
 		s.Access(a)
+	}
+	return s.Result()
+}
+
+// RunTraceDists samples a recorded access stream whose reuse distances
+// were measured elsewhere (e.g. by an analyzer pipelined with trace
+// generation). dists[i] must be the exact reuse distance of
+// accesses[i]; the result is bit-identical to RunTrace over the same
+// stream.
+func RunTraceDists(accesses []trace.Addr, dists []int64, cfg Config) Result {
+	if cfg.ExpectedLength == 0 {
+		cfg.ExpectedLength = int64(len(accesses))
+	}
+	s := newSampler(cfg)
+	for i, a := range accesses {
+		s.AccessDist(a, dists[i])
 	}
 	return s.Result()
 }

@@ -1,8 +1,10 @@
 package sampling
 
 import (
+	"reflect"
 	"testing"
 
+	"lpp/internal/reuse"
 	"lpp/internal/stats"
 	"lpp/internal/trace"
 )
@@ -134,5 +136,27 @@ func TestSamplerColdAccessesNeverSampled(t *testing.T) {
 	res := RunTrace(tr, Config{TargetSamples: 100, CheckEvery: 1000})
 	if len(res.Samples) != 0 {
 		t.Errorf("cold-only trace produced %d samples", len(res.Samples))
+	}
+}
+
+// TestRunTraceDistsMatchesRunTrace: feeding precomputed reuse
+// distances through the pipelined entry point must reproduce RunTrace
+// bit for bit — core.Detect's pipelined mode depends on it.
+func TestRunTraceDistsMatchesRunTrace(t *testing.T) {
+	tr := phasedTrace(30000, 6)
+	cfg := Config{TargetSamples: 1500, CheckEvery: 5000}
+
+	want := RunTrace(tr, cfg)
+
+	an := reuse.NewAnalyzer()
+	dists := make([]int64, len(tr))
+	for i, a := range tr {
+		dists[i] = an.Access(a)
+	}
+	got := RunTraceDists(tr, dists, cfg)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunTraceDists diverges from RunTrace:\ngot  %+v samples=%d\nwant %+v samples=%d",
+			got, len(got.Samples), want, len(want.Samples))
 	}
 }
