@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lpp [-bench tomcatv] [-policy strict|relaxed] [-quick] [-v]
+//	    [-consumers predictor,cacheresize,dvfs,remap]
 //	lpp -list
 package main
 
@@ -14,9 +15,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"lpp/internal/core"
 	"lpp/internal/marker"
+	"lpp/internal/phase"
 	"lpp/internal/predictor"
 	"lpp/internal/profiling"
 	"lpp/internal/stats"
@@ -36,6 +39,7 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "detection worker-pool size; 1 = strictly sequential (results are identical at any setting)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		cons     = flag.String("consumers", "", "drive run-time consumers from the prediction run's phase events (comma-separated: predictor, cacheresize, dvfs, remap)")
 	)
 	flag.Parse()
 
@@ -147,7 +151,30 @@ func main() {
 	fmt.Printf("\npredicting %s (N=%d, steps=%d) under the %v policy...\n",
 		spec.Name, ref.N, ref.Steps, pol)
 	prog := spec.Make(ref)
-	rep := core.Predict(prog, det, pol)
+	var chain *phase.Chain
+	if *cons != "" {
+		chain, err = phase.ParseChain(*cons)
+		if err != nil {
+			fatal(err)
+		}
+		// The offline consistency gate applies to consumers too.
+		for _, c := range chain.Consumers() {
+			if pc, ok := c.(*phase.PredictorConsumer); ok {
+				for ph, consistent := range det.PhaseConsistent {
+					if !consistent {
+						pc.MarkInconsistent(int(ph))
+					}
+				}
+			}
+		}
+	}
+	var rep *core.RunReport
+	if chain != nil {
+		// A typed-nil *Chain must not reach the interface-valued sink.
+		rep = core.PredictAllWith(prog, det, chain, pol)[0]
+	} else {
+		rep = core.Predict(prog, det, pol)
+	}
 	fmt.Printf("  prediction run: %d accesses, %d instructions\n", rep.Accesses, rep.Instructions)
 	fmt.Printf("  accuracy %.2f%%  coverage %.2f%%  next-phase accuracy %.2f%%\n",
 		100*rep.Accuracy, 100*rep.Coverage, 100*rep.NextPhaseAccuracy)
@@ -164,6 +191,15 @@ func main() {
 			fmt.Printf("    #%-4d phase %-3d %10d instrs  %9d accesses  miss32=%.3f%% miss256=%.3f%%%s\n",
 				i, e.Phase, e.Instructions, e.Accesses,
 				100*e.Locality.MissAt(1), 100*e.Locality.MissAt(8), tag)
+		}
+	}
+
+	if chain != nil {
+		fmt.Printf("\nrun-time adaptation (phase bus -> %s):\n", *cons)
+		for _, line := range strings.Split(strings.TrimRight(chain.Report(), "\n"), "\n") {
+			if line != "" {
+				fmt.Printf("  %s\n", line)
+			}
 		}
 	}
 

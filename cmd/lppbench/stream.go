@@ -13,31 +13,45 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"lpp/internal/server"
 	"lpp/internal/trace"
 )
 
-// streamReport is the BENCH_stream.json schema.
+// streamReport is the BENCH_stream.json schema. EventKinds counts every
+// phase-event kind the unified bus emitted, keyed by its wire name
+// ("boundary", "prediction", "profile", ...); Boundaries and Predictions
+// are kept as convenience views of the two kinds the original schema
+// reported.
 type streamReport struct {
-	Trace        string  `json:"trace"`
-	Addr         string  `json:"addr"`
-	Events       int     `json:"events"`
-	Chunks       int     `json:"chunks"`
-	ChunkLen     int     `json:"chunk_len"`
-	Seconds      float64 `json:"seconds"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	LatencyP50Ms float64 `json:"latency_p50_ms"`
-	LatencyP90Ms float64 `json:"latency_p90_ms"`
-	LatencyP99Ms float64 `json:"latency_p99_ms"`
-	Boundaries   int     `json:"boundaries"`
-	Predictions  int     `json:"predictions"`
-	Retries429   int     `json:"retries_429"`
-	Retries5xx   int     `json:"retries_5xx"`
-	RetriesConn  int     `json:"retries_conn"`
-	Replayed     int     `json:"replayed"`
+	Trace        string         `json:"trace"`
+	Addr         string         `json:"addr"`
+	Events       int            `json:"events"`
+	Chunks       int            `json:"chunks"`
+	ChunkLen     int            `json:"chunk_len"`
+	Seconds      float64        `json:"seconds"`
+	EventsPerSec float64        `json:"events_per_sec"`
+	LatencyP50Ms float64        `json:"latency_p50_ms"`
+	LatencyP90Ms float64        `json:"latency_p90_ms"`
+	LatencyP99Ms float64        `json:"latency_p99_ms"`
+	EventKinds   map[string]int `json:"event_kinds"`
+	Boundaries   int            `json:"boundaries"`
+	Predictions  int            `json:"predictions"`
+	Retries429   int            `json:"retries_429"`
+	Retries5xx   int            `json:"retries_5xx"`
+	RetriesConn  int            `json:"retries_conn"`
+	Replayed     int            `json:"replayed"`
+	Note         string         `json:"note"`
 }
+
+// streamNote is the caveat carried in every BENCH_stream.json: the
+// committed artifact comes from a single-CPU runner, so latency and
+// throughput reflect detection cost time-sliced on one core.
+const streamNote = "single-CPU runner: client and server share one core, so " +
+	"throughput and chunk latency measure detection cost, not network or " +
+	"parallel ingest. Re-run on a multi-core machine for service-level numbers."
 
 // retryCounts tallies the transient failures the client rode out.
 type retryCounts struct {
@@ -132,10 +146,9 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 	session := base + "/v1/sessions/bench/events"
 
 	var (
-		lats       []time.Duration
-		boundaries int
-		preds      int
-		rc         retryCounts
+		lats  []time.Duration
+		kinds = make(map[string]int)
+		rc    retryCounts
 	)
 	client := &http.Client{}
 	start := time.Now()
@@ -164,27 +177,23 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 			resp.Body.Close()
 			return fmt.Errorf("chunk at %d: %s: %s", off, resp.Status, bytes.TrimSpace(msg))
 		}
-		b, p, err := countPhaseEvents(resp.Body)
+		err = countPhaseEvents(resp.Body, kinds)
 		resp.Body.Close()
 		if err != nil {
 			return err
 		}
 		lats = append(lats, time.Since(t0))
-		boundaries += b
-		preds += p
 	}
 	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/bench", nil)
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
-	b, p, err := countPhaseEvents(resp.Body)
+	err = countPhaseEvents(resp.Body, kinds)
 	resp.Body.Close()
 	if err != nil {
 		return err
 	}
-	boundaries += b
-	preds += p
 	elapsed := time.Since(start)
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -202,20 +211,22 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		LatencyP50Ms: pct(0.50),
 		LatencyP90Ms: pct(0.90),
 		LatencyP99Ms: pct(0.99),
-		Boundaries:   boundaries,
-		Predictions:  preds,
+		EventKinds:   kinds,
+		Boundaries:   kinds["boundary"],
+		Predictions:  kinds["prediction"],
 		Retries429:   rc.r429,
 		Retries5xx:   rc.r5xx,
 		RetriesConn:  rc.conn,
 		Replayed:     rc.replayed,
+		Note:         streamNote,
 	}
 
 	fmt.Printf("streamed %d events in %d chunks to %s in %v\n",
 		rep.Events, rep.Chunks, rep.Addr, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput %.0f events/s; chunk latency p50 %.2fms p90 %.2fms p99 %.2fms\n",
 		rep.EventsPerSec, rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms)
-	fmt.Printf("phase events: %d boundaries, %d predictions; retries: %d on 429, %d on 5xx, %d on connection errors; %d chunks replayed\n",
-		rep.Boundaries, rep.Predictions, rep.Retries429, rep.Retries5xx, rep.RetriesConn, rep.Replayed)
+	fmt.Printf("phase events: %s; retries: %d on 429, %d on 5xx, %d on connection errors; %d chunks replayed\n",
+		formatKinds(kinds), rep.Retries429, rep.Retries5xx, rep.RetriesConn, rep.Replayed)
 
 	out := "BENCH_stream.json"
 	if outDir != "" {
@@ -252,9 +263,12 @@ func readAllEvents(r io.Reader) ([]trace.Event, error) {
 	}
 }
 
-// countPhaseEvents tallies boundary and prediction lines in an NDJSON
-// phase-event response.
-func countPhaseEvents(r io.Reader) (boundaries, predictions int, err error) {
+// countPhaseEvents tallies every phase-event line in an NDJSON response
+// into kinds, keyed by the event's kind string. Unlike the old
+// two-counter version it drops nothing: kinds the bus grows later (or
+// malformed kind numbers rendered as "kind(N)") show up as their own
+// entries instead of silently vanishing from the report.
+func countPhaseEvents(r io.Reader, kinds map[string]int) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -266,14 +280,27 @@ func countPhaseEvents(r io.Reader) (boundaries, predictions int, err error) {
 			Kind string `json:"kind"`
 		}
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return 0, 0, fmt.Errorf("bad phase event %q: %w", line, err)
+			return fmt.Errorf("bad phase event %q: %w", line, err)
 		}
-		switch ev.Kind {
-		case "boundary":
-			boundaries++
-		case "prediction":
-			predictions++
-		}
+		kinds[ev.Kind]++
 	}
-	return boundaries, predictions, sc.Err()
+	return sc.Err()
+}
+
+// formatKinds renders the per-kind tally deterministically (sorted by
+// kind name) for the console summary.
+func formatKinds(kinds map[string]int) string {
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%d %s", kinds[k], k))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
 }

@@ -15,11 +15,17 @@
 // the listener closes, in-flight requests finish, every session is
 // checkpointed, and the process exits 0 within the -drain deadline.
 //
+// With -consumers, each session also drives a chain of run-time
+// adaptation consumers (predictor, cacheresize, dvfs, remap) from its
+// phase events; consumer state rides the session checkpoints, and
+// GET /v1/sessions/{id}/consumers reports each consumer's counters,
+// state hash, and adaptation summary.
+//
 // Usage:
 //
 //	lppserve [-addr :8080] [-queue 8] [-shards 16] [-max-sessions 256]
 //	         [-max-chunk 8388608] [-data DIR] [-sync] [-checkpoint-every 64]
-//	         [-idle-timeout 0] [-drain 10s]
+//	         [-idle-timeout 0] [-drain 10s] [-consumers predictor,cacheresize]
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"lpp/internal/online"
+	"lpp/internal/phase"
 	"lpp/internal/server"
 )
 
@@ -61,6 +68,7 @@ func run(args []string, ready chan<- string) error {
 		ckptEvery   = fs.Int("checkpoint-every", 0, "accepted chunks between checkpoints (0 = default 64)")
 		idleTimeout = fs.Duration("idle-timeout", 0, "checkpoint and evict sessions idle this long (0 = never; needs -data)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+		consumers   = fs.String("consumers", "", "comma-separated run-time consumer chain per session (predictor, cacheresize, dvfs, remap); empty = none")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,9 +76,27 @@ func run(args []string, ready chan<- string) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	// Validate the consumer spec at startup, not at first session.
+	var consumerFactory func() *phase.Chain
+	if *consumers != "" {
+		if _, err := phase.ParseChain(*consumers); err != nil {
+			return err
+		}
+		spec := *consumers
+		consumerFactory = func() *phase.Chain {
+			c, err := phase.ParseChain(spec)
+			if err != nil {
+				// Unreachable: the spec was validated above and stock
+				// construction is deterministic.
+				panic(err)
+			}
+			return c
+		}
+	}
 
 	srv, err := server.New(server.Config{
 		Detector:        online.Config{MaxStride: *maxStride},
+		Consumers:       consumerFactory,
 		QueueDepth:      *queue,
 		Shards:          *shards,
 		MaxSessions:     *maxSessions,

@@ -5,6 +5,7 @@ import (
 
 	"lpp/internal/cache"
 	"lpp/internal/marker"
+	"lpp/internal/phase"
 	"lpp/internal/predictor"
 	"lpp/internal/trace"
 )
@@ -58,12 +59,36 @@ func Predict(prog trace.Runner, det *Detection, policy predictor.Policy) *RunRep
 // the program runs once and every policy's predictor scores the same
 // stream of phase executions.
 func PredictAll(prog trace.Runner, det *Detection, policies ...predictor.Policy) []*RunReport {
+	return PredictAllWith(prog, det, nil, policies...)
+}
+
+// PredictAllWith is PredictAll with a phase-event tap: the events the
+// predicted run already synthesizes at each marker are delivered to
+// sink as the canonical phase.Event stream, so the offline pipeline
+// drives the same run-time consumers as the streaming service. Per
+// marker, a BoundaryDetected carries the ended execution's measured
+// locality (the first marker ends the unmarked prelude as Phase -1),
+// followed by a PhasePredicted when the hierarchy automaton uniquely
+// determines the phase now beginning; at end of run one PhaseProfile
+// per phase summarizes its total instructions and mean locality. The
+// final partial execution ends at program exit, not a marker, so no
+// boundary is emitted for it.
+//
+// Consume errors are ignored here; callers wanting per-consumer error
+// isolation and counts pass a *phase.Chain. A nil sink is PredictAll.
+func PredictAllWith(prog trace.Runner, det *Detection, sink phase.Consumer, policies ...predictor.Policy) []*RunReport {
 	sim := cache.NewDefault()
 	preds := make([]*predictor.Predictor, len(policies))
 	for i, p := range policies {
 		preds[i] = predictor.New(p)
 	}
 	next := predictor.NewNextPhase(det.Hierarchy)
+
+	emit := func(ev phase.Event) {
+		if sink != nil {
+			_ = sink.Consume(ev)
+		}
+	}
 
 	type openPhase struct {
 		phase      marker.PhaseID
@@ -89,6 +114,30 @@ func PredictAll(prog trace.Runner, det *Detection, policies ...predictor.Policy)
 				p.Complete(e)
 			}
 			execs = append(execs, e)
+			emit(phase.Event{
+				Kind:         phase.BoundaryDetected,
+				Time:         acc,
+				Instructions: instr,
+				Phase:        int(cur.phase),
+				Locality:     e.Locality,
+			})
+		} else {
+			// The unmarked prelude before the first marker: consumers
+			// advance their clocks past it but learn nothing.
+			emit(phase.Event{
+				Kind:         phase.BoundaryDetected,
+				Time:         acc,
+				Instructions: instr,
+				Phase:        -1,
+			})
+		}
+		if pred, ok := next.Predict(); ok {
+			emit(phase.Event{
+				Kind:         phase.PhasePredicted,
+				Time:         acc,
+				Instructions: instr,
+				Phase:        pred,
+			})
 		}
 		next.Observe(int(ph))
 		// The inconsistency flag (Section 3.1.2): phases whose
@@ -118,6 +167,7 @@ func PredictAll(prog trace.Runner, det *Detection, policies ...predictor.Policy)
 		}
 		execs = append(execs, e)
 	}
+	emitProfiles(emit, execs, ins.Accesses(), ins.Instructions())
 
 	inconsistent := 0
 	for _, ok := range det.PhaseConsistent {
@@ -144,6 +194,53 @@ func PredictAll(prog trace.Runner, det *Detection, policies ...predictor.Policy)
 		}
 	}
 	return out
+}
+
+// emitProfiles ends the event stream with one PhaseProfile per phase,
+// in ascending phase order: total instructions over the phase's
+// complete executions and their mean locality. Partial executions
+// include teardown code, so they are excluded as everywhere else.
+func emitProfiles(emit func(phase.Event), execs []predictor.Execution, acc, instr int64) {
+	type profile struct {
+		instrs int64
+		loc    cache.Vector
+		n      int64
+	}
+	profiles := make(map[marker.PhaseID]*profile)
+	for _, e := range execs {
+		if e.Partial {
+			continue
+		}
+		p := profiles[e.Phase]
+		if p == nil {
+			p = &profile{}
+			profiles[e.Phase] = p
+		}
+		p.instrs += e.Instructions
+		for i, v := range e.Locality {
+			p.loc[i] += v
+		}
+		p.n++
+	}
+	ids := make([]marker.PhaseID, 0, len(profiles))
+	for id := range profiles {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := profiles[id]
+		loc := p.loc
+		for i := range loc {
+			loc[i] /= float64(p.n)
+		}
+		emit(phase.Event{
+			Kind:         phase.PhaseProfile,
+			Time:         acc,
+			Instructions: p.instrs,
+			Phase:        int(id),
+			Locality:     loc,
+		})
+	}
 }
 
 // LocalitySpread returns the instruction-weighted average spread of

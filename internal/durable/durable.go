@@ -436,4 +436,3 @@ func (s *byteSink) Write(p []byte) (int, error) {
 	s.buf = append(s.buf, p...)
 	return len(p), nil
 }
-

@@ -26,6 +26,7 @@
 package online
 
 import (
+	"lpp/internal/phase"
 	"lpp/internal/phasedet"
 	"lpp/internal/wavelet"
 )
@@ -109,9 +110,9 @@ type Config struct {
 	// stride (default 16; 1 disables shedding).
 	MaxStride int
 
-	// OnEvent, when non-nil, receives each PhaseEvent synchronously
+	// OnEvent, when non-nil, receives each phase.Event synchronously
 	// instead of buffering it for DrainEvents.
-	OnEvent func(PhaseEvent)
+	OnEvent func(phase.Event)
 }
 
 // DefaultConfig returns the streaming defaults.

@@ -5,44 +5,10 @@ import (
 	"sort"
 
 	"lpp/internal/core"
+	"lpp/internal/phase"
 	"lpp/internal/reuse"
 	"lpp/internal/trace"
 )
-
-// Kind discriminates phase events.
-type Kind int
-
-// Phase event kinds.
-const (
-	// BoundaryDetected reports a phase boundary at Time; Phase is the
-	// ID of the segment that just ended.
-	BoundaryDetected Kind = iota
-	// PhasePredicted reports that the hierarchy automaton uniquely
-	// determines the phase now beginning.
-	PhasePredicted
-)
-
-// String returns the kind name (used by the NDJSON wire format).
-func (k Kind) String() string {
-	if k == BoundaryDetected {
-		return "boundary"
-	}
-	return "prediction"
-}
-
-// PhaseEvent is one detection output: a boundary found in the stream or
-// a prediction of the phase now beginning.
-type PhaseEvent struct {
-	Kind Kind
-	// Time is the logical time (data-access index) of the boundary,
-	// or of the stream position when the prediction was made.
-	Time int64
-	// Instructions is the dynamic instruction count at Time.
-	Instructions int64
-	// Phase is the ended phase's ID (BoundaryDetected) or the
-	// predicted next phase's ID (PhasePredicted).
-	Phase int
-}
 
 // Stats is a snapshot of the detector's counters and memory gauges.
 // Every gauge is bounded by Config, which is what the O(1)-memory test
@@ -81,7 +47,7 @@ type datum struct {
 }
 
 // Detector consumes an instrumentation event stream and emits
-// PhaseEvents as boundaries are detected. It implements
+// phase.Events as boundaries are detected. It implements
 // trace.Instrumenter. It is not safe for concurrent use; give each
 // session its own Detector.
 type Detector struct {
@@ -121,7 +87,7 @@ type Detector struct {
 	hier *hierarchy
 
 	// Output.
-	events        []PhaseEvent
+	events        []phase.Event
 	boundaries    int64
 	predictions   int64
 	droppedEvents int64
@@ -366,7 +332,7 @@ func (d *Detector) Flush() {
 
 // DrainEvents returns the buffered events and clears the buffer. When
 // Config.OnEvent is set there is nothing to drain.
-func (d *Detector) DrainEvents() []PhaseEvent {
+func (d *Detector) DrainEvents() []phase.Event {
 	ev := d.events
 	d.events = nil
 	return ev
@@ -397,7 +363,7 @@ func (d *Detector) Stats() Stats {
 }
 
 // emit delivers one event via the callback or the bounded buffer.
-func (d *Detector) emit(ev PhaseEvent) {
+func (d *Detector) emit(ev phase.Event) {
 	if d.cfg.OnEvent != nil {
 		d.cfg.OnEvent(ev)
 		return

@@ -1,0 +1,25 @@
+package online
+
+import "lpp/internal/phase"
+
+// The detector's event model moved to the shared internal/phase
+// package so both pipelines (and every run-time consumer) speak one
+// type. These aliases keep existing callers compiling for one release.
+
+// Kind discriminates phase events.
+//
+// Deprecated: use phase.Kind.
+type Kind = phase.Kind
+
+// Phase event kinds.
+//
+// Deprecated: use phase.BoundaryDetected and phase.PhasePredicted.
+const (
+	BoundaryDetected = phase.BoundaryDetected
+	PhasePredicted   = phase.PhasePredicted
+)
+
+// PhaseEvent is one detection output.
+//
+// Deprecated: use phase.Event.
+type PhaseEvent = phase.Event

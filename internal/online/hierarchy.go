@@ -3,6 +3,7 @@ package online
 import (
 	"sort"
 
+	"lpp/internal/phase"
 	"lpp/internal/phasedet"
 	"lpp/internal/predictor"
 	"lpp/internal/regexphase"
@@ -52,14 +53,14 @@ func (d *Detector) flushBoundaries(final bool) {
 		for ; retired < c; retired++ {
 			d.hier.retire(d.window[retired].page)
 		}
-		phase := d.hier.closeSegment()
+		ph := d.hier.closeSegment()
 		d.lastBoundary = t
 		d.segStart = t
 		d.boundaries++
-		d.emit(PhaseEvent{Kind: BoundaryDetected, Time: t, Instructions: d.instrs, Phase: phase})
+		d.emit(phase.Event{Kind: phase.BoundaryDetected, Time: t, Instructions: d.instrs, Phase: ph})
 		if next, ok := d.hier.predictNext(); ok {
 			d.predictions++
-			d.emit(PhaseEvent{Kind: PhasePredicted, Time: t, Instructions: d.instrs, Phase: next})
+			d.emit(phase.Event{Kind: phase.PhasePredicted, Time: t, Instructions: d.instrs, Phase: next})
 		}
 	}
 

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"lpp/internal/phase"
 	"lpp/internal/reuse"
 	"lpp/internal/sequitur"
 	"lpp/internal/trace"
@@ -483,15 +484,15 @@ func (d *Detector) Restore(data []byte) error {
 	if dec.err == nil && n > nd.cfg.MaxPending {
 		dec.fail("%d pending events exceed cap %d", n, nd.cfg.MaxPending)
 	}
-	nd.events = make([]PhaseEvent, 0, n)
+	nd.events = make([]phase.Event, 0, n)
 	for i := 0; i < n && dec.err == nil; i++ {
 		k := dec.num()
-		if k != int(BoundaryDetected) && k != int(PhasePredicted) {
+		if k != int(phase.BoundaryDetected) && k != int(phase.PhasePredicted) {
 			dec.fail("bad event kind %d", k)
 			break
 		}
-		nd.events = append(nd.events, PhaseEvent{
-			Kind:         Kind(k),
+		nd.events = append(nd.events, phase.Event{
+			Kind:         phase.Kind(k),
 			Time:         dec.i64(),
 			Instructions: dec.i64(),
 			Phase:        dec.num(),

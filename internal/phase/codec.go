@@ -1,0 +1,155 @@
+package phase
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrSnapshotCorrupt reports a consumer or chain snapshot that fails
+// structural validation; it is never partially applied.
+var ErrSnapshotCorrupt = errors.New("phase: snapshot corrupt")
+
+// enc builds deterministic snapshot bodies: varints for integers,
+// fixed little-endian bits for floats, sorted order for every map.
+type enc struct{ buf []byte }
+
+func (e *enc) i64(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) num(v int)    { e.i64(int64(v)) }
+func (e *enc) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.num(len(s))
+	e.buf = append(e.buf, s...)
+}
+func (e *enc) bytes(b []byte) {
+	e.num(len(b))
+	e.buf = append(e.buf, b...)
+}
+
+// sortedKeys returns a map's keys in ascending order, the only
+// iteration order snapshots may use.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// dec decodes with sticky errors and bounds checks, so corrupt input
+// cannot force huge allocations or panics.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) num() int {
+	v := d.i64()
+	if int64(int(v)) != v {
+		d.fail("int overflow")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("short float at %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// length decodes a list length whose elements occupy at least elemSize
+// bytes each, rejecting lengths the remaining input cannot hold.
+func (d *dec) length(elemSize int) int {
+	n := d.num()
+	if n < 0 {
+		d.fail("negative length")
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > (len(d.buf)-d.off)/elemSize {
+		d.fail("length %d exceeds input", n)
+		return 0
+	}
+	return n
+}
+
+func (d *dec) str() string {
+	n := d.length(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) bytesField() []byte {
+	n := d.length(1)
+	if d.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
+}
+
+// done reports trailing garbage as corruption.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(d.buf)-d.off)
+	}
+	return nil
+}

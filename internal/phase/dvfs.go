@@ -1,0 +1,156 @@
+package phase
+
+import (
+	"fmt"
+
+	"lpp/internal/adapt"
+	"lpp/internal/cache"
+)
+
+// DefaultDVFSBound is the default 5% slowdown budget for frequency
+// scaling.
+const DefaultDVFSBound = 0.05
+
+// DVFSConsumer replays adapt.GroupedDVFS one event at a time: the
+// first two executions of each phase run at full frequency while its
+// memory-boundedness is measured (the first sees a cold cache and
+// overstates memory time), and later executions use the frequency
+// learned from the last warm trial.
+type DVFSConsumer struct {
+	model adapt.DVFSModel
+	bound float64
+
+	learned map[int]*dvfsState
+
+	prevTime int64
+
+	baseTime   float64
+	newTime    float64
+	freqTime   float64
+	baseEnergy float64
+	newEnergy  float64
+}
+
+type dvfsState struct {
+	seen int64
+	f    float64
+}
+
+// NewDVFSConsumer returns a frequency-scaling consumer for the given
+// model and slowdown budget.
+func NewDVFSConsumer(model adapt.DVFSModel, bound float64) *DVFSConsumer {
+	return &DVFSConsumer{model: model, bound: bound, learned: make(map[int]*dvfsState)}
+}
+
+// Name implements Consumer.
+func (c *DVFSConsumer) Name() string { return "dvfs" }
+
+// Consume implements Consumer.
+func (c *DVFSConsumer) Consume(ev Event) error {
+	if ev.Kind != BoundaryDetected {
+		return nil
+	}
+	n := float64(ev.Time - c.prevTime)
+	c.prevTime = ev.Time
+	if ev.Phase < 0 || n <= 0 {
+		return nil
+	}
+	compute := n
+	memory := n * ev.Locality.MissAt(cache.MaxAssoc) * c.model.MissPenalty
+	st := c.learned[ev.Phase]
+	if st == nil {
+		st = &dvfsState{}
+		c.learned[ev.Phase] = st
+	}
+	var f float64
+	if st.seen < 2 {
+		st.f = c.model.Choose(compute, memory, c.bound)
+		st.seen++
+		f = 1
+	} else {
+		f = st.f
+	}
+	t := compute/f + memory
+	c.baseTime += compute + memory
+	c.newTime += t
+	c.freqTime += f * t
+	c.baseEnergy += compute
+	c.newEnergy += compute * f * f
+	return nil
+}
+
+// Result folds the consumed stream into the offline experiment's
+// summary shape.
+func (c *DVFSConsumer) Result() adapt.DVFSResult {
+	r := adapt.DVFSResult{AvgFrequency: 1}
+	if c.baseTime > 0 {
+		r.Slowdown = c.newTime/c.baseTime - 1
+	}
+	if c.newTime > 0 {
+		r.AvgFrequency = c.freqTime / c.newTime
+	}
+	if c.baseEnergy > 0 {
+		r.EnergySavings = 1 - c.newEnergy/c.baseEnergy
+	}
+	return r
+}
+
+// Report implements Reporter.
+func (c *DVFSConsumer) Report() string {
+	r := c.Result()
+	return fmt.Sprintf("bound=%.2f avg-freq=%.3f energy-savings=%.4f slowdown=%.4f",
+		c.bound, r.AvgFrequency, r.EnergySavings, r.Slowdown)
+}
+
+const dvfsSnapVersion = 1
+
+// Snapshot implements Consumer.
+func (c *DVFSConsumer) Snapshot() []byte {
+	var e enc
+	e.num(dvfsSnapVersion)
+	e.i64(c.prevTime)
+	e.f64(c.baseTime)
+	e.f64(c.newTime)
+	e.f64(c.freqTime)
+	e.f64(c.baseEnergy)
+	e.f64(c.newEnergy)
+	e.num(len(c.learned))
+	for _, ph := range sortedKeys(c.learned) {
+		st := c.learned[ph]
+		e.num(ph)
+		e.i64(st.seen)
+		e.f64(st.f)
+	}
+	return e.buf
+}
+
+// Restore implements Consumer.
+func (c *DVFSConsumer) Restore(data []byte) error {
+	d := &dec{buf: data}
+	if v := d.num(); d.err == nil && v != dvfsSnapVersion {
+		return fmt.Errorf("phase: unsupported dvfs snapshot version %d", v)
+	}
+	prevTime := d.i64()
+	baseTime := d.f64()
+	newTime := d.f64()
+	freqTime := d.f64()
+	baseEnergy := d.f64()
+	newEnergy := d.f64()
+	n := d.length(10)
+	learned := make(map[int]*dvfsState, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		ph := d.num()
+		learned[ph] = &dvfsState{seen: d.i64(), f: d.f64()}
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	if len(learned) != n {
+		return fmt.Errorf("%w: duplicate dvfs group", ErrSnapshotCorrupt)
+	}
+	c.prevTime = prevTime
+	c.baseTime, c.newTime, c.freqTime = baseTime, newTime, freqTime
+	c.baseEnergy, c.newEnergy = baseEnergy, newEnergy
+	c.learned = learned
+	return nil
+}

@@ -1,0 +1,102 @@
+// Package phase defines the canonical phase-event model shared by the
+// offline pipeline (internal/core) and the streaming detector
+// (internal/online), and the consumer seam that turns detected phases
+// into run-time adaptation.
+//
+// The paper's point is that detected phases drive adaptation — cache
+// resizing, frequency scaling, memory remapping — so phase knowledge
+// must flow past the detector. Both pipelines emit the same Event
+// stream; anything that reacts to phase behavior implements Consumer
+// and is composed into a Chain. Consumers carry Snapshot/Restore so
+// they ride the same WAL/checkpoint machinery as the detector: a
+// recovered session replays to byte-identical consumer state.
+package phase
+
+import (
+	"fmt"
+
+	"lpp/internal/cache"
+)
+
+// Kind discriminates phase events.
+type Kind int
+
+// Phase event kinds.
+const (
+	// BoundaryDetected reports a phase boundary at Time; Phase is the
+	// ID of the segment that just ended.
+	BoundaryDetected Kind = iota
+	// PhasePredicted reports that the phase hierarchy uniquely
+	// determines the phase now beginning.
+	PhasePredicted
+	// PhaseProfile reports a phase's accumulated behavior profile —
+	// its locality signature and total instructions — once the
+	// emitting pipeline has measured it (the offline pipeline emits
+	// one per phase at end of run).
+	PhaseProfile
+)
+
+// String returns the kind name used by the NDJSON wire format. Unknown
+// kinds render explicitly as "kind(N)" so a future kind can never be
+// silently mislabeled as an existing one.
+func (k Kind) String() string {
+	switch k {
+	case BoundaryDetected:
+		return "boundary"
+	case PhasePredicted:
+		return "prediction"
+	case PhaseProfile:
+		return "profile"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one phase-bus event: a boundary found in the stream, a
+// prediction of the phase now beginning, or a phase's measured
+// profile. Both pipelines speak it: the streaming detector emits
+// boundaries and predictions as it cuts the stream; the offline
+// predicted run synthesizes the same events from its phase markers,
+// with the locality its cache simulator measured.
+type Event struct {
+	Kind Kind
+	// Time is the logical time (data-access index) of the boundary,
+	// or of the stream position when the event was emitted.
+	Time int64
+	// Instructions is the cumulative dynamic instruction count at
+	// Time (for PhaseProfile: the phase's total instructions).
+	Instructions int64
+	// Phase is the ended phase's ID (BoundaryDetected), the predicted
+	// next phase's ID (PhasePredicted), or the profiled phase's ID
+	// (PhaseProfile). Negative IDs mark segments with no identified
+	// phase (the offline run's unmarked prelude); consumers advance
+	// their clocks on them but learn nothing.
+	Phase int
+	// Locality is the measured locality signature (miss rates at
+	// 32KB..256KB) of the execution a boundary ends, or of the phase
+	// a profile summarizes. Pipelines that do not measure locality
+	// (the streaming detector) leave it zero.
+	Locality cache.Vector
+}
+
+// Consumer is a run-time adaptation policy fed by the phase bus. One
+// consumer instance belongs to one stream (session or offline run) and
+// is never called concurrently. Consume errors are isolated per
+// consumer by Chain; they never stop the stream.
+//
+// Snapshot must be deterministic — the same state always yields the
+// same bytes — and Restore(Snapshot()) must reproduce the state
+// exactly, so consumers ride the detector's WAL/checkpoint recovery
+// with bit-identical replay.
+type Consumer interface {
+	// Name identifies the consumer in metrics and reports.
+	Name() string
+	Consume(Event) error
+	Snapshot() []byte
+	Restore([]byte) error
+}
+
+// Reporter is implemented by consumers that can summarize their
+// accumulated adaptation decisions for humans.
+type Reporter interface {
+	Report() string
+}

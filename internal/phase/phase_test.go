@@ -1,0 +1,359 @@
+package phase
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lpp/internal/cache"
+	"lpp/internal/predictor"
+)
+
+// TestKindString pins the NDJSON wire names and, critically, that an
+// unknown kind renders explicitly instead of borrowing an existing
+// name (the old online.Kind.String returned "prediction" for every
+// non-boundary value, invalid kinds included).
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{BoundaryDetected, "boundary"},
+		{PhasePredicted, "prediction"},
+		{PhaseProfile, "profile"},
+		{Kind(3), "kind(3)"},
+		{Kind(42), "kind(42)"},
+		{Kind(-1), "kind(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.k), got, c.want)
+		}
+	}
+}
+
+// testLocality is a plausible miss-rate signature: monotonically
+// non-increasing in cache size.
+func testLocality(scale float64) cache.Vector {
+	return cache.Vector{
+		0.5 * scale, 0.4 * scale, 0.3 * scale, 0.2 * scale,
+		0.1 * scale, 0.05 * scale, 0.02 * scale, 0.01 * scale,
+	}
+}
+
+// busStream synthesizes a deterministic event stream exercising every
+// path consumers handle: an unidentified prelude, recurring phases with
+// distinct localities, interleaved predictions (one of them wrong), and
+// end-of-run profiles.
+func busStream() []Event {
+	var evs []Event
+	t, instr := int64(0), int64(0)
+	boundary := func(ph int, scale float64) {
+		t += 1000
+		instr += 4000
+		evs = append(evs, Event{
+			Kind: BoundaryDetected, Time: t, Instructions: instr,
+			Phase: ph, Locality: testLocality(scale),
+		})
+	}
+	predict := func(ph int) {
+		evs = append(evs, Event{Kind: PhasePredicted, Time: t, Instructions: instr, Phase: ph})
+	}
+	boundary(-1, 0) // prelude
+	predict(0)
+	for i := 0; i < 4; i++ {
+		boundary(0, 1.0)
+		predict(1)
+		boundary(1, 0.5)
+		if i == 2 {
+			predict(0) // wrong: phase 2 runs next
+		} else {
+			predict(2)
+		}
+		boundary(2, 0.25)
+		predict(0)
+	}
+	evs = append(evs,
+		Event{Kind: PhaseProfile, Time: t, Instructions: 16000, Phase: 0, Locality: testLocality(1.0)},
+		Event{Kind: PhaseProfile, Time: t, Instructions: 16000, Phase: 1, Locality: testLocality(0.5)},
+		Event{Kind: PhaseProfile, Time: t, Instructions: 16000, Phase: 2, Locality: testLocality(0.25)},
+	)
+	return evs
+}
+
+// flaky is a consumer that errors and panics on demand.
+type flaky struct {
+	name     string
+	errEvery int // return an error on every nth event (0 = never)
+	panicAt  int // panic on this 1-based event (0 = never)
+	consumed int
+	snap     []byte
+}
+
+func (f *flaky) Name() string { return f.name }
+func (f *flaky) Consume(Event) error {
+	f.consumed++
+	if f.panicAt > 0 && f.consumed == f.panicAt {
+		panic("synthetic consumer panic")
+	}
+	if f.errEvery > 0 && f.consumed%f.errEvery == 0 {
+		return errors.New("synthetic consumer error")
+	}
+	return nil
+}
+func (f *flaky) Snapshot() []byte { return append([]byte(nil), f.snap...) }
+func (f *flaky) Restore(data []byte) error {
+	f.snap = append([]byte(nil), data...)
+	return nil
+}
+
+// TestChainErrorIsolation feeds a stream through a chain whose middle
+// consumer errors and panics; the chain must keep delivering to every
+// consumer, never return an error itself, and account the failures to
+// the failing consumer alone.
+func TestChainErrorIsolation(t *testing.T) {
+	good1 := &flaky{name: "good1"}
+	bad := &flaky{name: "bad", errEvery: 3, panicAt: 5}
+	good2 := &flaky{name: "good2"}
+	ch := NewChain(good1, bad, good2)
+
+	evs := busStream()
+	for _, ev := range evs {
+		if err := ch.Consume(ev); err != nil {
+			t.Fatalf("chain.Consume returned %v; failures must stay isolated", err)
+		}
+	}
+	if good1.consumed != len(evs) || good2.consumed != len(evs) || bad.consumed != len(evs) {
+		t.Fatalf("deliveries = %d/%d/%d, want all %d",
+			good1.consumed, bad.consumed, good2.consumed, len(evs))
+	}
+	st := ch.Stats()
+	if st[0].Errors != 0 || st[2].Errors != 0 {
+		t.Errorf("healthy consumers charged with errors: %+v", st)
+	}
+	wantErrs := int64(len(evs)/3 + 1) // every 3rd event, plus the panic at #5
+	if st[1].Errors != wantErrs {
+		t.Errorf("bad consumer errors = %d, want %d", st[1].Errors, wantErrs)
+	}
+	for i, s := range st {
+		if s.Consumed != int64(len(evs)) {
+			t.Errorf("stats[%d].Consumed = %d, want %d", i, s.Consumed, len(evs))
+		}
+	}
+	if r := ch.Report(); r != "" { // non-Reporter consumers contribute no lines
+		t.Errorf("Report() = %q, want empty", r)
+	}
+}
+
+// fullChain builds the chain of all four stock consumers.
+func fullChain(t *testing.T) *Chain {
+	t.Helper()
+	ch, err := ParseChain(strings.Join(Names(), ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// TestChainSnapshotRoundtrip checkpoints a mid-stream chain of all four
+// stock consumers, restores it into a freshly built chain, and checks
+// the recovered chain is byte-identical — both immediately and after
+// both chains consume the rest of the stream (deterministic resumed
+// behavior, the recovery guarantee the server relies on).
+func TestChainSnapshotRoundtrip(t *testing.T) {
+	evs := busStream()
+	half := len(evs) / 2
+
+	orig := fullChain(t)
+	for _, ev := range evs[:half] {
+		orig.Consume(ev)
+	}
+	snap := orig.Snapshot()
+
+	if again := orig.Snapshot(); string(again) != string(snap) {
+		t.Fatal("Snapshot is not deterministic")
+	}
+
+	recovered := fullChain(t)
+	if err := recovered.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := recovered.Snapshot(); string(got) != string(snap) {
+		t.Fatal("restored chain's snapshot differs from the original")
+	}
+	for i, s := range recovered.Stats() {
+		if o := orig.Stats()[i]; s != o {
+			t.Errorf("stats[%d] = %+v, want %+v", i, s, o)
+		}
+	}
+
+	for _, ev := range evs[half:] {
+		orig.Consume(ev)
+		recovered.Consume(ev)
+	}
+	if a, b := orig.Snapshot(), recovered.Snapshot(); string(a) != string(b) {
+		t.Fatal("chains diverged after resuming from a restored snapshot")
+	}
+	if a, b := orig.Report(), recovered.Report(); a != b {
+		t.Fatalf("reports diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestChainRestoreRefusals covers every way a snapshot can fail to
+// match the chain it is restored into.
+func TestChainRestoreRefusals(t *testing.T) {
+	src := NewChain(&flaky{name: "a"}, &flaky{name: "b"})
+	for _, ev := range busStream() {
+		src.Consume(ev)
+	}
+	snap := src.Snapshot()
+
+	cases := []struct {
+		name  string
+		chain *Chain
+		data  []byte
+	}{
+		{"wrong count", NewChain(&flaky{name: "a"}), snap},
+		{"wrong name", NewChain(&flaky{name: "a"}, &flaky{name: "c"}), snap},
+		{"wrong order", NewChain(&flaky{name: "b"}, &flaky{name: "a"}), snap},
+		{"truncated", NewChain(&flaky{name: "a"}, &flaky{name: "b"}), snap[:len(snap)-6]},
+		{"bad magic", NewChain(&flaky{name: "a"}, &flaky{name: "b"}),
+			append([]byte("XXXXXX"), snap[6:]...)},
+		{"empty", NewChain(&flaky{name: "a"}, &flaky{name: "b"}), nil},
+	}
+	for _, c := range cases {
+		if err := c.chain.Restore(c.data); err == nil {
+			t.Errorf("%s: Restore accepted a mismatched snapshot", c.name)
+		}
+	}
+
+	// A flipped payload byte must fail the checksum.
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	err := NewChain(&flaky{name: "a"}, &flaky{name: "b"}).Restore(corrupt)
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Errorf("corrupt snapshot: err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestConsumerSnapshotRoundtrips checks each stock consumer alone:
+// restore into a fresh instance reproduces both the snapshot bytes and
+// the human report.
+func TestConsumerSnapshotRoundtrips(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig, err := Stock(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range busStream() {
+				if err := orig.Consume(ev); err != nil {
+					t.Fatalf("Consume: %v", err)
+				}
+			}
+			snap := orig.Snapshot()
+			fresh, err := Stock(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Restore(snap); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if got := fresh.Snapshot(); string(got) != string(snap) {
+				t.Fatal("restored snapshot differs")
+			}
+			or, fr := orig.(Reporter).Report(), fresh.(Reporter).Report()
+			if or != fr {
+				t.Fatalf("reports diverge: %q vs %q", or, fr)
+			}
+			// Corruption and version checks must refuse, not misparse.
+			if err := fresh.Restore(snap[:len(snap)/2]); err == nil {
+				t.Error("Restore accepted a truncated snapshot")
+			}
+			bad := append([]byte{0xee, 0xee}, snap...)
+			if err := fresh.Restore(bad); err == nil {
+				t.Error("Restore accepted a wrong-version snapshot")
+			}
+		})
+	}
+}
+
+// TestRegistry pins the stock names and ParseChain's validation.
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		c, err := Stock(name)
+		if err != nil {
+			t.Fatalf("Stock(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("Stock(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := Stock("nonesuch"); err == nil {
+		t.Error("Stock accepted an unknown consumer")
+	}
+
+	ch, err := ParseChain("")
+	if err != nil || ch.Len() != 0 {
+		t.Errorf("ParseChain(\"\") = len %d, %v; want empty chain", ch.Len(), err)
+	}
+	ch, err = ParseChain(" predictor , cacheresize ")
+	if err != nil || ch.Len() != 2 {
+		t.Errorf("ParseChain with spaces = len %d, %v; want 2 consumers", ch.Len(), err)
+	}
+	for _, bad := range []string{"predictor,predictor", "predictor,,dvfs", "bogus", ","} {
+		if _, err := ParseChain(bad); err == nil {
+			t.Errorf("ParseChain(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+// TestPredictorConsumerScoring walks the synthetic stream through the
+// predictor consumer and checks the bus-level next-phase scoring: the
+// stream announces 12 predictions that are scored (one wrong), and the
+// one trailing announcement stays pending.
+func TestPredictorConsumerScoring(t *testing.T) {
+	c, err := Stock("predictor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := c.(*PredictorConsumer)
+	for _, ev := range busStream() {
+		pc.Consume(ev)
+	}
+	hits, misses := pc.NextPhaseHits()
+	if hits != 11 || misses != 1 {
+		t.Errorf("next-phase hits=%d misses=%d, want 11 and 1", hits, misses)
+	}
+	p := pc.Predictor()
+	if p.Predictions() == 0 {
+		t.Error("predictor learned nothing from the stream")
+	}
+	if got := fmt.Sprintf("%v", p.PhaseLengths()); !strings.Contains(got, "4000") {
+		t.Errorf("phase lengths %s missing the 4000-instruction executions", got)
+	}
+}
+
+// TestMarkInconsistent checks the consistency gate: a phase marked
+// inconsistent is never predicted, mirroring core.Predict.
+func TestMarkInconsistent(t *testing.T) {
+	gated := NewPredictorConsumer(predictor.Relaxed)
+	gated.MarkInconsistent(0)
+	gated.MarkInconsistent(1)
+	gated.MarkInconsistent(2)
+	for _, ev := range busStream() {
+		gated.Consume(ev)
+	}
+	if n := gated.Predictor().Predictions(); n != 0 {
+		t.Errorf("inconsistent phases still produced %d predictions", n)
+	}
+	open := NewPredictorConsumer(predictor.Relaxed)
+	for _, ev := range busStream() {
+		open.Consume(ev)
+	}
+	if n := open.Predictor().Predictions(); n == 0 {
+		t.Error("ungated consumer made no predictions; gate test is vacuous")
+	}
+}

@@ -1,0 +1,214 @@
+package phase
+
+import (
+	"fmt"
+
+	"lpp/internal/cache"
+	"lpp/internal/marker"
+	"lpp/internal/predictor"
+)
+
+// PredictorConsumer wraps predictor.Predictor as a bus consumer: every
+// boundary that ends an identified phase becomes one observed
+// execution, and the predictor learns lengths and locality exactly as
+// it does on the offline path.
+//
+// The offline path calls Begin when a phase starts and Complete when
+// it ends; on the bus only the ending boundary is visible, so the
+// consumer issues Begin immediately followed by Complete there. The
+// two orderings are equivalent: between a phase's Begin and its
+// Complete the offline path never touches that phase's history (phases
+// do not nest), so deferring Begin to the ending boundary changes no
+// prediction and no score.
+type PredictorConsumer struct {
+	policy predictor.Policy
+	pred   *predictor.Predictor
+
+	// inconsistent suppresses Begin for phases whose behavior the
+	// offline detector found unstable, mirroring core.Predict's
+	// PhaseConsistent gate. Configuration, not snapshotted state.
+	inconsistent map[int]bool
+
+	prevTime  int64
+	prevInstr int64
+
+	// predicted is the phase the bus announced as beginning the
+	// current segment, or -1; it is scored against the phase the next
+	// boundary reports as ended.
+	predicted  int64
+	predHits   int64
+	predMisses int64
+}
+
+// NewPredictorConsumer returns a predictor consumer with the given
+// policy.
+func NewPredictorConsumer(policy predictor.Policy) *PredictorConsumer {
+	return &PredictorConsumer{
+		policy:       policy,
+		pred:         predictor.New(policy),
+		inconsistent: make(map[int]bool),
+		predicted:    -1,
+	}
+}
+
+// MarkInconsistent suppresses predictions for one phase, mirroring the
+// offline pipeline's phase-consistency gate. Call before consuming.
+func (c *PredictorConsumer) MarkInconsistent(phase int) { c.inconsistent[phase] = true }
+
+// Predictor exposes the wrapped predictor for reports and tests.
+func (c *PredictorConsumer) Predictor() *predictor.Predictor { return c.pred }
+
+// NextPhaseHits returns how many bus-level next-phase announcements
+// matched the phase that actually ran, and how many did not.
+func (c *PredictorConsumer) NextPhaseHits() (hits, misses int64) {
+	return c.predHits, c.predMisses
+}
+
+// Name implements Consumer.
+func (c *PredictorConsumer) Name() string { return "predictor" }
+
+// Consume implements Consumer.
+func (c *PredictorConsumer) Consume(ev Event) error {
+	switch ev.Kind {
+	case BoundaryDetected:
+		instrs := ev.Instructions - c.prevInstr
+		accesses := ev.Time - c.prevTime
+		c.prevInstr, c.prevTime = ev.Instructions, ev.Time
+		if c.predicted >= 0 {
+			if int(c.predicted) == ev.Phase {
+				c.predHits++
+			} else {
+				c.predMisses++
+			}
+			c.predicted = -1
+		}
+		if ev.Phase < 0 {
+			// Unidentified segment (offline prelude): the clock moved
+			// but there is nothing to learn from.
+			return nil
+		}
+		if !c.inconsistent[ev.Phase] {
+			c.pred.Begin(marker.PhaseID(ev.Phase))
+		}
+		c.pred.Complete(predictor.Execution{
+			Phase:        marker.PhaseID(ev.Phase),
+			Instructions: instrs,
+			Accesses:     accesses,
+			Locality:     ev.Locality,
+		})
+	case PhasePredicted:
+		c.predicted = int64(ev.Phase)
+	case PhaseProfile:
+		// Profiles restate what the boundaries already taught.
+	}
+	return nil
+}
+
+// Report implements Reporter.
+func (c *PredictorConsumer) Report() string {
+	return fmt.Sprintf("policy=%s predictions=%d accuracy=%.4f next-phase hits=%d misses=%d",
+		c.policy, c.pred.Predictions(), c.pred.Accuracy(), c.predHits, c.predMisses)
+}
+
+const predictorSnapVersion = 1
+
+// Snapshot implements Consumer.
+func (c *PredictorConsumer) Snapshot() []byte {
+	var e enc
+	e.num(predictorSnapVersion)
+	e.i64(c.prevTime)
+	e.i64(c.prevInstr)
+	e.i64(c.predicted)
+	e.i64(c.predHits)
+	e.i64(c.predMisses)
+	st := c.pred.State()
+	e.num(len(st.Phases))
+	for _, ps := range st.Phases {
+		e.i64(ps.ID)
+		e.num(len(ps.Lengths))
+		for _, l := range ps.Lengths {
+			e.i64(l)
+		}
+		for _, v := range ps.Locality {
+			encVector(&e, v)
+		}
+		e.i64(ps.InstrSum)
+	}
+	e.num(len(st.Pending))
+	for _, ps := range st.Pending {
+		e.i64(ps.ID)
+		e.i64(ps.Instructions)
+		encVector(&e, ps.Locality)
+	}
+	e.i64(st.Predictions)
+	e.i64(st.Correct)
+	e.i64(st.CoveredInstrs)
+	e.i64(st.TotalInstrs)
+	return e.buf
+}
+
+// Restore implements Consumer.
+func (c *PredictorConsumer) Restore(data []byte) error {
+	d := &dec{buf: data}
+	if v := d.num(); d.err == nil && v != predictorSnapVersion {
+		return fmt.Errorf("phase: unsupported predictor snapshot version %d", v)
+	}
+	prevTime := d.i64()
+	prevInstr := d.i64()
+	predicted := d.i64()
+	predHits := d.i64()
+	predMisses := d.i64()
+	var st predictor.State
+	nPhases := d.length(2)
+	for i := 0; i < nPhases && d.err == nil; i++ {
+		ps := predictor.PhaseState{ID: d.i64()}
+		n := d.length(1)
+		ps.Lengths = make([]int64, 0, n)
+		for j := 0; j < n && d.err == nil; j++ {
+			ps.Lengths = append(ps.Lengths, d.i64())
+		}
+		ps.Locality = make([]cache.Vector, 0, n)
+		for j := 0; j < n && d.err == nil; j++ {
+			ps.Locality = append(ps.Locality, decVector(d))
+		}
+		ps.InstrSum = d.i64()
+		st.Phases = append(st.Phases, ps)
+	}
+	nPending := d.length(2)
+	for i := 0; i < nPending && d.err == nil; i++ {
+		st.Pending = append(st.Pending, predictor.PendingState{
+			ID:           d.i64(),
+			Instructions: d.i64(),
+			Locality:     decVector(d),
+		})
+	}
+	st.Predictions = d.i64()
+	st.Correct = d.i64()
+	st.CoveredInstrs = d.i64()
+	st.TotalInstrs = d.i64()
+	if err := d.done(); err != nil {
+		return err
+	}
+	pred, err := predictor.NewFromState(c.policy, st)
+	if err != nil {
+		return err
+	}
+	c.pred = pred
+	c.prevTime, c.prevInstr = prevTime, prevInstr
+	c.predicted, c.predHits, c.predMisses = predicted, predHits, predMisses
+	return nil
+}
+
+func encVector(e *enc, v cache.Vector) {
+	for _, f := range v {
+		e.f64(f)
+	}
+}
+
+func decVector(d *dec) cache.Vector {
+	var v cache.Vector
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}

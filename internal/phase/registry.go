@@ -1,0 +1,58 @@
+package phase
+
+import (
+	"fmt"
+	"strings"
+
+	"lpp/internal/adapt"
+	"lpp/internal/predictor"
+)
+
+// Names returns the stock consumer names, in the order they are
+// documented.
+func Names() []string {
+	return []string{"predictor", "cacheresize", "dvfs", "remap"}
+}
+
+// Stock builds a stock consumer by name with default configuration:
+// the relaxed predictor policy and the paper's 5% adaptation budgets.
+func Stock(name string) (Consumer, error) {
+	switch name {
+	case "predictor":
+		return NewPredictorConsumer(predictor.Relaxed), nil
+	case "cacheresize":
+		return NewCacheResizer(DefaultResizeBound), nil
+	case "dvfs":
+		return NewDVFSConsumer(adapt.DefaultDVFS, DefaultDVFSBound), nil
+	case "remap":
+		return NewRemapConsumer(), nil
+	}
+	return nil, fmt.Errorf("phase: unknown consumer %q (stock consumers: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// ParseChain builds a chain from a comma-separated consumer list like
+// "predictor,cacheresize". An empty spec yields an empty chain.
+func ParseChain(spec string) (*Chain, error) {
+	if strings.TrimSpace(spec) == "" {
+		return NewChain(), nil
+	}
+	seen := make(map[string]bool)
+	var consumers []Consumer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("phase: empty consumer name in %q", spec)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("phase: duplicate consumer %q", name)
+		}
+		seen[name] = true
+		c, err := Stock(name)
+		if err != nil {
+			return nil, err
+		}
+		consumers = append(consumers, c)
+	}
+	return NewChain(consumers...), nil
+}

@@ -1,0 +1,113 @@
+package predictor
+
+import (
+	"fmt"
+
+	"lpp/internal/cache"
+	"lpp/internal/marker"
+)
+
+// PhaseState is one phase's learned history in serializable form.
+type PhaseState struct {
+	ID       int64
+	Lengths  []int64
+	Locality []cache.Vector
+	InstrSum int64
+}
+
+// PendingState is one outstanding (unscored) prediction.
+type PendingState struct {
+	ID           int64
+	Instructions int64
+	Locality     cache.Vector
+}
+
+// State is a Predictor's complete learned state, expressed with slices
+// in ascending phase-ID order so the same predictor state always
+// serializes to the same bytes. The policy and tolerance are not part
+// of it: they are configuration, supplied again on restore.
+type State struct {
+	Phases  []PhaseState
+	Pending []PendingState
+
+	Predictions   int64
+	Correct       int64
+	CoveredInstrs int64
+	TotalInstrs   int64
+}
+
+// State exports the predictor's learned histories and scores.
+func (p *Predictor) State() State {
+	st := State{
+		Predictions:   p.predictions,
+		Correct:       p.correct,
+		CoveredInstrs: p.coveredInstrs,
+		TotalInstrs:   p.totalInstrs,
+	}
+	for id, h := range p.phases {
+		ps := PhaseState{
+			ID:       int64(id),
+			Lengths:  append([]int64(nil), h.lengths...),
+			Locality: append([]cache.Vector(nil), h.locality...),
+			InstrSum: h.instrSum,
+		}
+		st.Phases = append(st.Phases, ps)
+	}
+	sortByID(st.Phases, func(ps PhaseState) int64 { return ps.ID })
+	for id, pred := range p.pending {
+		st.Pending = append(st.Pending, PendingState{
+			ID:           int64(id),
+			Instructions: pred.Instructions,
+			Locality:     pred.Locality,
+		})
+	}
+	sortByID(st.Pending, func(ps PendingState) int64 { return ps.ID })
+	return st
+}
+
+// NewFromState rebuilds a predictor from an exported State under the
+// given policy. The state is validated structurally; on error no
+// predictor is returned.
+func NewFromState(policy Policy, st State) (*Predictor, error) {
+	p := New(policy)
+	for i, ps := range st.Phases {
+		if i > 0 && st.Phases[i-1].ID >= ps.ID {
+			return nil, fmt.Errorf("predictor: phase IDs not ascending at %d", i)
+		}
+		if len(ps.Lengths) != len(ps.Locality) {
+			return nil, fmt.Errorf("predictor: phase %d has %d lengths but %d locality vectors",
+				ps.ID, len(ps.Lengths), len(ps.Locality))
+		}
+		p.phases[marker.PhaseID(ps.ID)] = &history{
+			lengths:  append([]int64(nil), ps.Lengths...),
+			locality: append([]cache.Vector(nil), ps.Locality...),
+			instrSum: ps.InstrSum,
+		}
+	}
+	for i, ps := range st.Pending {
+		if i > 0 && st.Pending[i-1].ID >= ps.ID {
+			return nil, fmt.Errorf("predictor: pending IDs not ascending at %d", i)
+		}
+		p.pending[marker.PhaseID(ps.ID)] = Prediction{
+			Instructions: ps.Instructions,
+			Locality:     ps.Locality,
+		}
+	}
+	if st.Predictions < 0 || st.Correct < 0 || st.Correct > st.Predictions {
+		return nil, fmt.Errorf("predictor: inconsistent scores %d/%d", st.Correct, st.Predictions)
+	}
+	p.predictions = st.Predictions
+	p.correct = st.Correct
+	p.coveredInstrs = st.CoveredInstrs
+	p.totalInstrs = st.TotalInstrs
+	return p, nil
+}
+
+// sortByID sorts in place by an extracted int64 key.
+func sortByID[T any](s []T, key func(T) int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && key(s[j]) < key(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

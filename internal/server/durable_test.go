@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 
 	"lpp/internal/faultfs"
 	"lpp/internal/online"
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 	"lpp/internal/workload"
 )
@@ -41,15 +44,67 @@ func postSeq(t *testing.T, h http.Handler, id string, seq uint64, events []trace
 }
 
 // expectedCfg runs events through a local detector under cfg.
-func expectedCfg(cfg online.Config, events []trace.Event) []online.PhaseEvent {
-	var got []online.PhaseEvent
-	cfg.OnEvent = func(ev online.PhaseEvent) { got = append(got, ev) }
+func expectedCfg(cfg online.Config, events []trace.Event) []phase.Event {
+	var got []phase.Event
+	cfg.OnEvent = func(ev phase.Event) { got = append(got, ev) }
 	d := online.NewDetector(cfg)
 	for _, ev := range events {
 		ev.Feed(d)
 	}
 	d.Flush()
 	return got
+}
+
+// expectedPreFlush is expectedCfg without the final Flush: the event
+// stream a session has emitted before its DELETE, i.e. the position at
+// which consumer-state parity is checked.
+func expectedPreFlush(cfg online.Config, events []trace.Event) []phase.Event {
+	var got []phase.Event
+	cfg.OnEvent = func(ev phase.Event) { got = append(got, ev) }
+	d := online.NewDetector(cfg)
+	for _, ev := range events {
+		ev.Feed(d)
+	}
+	return got
+}
+
+// consumerProbe mirrors the GET /v1/sessions/{id}/consumers entries.
+type consumerProbe struct {
+	Name      string `json:"name"`
+	Consumed  int64  `json:"consumed"`
+	Errors    int64  `json:"errors"`
+	StateHash string `json:"state_hash"`
+	Report    string `json:"report"`
+}
+
+// referenceConsumers feeds evs through a fresh chain built from spec
+// and returns the probe entries an uninterrupted session would report.
+func referenceConsumers(t *testing.T, spec string, evs []phase.Event) []consumerProbe {
+	t.Helper()
+	chain, err := phase.ParseChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		chain.Consume(ev)
+	}
+	stats := chain.Stats()
+	out := make([]consumerProbe, 0, len(stats))
+	for i, cons := range chain.Consumers() {
+		h := fnv.New64a()
+		h.Write(cons.Snapshot())
+		p := consumerProbe{
+			Name:      stats[i].Name,
+			Consumed:  stats[i].Consumed,
+			Errors:    stats[i].Errors,
+			StateHash: fmt.Sprintf("%016x", h.Sum64()),
+		}
+		if r, ok := cons.(phase.Reporter); ok {
+			p.Report = r.Report()
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // chunkBounds splits n events into count nearly-equal chunks.
@@ -211,13 +266,27 @@ func TestChaosRecoveryParityWorkloads(t *testing.T) {
 		if len(want) == 0 {
 			t.Fatalf("%s produced no phase events", c.name)
 		}
+		// Consumer-state reference: what an uninterrupted session's
+		// chain looks like right before the DELETE's flush.
+		const chaosConsumers = "predictor,cacheresize"
+		wantConsumers := referenceConsumers(t, chaosConsumers,
+			expectedPreFlush(dcfg, col.events))
 		bounds := chunkBounds(len(col.events), 10)
 		killChunk := 1 + rng.Intn(len(bounds)-2) // never first or last
 		for _, mode := range []string{"boundary", "midchunk"} {
 			mode := mode
 			t.Run(c.name+"/"+mode, func(t *testing.T) {
 				dir := t.TempDir()
-				cfg := Config{Detector: dcfg, DataDir: dir, CheckpointEvery: 3}
+				cfg := Config{
+					Detector: dcfg, DataDir: dir, CheckpointEvery: 3,
+					Consumers: func() *phase.Chain {
+						ch, err := phase.ParseChain(chaosConsumers)
+						if err != nil {
+							panic(err)
+						}
+						return ch
+					},
+				}
 				s1 := mustServer(t, cfg)
 				if mode == "midchunk" {
 					var n int32
@@ -266,6 +335,22 @@ func TestChaosRecoveryParityWorkloads(t *testing.T) {
 						t.Errorf("retransmit of WAL-logged chunk %d not served from cache", i)
 					}
 					got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+				}
+				// The recovered session's consumer chain must be
+				// byte-identical (state hash over each consumer's
+				// snapshot) to the uninterrupted reference, and report
+				// the same adaptation decisions.
+				ci := do(t, s2.Handler(), "GET", "/v1/sessions/chaos/consumers")
+				if ci.Code != http.StatusOK {
+					t.Fatalf("consumers: status %d: %s", ci.Code, ci.Body.String())
+				}
+				var gotConsumers []consumerProbe
+				if err := json.Unmarshal(ci.Body.Bytes(), &gotConsumers); err != nil {
+					t.Fatalf("consumers body: %v", err)
+				}
+				if !reflect.DeepEqual(gotConsumers, wantConsumers) {
+					t.Errorf("recovered consumer state diverges:\n got %+v\nwant %+v",
+						gotConsumers, wantConsumers)
 				}
 				rr := do(t, s2.Handler(), "DELETE", "/v1/sessions/chaos")
 				if rr.Code != http.StatusOK {

@@ -50,7 +50,31 @@ type metrics struct {
 	checkpoints    atomic.Int64
 	replayed       atomic.Int64
 
+	// Per-consumer delivery totals across all sessions. The name list
+	// is fixed at New (probed from the Consumers factory), so workers
+	// add deltas by index with no locking.
+	consumerNames  []string
+	consumerEvents []atomic.Int64
+	consumerErrors []atomic.Int64
+
 	rings []latencyRing // one per session-table shard
+}
+
+// initConsumers registers the per-consumer counter slots.
+func (m *metrics) initConsumers(names []string) {
+	m.consumerNames = names
+	m.consumerEvents = make([]atomic.Int64, len(names))
+	m.consumerErrors = make([]atomic.Int64, len(names))
+}
+
+// addConsumer folds one worker's delivery deltas into consumer i's
+// totals.
+func (m *metrics) addConsumer(i int, events, errors int64) {
+	if i < 0 || i >= len(m.consumerNames) {
+		return
+	}
+	m.consumerEvents[i].Add(events)
+	m.consumerErrors[i].Add(errors)
 }
 
 // observeChunk records one completed chunk on its session's shard: the
@@ -130,6 +154,16 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "lpp_checkpoints_total %d\n", m.checkpoints.Load())
 	fmt.Fprintf(w, "# TYPE lpp_replayed_chunks_total counter\n")
 	fmt.Fprintf(w, "lpp_replayed_chunks_total %d\n", m.replayed.Load())
+	if len(m.consumerNames) > 0 {
+		fmt.Fprintf(w, "# TYPE lpp_consumer_events_total counter\n")
+		for i, name := range m.consumerNames {
+			fmt.Fprintf(w, "lpp_consumer_events_total{consumer=%q} %d\n", name, m.consumerEvents[i].Load())
+		}
+		fmt.Fprintf(w, "# TYPE lpp_consumer_errors_total counter\n")
+		for i, name := range m.consumerNames {
+			fmt.Fprintf(w, "lpp_consumer_errors_total{consumer=%q} %d\n", name, m.consumerErrors[i].Load())
+		}
+	}
 	fmt.Fprintf(w, "# TYPE lpp_events_per_second gauge\n")
 	fmt.Fprintf(w, "lpp_events_per_second %.1f\n", rate)
 	fmt.Fprintf(w, "# TYPE lpp_detect_latency_seconds gauge\n")

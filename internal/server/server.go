@@ -32,6 +32,7 @@ import (
 	"lpp/internal/durable"
 	"lpp/internal/faultfs"
 	"lpp/internal/online"
+	"lpp/internal/phase"
 )
 
 // Config tunes the server. The zero value takes the defaults below.
@@ -39,6 +40,16 @@ type Config struct {
 	// Detector is the per-session detector configuration. Its OnEvent
 	// field is overwritten; everything else passes through.
 	Detector online.Config
+	// Consumers, when non-nil, builds each session's run-time
+	// adaptation chain; every phase event the session's detector emits
+	// is also delivered to the chain, the chain's state rides the
+	// session's checkpoints (and is replayed bit-identically after
+	// crash recovery), and per-consumer delivery counters appear on
+	// /metrics. The factory must return chains with the same consumers
+	// in the same order every call — a durable session restored under a
+	// different consumer composition is quarantined rather than
+	// silently diverging.
+	Consumers func() *phase.Chain
 	// QueueDepth is the number of chunks buffered per session beyond
 	// the one being processed (default 8). A full queue rejects the
 	// chunk with 429.
@@ -145,10 +156,21 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = store
 	}
+	if s.cfg.Consumers != nil {
+		// Probe the factory once so the per-consumer metric slots (and
+		// their order) are fixed before any session exists.
+		probe := s.cfg.Consumers()
+		names := make([]string, 0, probe.Len())
+		for _, st := range probe.Stats() {
+			names = append(names, st.Name)
+		}
+		s.m.initConsumers(names)
+	}
 	s.m.start = time.Now()
 	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/consumers", s.handleConsumers)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.store != nil && s.cfg.IdleTimeout > 0 {
@@ -456,6 +478,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleConsumers reports a session's run-time consumer state: per
+// consumer, its delivery counters, a hash of its snapshot (the
+// recovery-parity fingerprint), and its human report. A suspended
+// durable session is revived to answer.
+func (s *Server) handleConsumers(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.getSession(id, false); err != nil {
+		// Only revive sessions that actually exist somewhere: in-memory
+		// miss plus no durable state is a plain 404, not a create.
+		if s.store == nil || !s.store.Exists(id) {
+			writeErr(w, http.StatusNotFound, err.Error())
+			return
+		}
+	}
+	c := chunk{op: opConsumers, reply: make(chan result, 1)}
+	res, err := s.dispatch(id, c)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
@@ -592,7 +639,7 @@ type phaseWire struct {
 }
 
 // encodeEvents renders detector output as NDJSON body bytes.
-func encodeEvents(events []online.PhaseEvent) []byte {
+func encodeEvents(events []phase.Event) []byte {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, ev := range events {
@@ -606,7 +653,7 @@ func encodeEvents(events []online.PhaseEvent) []byte {
 	return buf.Bytes()
 }
 
-func countKind(events []online.PhaseEvent, k online.Kind) int64 {
+func countKind(events []phase.Event, k phase.Kind) int64 {
 	var n int64
 	for _, ev := range events {
 		if ev.Kind == k {

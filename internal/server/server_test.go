@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"lpp/internal/online"
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 )
 
@@ -144,9 +145,9 @@ func chunked(t *testing.T, h http.Handler, id string, events []trace.Event, chun
 
 // expected runs the same events through a local detector: server
 // responses must match because chunking carries no detector state.
-func expected(events []trace.Event) []online.PhaseEvent {
-	var got []online.PhaseEvent
-	d := online.NewDetector(online.Config{OnEvent: func(ev online.PhaseEvent) { got = append(got, ev) }})
+func expected(events []trace.Event) []phase.Event {
+	var got []phase.Event
+	d := online.NewDetector(online.Config{OnEvent: func(ev phase.Event) { got = append(got, ev) }})
 	for _, ev := range events {
 		ev.Feed(d)
 	}
@@ -154,7 +155,7 @@ func expected(events []trace.Event) []online.PhaseEvent {
 	return got
 }
 
-func assertMatches(t *testing.T, got []phaseWire, want []online.PhaseEvent) {
+func assertMatches(t *testing.T, got []phaseWire, want []phase.Event) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("event count %d, want %d", len(got), len(want))

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sync"
 	"sync/atomic"
 
 	"lpp/internal/durable"
 	"lpp/internal/online"
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 )
 
@@ -25,6 +29,9 @@ const (
 	// flush would advance it past where an uninterrupted run would be,
 	// breaking recovery parity.
 	opSuspend
+	// opConsumers reports the session's consumer-chain state (counters,
+	// snapshot hashes, reports) without feeding the detector.
+	opConsumers
 )
 
 // chunk is one unit of per-session work.
@@ -77,8 +84,15 @@ type worker struct {
 	sess *session
 	cfg  online.Config
 	det  *online.Detector
+	// chain is the session's run-time adaptation chain (nil without
+	// Config.Consumers); it sees every detector event and its state is
+	// checkpointed alongside the detector's.
+	chain *phase.Chain
+	// consBase is the chain's counters at the last metrics flush, so
+	// deltas fold into the server-wide per-consumer totals.
+	consBase []phase.ConsumerStats
 	// pending accumulates detector output between chunk boundaries.
-	pending []online.PhaseEvent
+	pending []phase.Event
 	// log is the session's durable state; nil when the server is
 	// ephemeral.
 	log *durable.Log
@@ -99,7 +113,18 @@ func (s *Server) run(sess *session) {
 	defer close(sess.done)
 	w := &worker{s: s, sess: sess}
 	w.cfg = s.cfg.Detector
-	w.cfg.OnEvent = func(ev online.PhaseEvent) { w.pending = append(w.pending, ev) }
+	if s.cfg.Consumers != nil {
+		w.chain = s.cfg.Consumers()
+		w.consBase = w.chain.Stats()
+	}
+	w.cfg.OnEvent = func(ev phase.Event) {
+		w.pending = append(w.pending, ev)
+		if w.chain != nil {
+			// Chain.Consume never fails: consumer errors and panics are
+			// isolated per consumer inside the chain.
+			w.chain.Consume(ev)
+		}
+	}
 	w.det = online.NewDetector(w.cfg)
 	if s.store != nil {
 		w.log = s.store.Session(sess.id)
@@ -113,7 +138,7 @@ func (s *Server) run(sess *session) {
 			res := w.handle(c)
 			sess.seq.Store(w.lastSeq)
 			c.reply <- res
-			if c.op != opEvents {
+			if c.op == opClose || c.op == opSuspend {
 				return
 			}
 		case <-sess.kill:
@@ -128,6 +153,8 @@ func (w *worker) handle(c chunk) result {
 		return w.close()
 	case opSuspend:
 		return w.suspend()
+	case opConsumers:
+		return w.consumers()
 	default:
 		return w.events(c)
 	}
@@ -170,11 +197,35 @@ func (w *worker) restore() {
 		return // fresh session
 	}
 	if st.Snapshot != nil {
-		nd, err := online.NewDetectorFromSnapshot(w.cfg, st.Snapshot)
+		detSnap, chainSnap, framed, err := splitSnapshot(st.Snapshot)
 		if err != nil {
 			w.s.m.walErrors.Add(1)
 			w.poison()
 			return
+		}
+		// A checkpoint written with a consumer chain must be restored
+		// with one (and vice versa): anything else would silently drop
+		// or skip adaptation state, forking decisions after recovery.
+		if framed != (w.chain != nil) {
+			w.s.m.walErrors.Add(1)
+			w.poison()
+			return
+		}
+		nd, err := online.NewDetectorFromSnapshot(w.cfg, detSnap)
+		if err != nil {
+			w.s.m.walErrors.Add(1)
+			w.poison()
+			return
+		}
+		if w.chain != nil {
+			if err := w.chain.Restore(chainSnap); err != nil {
+				w.s.m.walErrors.Add(1)
+				w.poison()
+				return
+			}
+			// Deliveries restored from the checkpoint were counted by
+			// the process that made them; only count this process's.
+			w.consBase = w.chain.Stats()
 		}
 		w.det = nd
 	}
@@ -193,6 +244,7 @@ func (w *worker) restore() {
 		}
 	})
 	w.pending = nil
+	w.flushConsumerStats()
 	if ok {
 		w.updateStats()
 		w.s.m.recovered.Add(1)
@@ -252,16 +304,72 @@ func (w *worker) events(c chunk) result {
 
 // emit encodes and counts the pending detector output.
 func (w *worker) emit() []byte {
-	w.s.m.boundaries.Add(countKind(w.pending, online.BoundaryDetected))
-	w.s.m.predictions.Add(countKind(w.pending, online.PhasePredicted))
+	w.s.m.boundaries.Add(countKind(w.pending, phase.BoundaryDetected))
+	w.s.m.predictions.Add(countKind(w.pending, phase.PhasePredicted))
+	w.flushConsumerStats()
 	body := encodeEvents(w.pending)
 	w.pending = nil
 	return body
 }
 
+// flushConsumerStats folds the chain's delivery counters since the
+// last flush into the server-wide per-consumer metrics.
+func (w *worker) flushConsumerStats() {
+	if w.chain == nil {
+		return
+	}
+	stats := w.chain.Stats()
+	for i := range stats {
+		w.s.m.addConsumer(i, stats[i].Consumed-w.consBase[i].Consumed, stats[i].Errors-w.consBase[i].Errors)
+	}
+	w.consBase = stats
+}
+
+// consumers answers opConsumers: the chain's per-consumer counters,
+// state hashes (fnv64a over each consumer's snapshot — the recovery
+// parity fingerprint), and human reports.
+func (w *worker) consumers() result {
+	if w.chain == nil {
+		return result{status: http.StatusNotFound, body: errBody("no consumers configured"), seq: w.lastSeq}
+	}
+	type consumerInfo struct {
+		Name      string `json:"name"`
+		Consumed  int64  `json:"consumed"`
+		Errors    int64  `json:"errors"`
+		StateHash string `json:"state_hash"`
+		Report    string `json:"report,omitempty"`
+	}
+	stats := w.chain.Stats()
+	out := make([]consumerInfo, 0, len(stats))
+	for i, cons := range w.chain.Consumers() {
+		h := fnv.New64a()
+		h.Write(cons.Snapshot())
+		info := consumerInfo{
+			Name:      stats[i].Name,
+			Consumed:  stats[i].Consumed,
+			Errors:    stats[i].Errors,
+			StateHash: fmt.Sprintf("%016x", h.Sum64()),
+		}
+		if r, ok := cons.(phase.Reporter); ok {
+			info.Report = r.Report()
+		}
+		out = append(out, info)
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return result{status: http.StatusInternalServerError, body: errBody(err.Error()), seq: w.lastSeq}
+	}
+	return result{status: http.StatusOK, body: append(b, '\n'), seq: w.lastSeq}
+}
+
 func (w *worker) checkpoint() {
 	var snap []byte
-	if !w.safe(func() { snap = w.det.Snapshot() }) {
+	if !w.safe(func() {
+		snap = w.det.Snapshot()
+		if w.chain != nil {
+			snap = frameSnapshot(snap, w.chain.Snapshot())
+		}
+	}) {
 		return
 	}
 	if err := w.log.Checkpoint(w.lastSeq, snap, w.cached); err != nil {
@@ -270,6 +378,52 @@ func (w *worker) checkpoint() {
 	}
 	w.sinceCkpt = 0
 	w.s.m.checkpoints.Add(1)
+}
+
+// busMagic frames a combined detector+chain checkpoint image. Legacy
+// checkpoints (no consumer chain) remain raw detector snapshots, which
+// start with "LPPSNAP" — the two are distinguishable by prefix.
+const busMagic = "LPPBUS1"
+
+// frameSnapshot combines a detector snapshot and a chain snapshot into
+// one checkpoint image.
+func frameSnapshot(det, chain []byte) []byte {
+	buf := make([]byte, 0, len(busMagic)+len(det)+len(chain)+2*binary.MaxVarintLen64)
+	buf = append(buf, busMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(det)))
+	buf = append(buf, det...)
+	buf = binary.AppendUvarint(buf, uint64(len(chain)))
+	buf = append(buf, chain...)
+	return buf
+}
+
+// splitSnapshot separates a checkpoint image into its detector and
+// chain parts. A raw (legacy, chain-less) detector snapshot returns
+// framed=false with the input as the detector part.
+func splitSnapshot(data []byte) (det, chain []byte, framed bool, err error) {
+	if len(data) < len(busMagic) || string(data[:len(busMagic)]) != busMagic {
+		return data, nil, false, nil
+	}
+	rest := data[len(busMagic):]
+	next := func() ([]byte, error) {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || n > uint64(len(rest)-used) {
+			return nil, fmt.Errorf("corrupt combined snapshot")
+		}
+		part := rest[used : used+int(n)]
+		rest = rest[used+int(n):]
+		return part, nil
+	}
+	if det, err = next(); err != nil {
+		return nil, nil, true, err
+	}
+	if chain, err = next(); err != nil {
+		return nil, nil, true, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, true, fmt.Errorf("corrupt combined snapshot: %d trailing bytes", len(rest))
+	}
+	return det, chain, true, nil
 }
 
 func (w *worker) close() result {
