@@ -7,6 +7,7 @@
 //
 //	lpp [-bench tomcatv] [-policy strict|relaxed] [-quick] [-v]
 //	    [-consumers predictor,cacheresize,dvfs,remap]
+//	lpp -warmstart [-bench fft] [-warmstart-train fft] [-knowledge FILE]
 //	lpp -list
 package main
 
@@ -39,7 +40,11 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "detection worker-pool size; 1 = strictly sequential (results are identical at any setting)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		cons     = flag.String("consumers", "", "drive run-time consumers from the prediction run's phase events (comma-separated: predictor, cacheresize, dvfs, remap)")
+		cons     = flag.String("consumers", "", "drive run-time consumers from the prediction run's phase events (comma-separated: predictor[:strict|:relaxed], cacheresize, dvfs, remap)")
+
+		warmFlag  = flag.Bool("warmstart", false, "warm-start mode: train a knowledge store on one trace, replay a second, report warm-vs-cold first-prediction latency and accuracy")
+		warmTrain = flag.String("warmstart-train", "", "workload to train the store on in -warmstart mode (default: same as -bench)")
+		knowPath  = flag.String("knowledge", "", "knowledge store file for -warmstart mode (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,13 @@ func main() {
 	if *list {
 		for _, s := range workload.All() {
 			fmt.Printf("%-10s %s (%s)\n", s.Name, s.Description, s.Source)
+		}
+		return
+	}
+
+	if *warmFlag {
+		if err := runWarmStart(*bench, *warmTrain, *knowPath); err != nil {
+			fatal(err)
 		}
 		return
 	}

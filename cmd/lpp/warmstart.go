@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+
+	"lpp/internal/knowledge"
+	"lpp/internal/warmstart"
+)
+
+// runWarmStart is the offline warm-start mode: train a knowledge store
+// from one trace, replay a second against it, and report where the
+// first length prediction landed warm vs cold. With a -knowledge path
+// the trained store is persisted (and pre-existing knowledge loaded),
+// so consecutive runs accumulate programs the way a long-lived server
+// would.
+func runWarmStart(bench, trainBench, path string) error {
+	if trainBench == "" {
+		trainBench = bench
+	}
+	trainCase, err := warmstart.ByName(trainBench)
+	if err != nil {
+		return err
+	}
+	replayCase, err := warmstart.ByName(bench)
+	if err != nil {
+		return err
+	}
+
+	var store *knowledge.Store
+	if path != "" {
+		if store, err = knowledge.Open(path, nil, knowledge.Config{}); err != nil {
+			return err
+		}
+	} else {
+		store = knowledge.NewStore(knowledge.Config{})
+	}
+
+	trainEvents, err := trainCase.Events()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training store on %s (%d events)...\n", trainCase.Name, len(trainEvents))
+	train := warmstart.Run(trainEvents, warmstart.Config{Detector: trainCase.Detector()}, store, true)
+	fmt.Printf("  %d boundaries, fingerprint %#x\n", train.Boundaries, train.Fingerprint)
+	if path != "" {
+		if err := store.Persist(); err != nil {
+			return err
+		}
+	} else {
+		// Size the store for the report; Persist does this as a side
+		// effect on the durable path.
+		store.Snapshot()
+	}
+	st := store.Stats()
+	fmt.Printf("  store: %d program(s), %d bytes\n", st.Entries, st.Bytes)
+
+	replayEvents := trainEvents
+	if replayCase.Name != trainCase.Name {
+		if replayEvents, err = replayCase.Events(); err != nil {
+			return err
+		}
+	}
+	cfg := warmstart.Config{Detector: replayCase.Detector()}
+	cold := warmstart.Run(replayEvents, cfg, nil, false)
+	warm := warmstart.Run(replayEvents, cfg, store, false)
+
+	fmt.Printf("\nreplaying %s (%d events):\n", replayCase.Name, len(replayEvents))
+	report := func(label string, r warmstart.Result) {
+		first := "never"
+		if r.FirstPredictionBoundary >= 0 {
+			first = fmt.Sprintf("boundary %d (access time %d)",
+				r.FirstPredictionBoundary, r.FirstPredictionTime)
+		}
+		fmt.Printf("  %-5s first prediction %-32s predictions=%d accuracy=%.3f coverage=%.3f\n",
+			label, first, r.Predictions, r.Accuracy, r.Coverage)
+	}
+	report("cold", cold)
+	report("warm", warm)
+	if warm.WarmStarted {
+		fmt.Printf("  warm start matched %#x (score %.3f)\n", warm.Matched, warm.MatchScore)
+	} else {
+		fmt.Printf("  no warm start (no confident match within the window)\n")
+	}
+	if warm.FirstPredictionBoundary >= 0 &&
+		(cold.FirstPredictionBoundary < 0 || warm.FirstPredictionBoundary < cold.FirstPredictionBoundary) {
+		if cold.FirstPredictionBoundary < 0 {
+			fmt.Printf("  warm start predicts where cold never does\n")
+		} else {
+			fmt.Printf("  warm start predicts %d boundaries earlier (access time %d vs %d)\n",
+				cold.FirstPredictionBoundary-warm.FirstPredictionBoundary,
+				warm.FirstPredictionTime, cold.FirstPredictionTime)
+		}
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ type ingestReport struct {
 	Concurrency      int     `json:"concurrency"`
 	Shards           int     `json:"shards"`
 	GOMAXPROCS       int     `json:"gomaxprocs"`
+	NumCPU           int     `json:"num_cpu"`
 	EventsPerSession int     `json:"events_per_session"`
 	Events           int     `json:"events"`
 	Chunks           int     `json:"chunks"`
@@ -215,6 +216,7 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 		Concurrency:      concurrency,
 		Shards:           shards,
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
 		EventsPerSession: perSession,
 		Events:           totalEvents,
 		Chunks:           len(lats),

@@ -10,6 +10,7 @@
 //	lppbench -j 8               # analysis worker pool (default GOMAXPROCS)
 //	lppbench -list              # list experiments
 //	lppbench -offline           # offline-pipeline benchmark, write BENCH_offline.json
+//	lppbench -warmstart         # knowledge-store warm-start benchmark, write BENCH_warmstart.json
 //	lppbench -stream t.trace    # replay a trace against lppserve, write BENCH_stream.json
 //	lppbench -sessions 8 -concurrency 8   # concurrent multi-session ingest, write BENCH_ingest.json
 package main
@@ -35,6 +36,7 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "analysis worker-pool size; 1 = strictly sequential (output is identical at any setting)")
 		html     = flag.String("html", "", "write a self-contained HTML report to this file (needs -out)")
 		offline  = flag.Bool("offline", false, "benchmark the offline pipeline at -j 1 vs -j N (writes BENCH_offline.json)")
+		warm     = flag.Bool("warmstart", false, "benchmark knowledge-store warm starts on the golden workloads (writes BENCH_warmstart.json)")
 		stream   = flag.String("stream", "", "trace file to replay against lppserve (see -addr)")
 		addr     = flag.String("addr", "", "lppserve address for -stream/-sessions (default: in-process server)")
 		chunkLen = flag.Int("chunk", 16384, "events per chunk for -stream and -sessions")
@@ -58,6 +60,13 @@ func main() {
 
 	if *offline {
 		if err := runOffline(*out, *jobs, *quick); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *warm {
+		if err := runWarmstartBench(*out); err != nil {
 			fatal(err)
 		}
 		return

@@ -24,6 +24,7 @@ import (
 // concurrent per-workload analyses, shared analysis cache).
 type offlineReport struct {
 	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"num_cpu"`
 	Jobs       int  `json:"jobs"`
 	Quick      bool `json:"quick"`
 
@@ -59,6 +60,7 @@ func runOffline(outDir string, jobs int, quick bool) error {
 	}
 	rep := offlineReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Jobs:       jobs,
 		Quick:      quick,
 	}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +29,8 @@ import (
 type streamReport struct {
 	Trace        string         `json:"trace"`
 	Addr         string         `json:"addr"`
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	NumCPU       int            `json:"num_cpu"`
 	Events       int            `json:"events"`
 	Chunks       int            `json:"chunks"`
 	ChunkLen     int            `json:"chunk_len"`
@@ -203,6 +206,8 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 	rep := streamReport{
 		Trace:        path,
 		Addr:         addr,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Events:       len(events),
 		Chunks:       len(lats),
 		ChunkLen:     chunkLen,

@@ -16,16 +16,24 @@
 // checkpointed, and the process exits 0 within the -drain deadline.
 //
 // With -consumers, each session also drives a chain of run-time
-// adaptation consumers (predictor, cacheresize, dvfs, remap) from its
-// phase events; consumer state rides the session checkpoints, and
+// adaptation consumers (predictor[:strict|:relaxed], cacheresize,
+// dvfs, remap) from its phase events; consumer state rides the
+// session checkpoints, and
 // GET /v1/sessions/{id}/consumers reports each consumer's counters,
 // state hash, and adaptation summary.
+//
+// With -knowledge, the server keeps a cross-session phase knowledge
+// store: sessions whose early grammar fingerprint matches a previously
+// seen program warm-start their predictor at their third boundary, and
+// every closing session contributes its learned phase behavior back.
+// The store survives restarts (and crashes) byte-identically.
 //
 // Usage:
 //
 //	lppserve [-addr :8080] [-queue 8] [-shards 16] [-max-sessions 256]
 //	         [-max-chunk 8388608] [-data DIR] [-sync] [-checkpoint-every 64]
-//	         [-idle-timeout 0] [-drain 10s] [-consumers predictor,cacheresize]
+//	         [-idle-timeout 0] [-drain 10s] [-consumers predictor:strict,cacheresize]
+//	         [-knowledge FILE] [-knowledge-cap 1024] [-knowledge-threshold 0.70]
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"lpp/internal/knowledge"
 	"lpp/internal/online"
 	"lpp/internal/phase"
 	"lpp/internal/server"
@@ -68,7 +77,11 @@ func run(args []string, ready chan<- string) error {
 		ckptEvery   = fs.Int("checkpoint-every", 0, "accepted chunks between checkpoints (0 = default 64)")
 		idleTimeout = fs.Duration("idle-timeout", 0, "checkpoint and evict sessions idle this long (0 = never; needs -data)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
-		consumers   = fs.String("consumers", "", "comma-separated run-time consumer chain per session (predictor, cacheresize, dvfs, remap); empty = none")
+		consumers   = fs.String("consumers", "", "comma-separated run-time consumer chain per session (predictor[:strict|:relaxed], cacheresize, dvfs, remap); empty = none")
+
+		knowledgePath      = fs.String("knowledge", "", "cross-session knowledge store file; sessions warm-start from it and contribute back on close (empty = disabled)")
+		knowledgeCap       = fs.Int("knowledge-cap", 0, "max stored programs before LRU/score eviction (0 = default 1024)")
+		knowledgeThreshold = fs.Float64("knowledge-threshold", 0, "minimum match score for a warm start (0 = default 0.70)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,9 +107,24 @@ func run(args []string, ready chan<- string) error {
 		}
 	}
 
+	var kstore *knowledge.Store
+	if *knowledgePath != "" {
+		ks, err := knowledge.Open(*knowledgePath, nil, knowledge.Config{
+			Cap:   *knowledgeCap,
+			Match: knowledge.MatchConfig{Threshold: *knowledgeThreshold},
+		})
+		if err != nil {
+			return err
+		}
+		kstore = ks
+		st := kstore.Stats()
+		log.Printf("knowledge store %s: %d program(s), %d bytes", *knowledgePath, st.Entries, st.Bytes)
+	}
+
 	srv, err := server.New(server.Config{
 		Detector:        online.Config{MaxStride: *maxStride},
 		Consumers:       consumerFactory,
+		Knowledge:       kstore,
 		QueueDepth:      *queue,
 		Shards:          *shards,
 		MaxSessions:     *maxSessions,

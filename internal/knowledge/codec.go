@@ -1,0 +1,126 @@
+package knowledge
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// enc builds deterministic snapshot bodies: varints for integers,
+// fixed little-endian bits for floats, sorted order for every map —
+// the same discipline as the phase-bus and detector codecs.
+type enc struct{ buf []byte }
+
+func (e *enc) i64(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) num(v int)    { e.i64(int64(v)) }
+func (e *enc) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// dec decodes with sticky errors and bounds checks, so corrupt input
+// cannot force huge allocations or panics.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) num() int {
+	v := d.i64()
+	if int64(int(v)) != v {
+		d.fail("int overflow")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("short float at %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// length decodes a list length whose elements occupy at least elemSize
+// bytes each, rejecting lengths the remaining input cannot hold.
+func (d *dec) length(elemSize int) int {
+	n := d.num()
+	if n < 0 {
+		d.fail("negative length")
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > (len(d.buf)-d.off)/elemSize {
+		d.fail("length %d exceeds input", n)
+		return 0
+	}
+	return n
+}
+
+// done reports trailing garbage as corruption.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func sortU64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func sortInts(s []int) { sort.Ints(s) }
+
+func sortPairs(s [][2]int) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i][0] != s[j][0] {
+			return s[i][0] < s[j][0]
+		}
+		return s[i][1] < s[j][1]
+	})
+}

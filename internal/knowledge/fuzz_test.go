@@ -1,0 +1,57 @@
+package knowledge
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeed builds a realistic populated-store snapshot for seeding.
+func fuzzSeed() []byte {
+	s := NewStore(Config{})
+	s.Contribute(knowledgeOf(16, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4))
+	s.Contribute(knowledgeOf(9, 7, 7, 7, 7, 7, 7))
+	s.MarkHit(grammarOf(7, 7, 7, 7, 7, 7).Fingerprint())
+	s.MarkMiss()
+	return s.Snapshot()
+}
+
+// FuzzRestoreSnapshot asserts the knowledge snapshot codec never
+// panics and never partially applies: any input RestoreSnapshot
+// accepts must re-serialize to exactly the accepted bytes, and any
+// rejected input must leave the store untouched — torn tails,
+// truncations, and CRC corruption all refuse cleanly.
+func FuzzRestoreSnapshot(f *testing.F) {
+	valid := fuzzSeed()
+	f.Add(valid)
+	for cut := 0; cut < len(valid); cut += 1 + cut/8 {
+		f.Add(valid[:cut]) // truncations, including mid-header
+	}
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x08
+	f.Add(flip)
+	torn := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(torn)
+	skew := append([]byte(nil), valid...)
+	skew[6] = '9' // version-skewed magic ("LPPKNW9")
+	f.Add(skew)
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewStore(Config{})
+		s.Contribute(knowledgeOf(5, 2, 2, 2, 2))
+		before := s.Snapshot()
+		err := s.RestoreSnapshot(data)
+		if err != nil {
+			// Rejected: the store must be exactly as it was.
+			if !bytes.Equal(s.Snapshot(), before) {
+				t.Fatalf("rejected snapshot partially applied")
+			}
+			return
+		}
+		// Accepted: restore must be lossless and stable.
+		if !bytes.Equal(s.Snapshot(), data) {
+			t.Fatalf("accepted snapshot does not round-trip")
+		}
+	})
+}

@@ -3,6 +3,7 @@ package online
 import (
 	"testing"
 
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 	"lpp/internal/workload"
 )
@@ -35,7 +36,7 @@ func TestAccessBatchHotPathZeroAllocs(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.CheckEvery = 1 << 40 // no threshold feedback inside the run
-	cfg.OnEvent = func(PhaseEvent) {}
+	cfg.OnEvent = func(phase.Event) {}
 	d := NewDetector(cfg)
 	chunk := steadyChunk(4096)
 	for i := 0; i < 8; i++ {
@@ -67,7 +68,7 @@ func TestAccessBatchAmortizedAllocs(t *testing.T) {
 	events := recordedEvents(&rec.T)
 
 	cfg := DefaultConfig()
-	cfg.OnEvent = func(PhaseEvent) {}
+	cfg.OnEvent = func(phase.Event) {}
 	d := NewDetector(cfg)
 	const chunkLen = 8192
 	off := 0
@@ -106,7 +107,7 @@ func benchmarkEvents(b *testing.B) []trace.Event {
 func BenchmarkAccessBatch(b *testing.B) {
 	events := benchmarkEvents(b)
 	cfg := DefaultConfig()
-	cfg.OnEvent = func(PhaseEvent) {}
+	cfg.OnEvent = func(phase.Event) {}
 	d := NewDetector(cfg)
 	const chunkLen = 8192
 	b.ReportAllocs()
@@ -128,7 +129,7 @@ func BenchmarkAccessBatch(b *testing.B) {
 func BenchmarkAccessPerEvent(b *testing.B) {
 	events := benchmarkEvents(b)
 	cfg := DefaultConfig()
-	cfg.OnEvent = func(PhaseEvent) {}
+	cfg.OnEvent = func(phase.Event) {}
 	d := NewDetector(cfg)
 	const chunkLen = 8192
 	b.ReportAllocs()

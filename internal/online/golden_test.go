@@ -7,13 +7,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 	"lpp/internal/workload"
 )
 
 var updateGolden = flag.Bool("update", false, "regenerate golden trace fixtures")
 
-// goldenEvent mirrors PhaseEvent with a stable wire spelling so fixture
+// goldenEvent mirrors phase.Event with a stable wire spelling so fixture
 // diffs read as English, not iota values.
 type goldenEvent struct {
 	Kind         string `json:"kind"`
@@ -79,7 +80,7 @@ func goldenRun(c parityCase, rec *trace.Recorded, feed func(*Detector, *trace.Re
 	var events []goldenEvent
 	cfg := DefaultConfig()
 	cfg.KeepIrregular = c.keepIrregular
-	cfg.OnEvent = func(ev PhaseEvent) {
+	cfg.OnEvent = func(ev phase.Event) {
 		events = append(events, goldenEvent{
 			Kind:         ev.Kind.String(),
 			Time:         ev.Time,

@@ -3,6 +3,7 @@ package online
 import (
 	"testing"
 
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 )
 
@@ -48,10 +49,10 @@ func TestDetectorFindsSyntheticPhaseSwitches(t *testing.T) {
 	predictions := 0
 	for _, ev := range d.DrainEvents() {
 		switch ev.Kind {
-		case BoundaryDetected:
+		case phase.BoundaryDetected:
 			boundaries = append(boundaries, ev.Time)
 			phaseIDs[ev.Phase] = true
-		case PhasePredicted:
+		case phase.PhasePredicted:
 			predictions++
 		}
 	}
@@ -93,7 +94,7 @@ func TestDetectorFindsSyntheticPhaseSwitches(t *testing.T) {
 }
 
 func TestDetectorDeterministic(t *testing.T) {
-	run := func() []PhaseEvent {
+	run := func() []phase.Event {
 		d := NewDetector(Config{})
 		phasedStream(d, 15, 6)
 		d.Flush()
@@ -157,9 +158,9 @@ func TestEventBufferBounded(t *testing.T) {
 }
 
 func TestOnEventCallbackBypassesBuffer(t *testing.T) {
-	var got []PhaseEvent
+	var got []phase.Event
 	cfg := DefaultConfig()
-	cfg.OnEvent = func(ev PhaseEvent) { got = append(got, ev) }
+	cfg.OnEvent = func(ev phase.Event) { got = append(got, ev) }
 	d := NewDetector(cfg)
 	phasedStream(d, 15, 6)
 	d.Flush()

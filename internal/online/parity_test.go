@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lpp/internal/core"
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 	"lpp/internal/workload"
 )
@@ -74,7 +75,7 @@ func TestOnlineOfflineBoundaryParity(t *testing.T) {
 
 			var online []int64
 			for _, ev := range od.DrainEvents() {
-				if ev.Kind == BoundaryDetected {
+				if ev.Kind == phase.BoundaryDetected {
 					online = append(online, ev.Time)
 				}
 			}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"testing"
 
+	"lpp/internal/phase"
 	"lpp/internal/trace"
 	"lpp/internal/workload"
 )
@@ -23,9 +24,9 @@ func (c *eventCollector) Access(addr trace.Addr) {
 
 // runStraight feeds every event through one detector and returns its
 // output events.
-func runStraight(cfg Config, events []trace.Event) []PhaseEvent {
-	var out []PhaseEvent
-	cfg.OnEvent = func(ev PhaseEvent) { out = append(out, ev) }
+func runStraight(cfg Config, events []trace.Event) []phase.Event {
+	var out []phase.Event
+	cfg.OnEvent = func(ev phase.Event) { out = append(out, ev) }
 	d := NewDetector(cfg)
 	for _, ev := range events {
 		ev.Feed(d)
@@ -36,10 +37,10 @@ func runStraight(cfg Config, events []trace.Event) []PhaseEvent {
 
 // runInterrupted feeds the stream with a snapshot+restore into a brand
 // new detector at every cut point, simulating a crash and recovery.
-func runInterrupted(t *testing.T, cfg Config, events []trace.Event, cuts []int) []PhaseEvent {
+func runInterrupted(t *testing.T, cfg Config, events []trace.Event, cuts []int) []phase.Event {
 	t.Helper()
-	var out []PhaseEvent
-	cfg.OnEvent = func(ev PhaseEvent) { out = append(out, ev) }
+	var out []phase.Event
+	cfg.OnEvent = func(ev phase.Event) { out = append(out, ev) }
 	d := NewDetector(cfg)
 	prev := 0
 	for _, cut := range cuts {
@@ -66,7 +67,7 @@ func runInterrupted(t *testing.T, cfg Config, events []trace.Event, cuts []int) 
 	return out
 }
 
-func assertSameEvents(t *testing.T, got, want []PhaseEvent) {
+func assertSameEvents(t *testing.T, got, want []phase.Event) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("event count %d, want %d", len(got), len(want))

@@ -308,6 +308,26 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("ParseChain(%q) accepted an invalid spec", bad)
 		}
 	}
+
+	// The predictor takes a policy option; nothing else takes any, and
+	// policy variants still collide with the bare name on dedup.
+	for spec, policy := range map[string]predictor.Policy{
+		"predictor": predictor.Relaxed, "predictor:relaxed": predictor.Relaxed,
+		"predictor:strict": predictor.Strict,
+	} {
+		c, err := Stock(spec)
+		if err != nil {
+			t.Fatalf("Stock(%q): %v", spec, err)
+		}
+		if got := c.(*PredictorConsumer).Predictor().Policy(); got != policy {
+			t.Errorf("Stock(%q) policy = %v, want %v", spec, got, policy)
+		}
+	}
+	for _, bad := range []string{"predictor:", "predictor:eager", "dvfs:strict", "predictor,predictor:strict"} {
+		if _, err := ParseChain(bad); err == nil {
+			t.Errorf("ParseChain(%q) accepted an invalid spec", bad)
+		}
+	}
 }
 
 // TestPredictorConsumerScoring walks the synthetic stream through the

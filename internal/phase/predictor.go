@@ -104,6 +104,34 @@ func (c *PredictorConsumer) Consume(ev Event) error {
 	return nil
 }
 
+// WarmStart seeds the predictor's per-phase histories from knowledge a
+// previous session of the same program learned, so a policy that needs
+// repeated observations (Strict requires a phase's last two lengths to
+// agree) can predict at the phase's first recurrence here instead of
+// its third. Only histories transfer: the donor's pending predictions
+// and scores are dropped, and this session's clock and score counters
+// are kept, so accuracy and coverage still measure only what this
+// session predicted. WarmStart refuses once this predictor has issued
+// any prediction — knowledge arriving late must never overwrite
+// predictions already being scored, and a consumer restored from a
+// checkpoint past that point can therefore never be clobbered.
+func (c *PredictorConsumer) WarmStart(st predictor.State) error {
+	cur := c.pred.State()
+	if cur.Predictions > 0 {
+		return fmt.Errorf("phase: warm start refused after %d predictions", cur.Predictions)
+	}
+	st.Pending = nil
+	st.Predictions, st.Correct = 0, 0
+	st.CoveredInstrs = 0
+	st.TotalInstrs = cur.TotalInstrs
+	pred, err := predictor.NewFromState(c.policy, st)
+	if err != nil {
+		return fmt.Errorf("phase: warm start: %w", err)
+	}
+	c.pred = pred
+	return nil
+}
+
 // Report implements Reporter.
 func (c *PredictorConsumer) Report() string {
 	return fmt.Sprintf("policy=%s predictions=%d accuracy=%.4f next-phase hits=%d misses=%d",

@@ -16,10 +16,25 @@ func Names() []string {
 
 // Stock builds a stock consumer by name with default configuration:
 // the relaxed predictor policy and the paper's 5% adaptation budgets.
+// A name may carry one ":"-separated option; today only the predictor
+// takes one, selecting its policy ("predictor:strict" or the default
+// "predictor:relaxed").
 func Stock(name string) (Consumer, error) {
-	switch name {
+	base, opt, hasOpt := strings.Cut(name, ":")
+	if hasOpt && (base != "predictor" || opt == "") {
+		return nil, fmt.Errorf("phase: bad consumer option in %q (only predictor:strict|relaxed)", name)
+	}
+	switch base {
 	case "predictor":
-		return NewPredictorConsumer(predictor.Relaxed), nil
+		policy := predictor.Relaxed
+		switch opt {
+		case "", "relaxed":
+		case "strict":
+			policy = predictor.Strict
+		default:
+			return nil, fmt.Errorf("phase: unknown predictor policy %q (strict or relaxed)", opt)
+		}
+		return NewPredictorConsumer(policy), nil
 	case "cacheresize":
 		return NewCacheResizer(DefaultResizeBound), nil
 	case "dvfs":
@@ -28,7 +43,7 @@ func Stock(name string) (Consumer, error) {
 		return NewRemapConsumer(), nil
 	}
 	return nil, fmt.Errorf("phase: unknown consumer %q (stock consumers: %s)",
-		name, strings.Join(Names(), ", "))
+		base, strings.Join(Names(), ", "))
 }
 
 // ParseChain builds a chain from a comma-separated consumer list like
@@ -44,10 +59,11 @@ func ParseChain(spec string) (*Chain, error) {
 		if name == "" {
 			return nil, fmt.Errorf("phase: empty consumer name in %q", spec)
 		}
-		if seen[name] {
-			return nil, fmt.Errorf("phase: duplicate consumer %q", name)
+		base, _, _ := strings.Cut(name, ":")
+		if seen[base] {
+			return nil, fmt.Errorf("phase: duplicate consumer %q", base)
 		}
-		seen[name] = true
+		seen[base] = true
 		c, err := Stock(name)
 		if err != nil {
 			return nil, err

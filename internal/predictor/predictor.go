@@ -185,6 +185,9 @@ func (p *Predictor) Coverage(totalRun int64) float64 {
 // Predictions returns the number of predictions made.
 func (p *Predictor) Predictions() int64 { return p.predictions }
 
+// Policy returns the prediction discipline this predictor runs under.
+func (p *Predictor) Policy() Policy { return p.policy }
+
 // PhaseLocality returns, for every phase, the locality vectors of all
 // its executions — the input to the Table 4 variance comparison.
 func (p *Predictor) PhaseLocality() map[marker.PhaseID][]cache.Vector {

@@ -1,0 +1,295 @@
+package sequitur
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Compact is a canonical, order-independent digest of a grammar: the
+// exact number of times each terminal — and each adjacent terminal
+// pair — occurs in the grammar's full expansion, computed without
+// expanding. Two Builders that arrive at the same expanded sequence
+// produce the same Compact no matter how their rule IDs were assigned,
+// so Compact is the form grammars are fingerprinted and compared in
+// (the go-sequitur Compact/Importance/Similarity idiom).
+type Compact struct {
+	// Unigrams maps each terminal to its occurrence count in the full
+	// expansion.
+	Unigrams map[int]int64
+	// Digrams maps each adjacent terminal pair (in expansion order) to
+	// its occurrence count in the full expansion.
+	Digrams map[[2]int]int64
+	// Length is the expanded sequence length (the sum of Unigrams).
+	Length int64
+}
+
+// Compact digests the grammar. An empty grammar yields a zero-length
+// Compact with empty (non-nil) maps.
+func (g Grammar) Compact() Compact {
+	c := Compact{
+		Unigrams: make(map[int]int64),
+		Digrams:  make(map[[2]int]int64),
+	}
+	start, ok := g.Rules[0]
+	if !ok || len(start) == 0 {
+		return c
+	}
+
+	// uses[r] is how many times rule r's expansion appears in the full
+	// expansion. Rules form a DAG rooted at 0 (SEQUITUR grammars are
+	// acyclic and every live rule is reachable from the start rule), so
+	// propagate uses in topological order from the root.
+	order := g.topoOrder()
+	uses := map[int]int64{0: 1}
+	for _, id := range order {
+		u := uses[id]
+		for _, s := range g.Rules[id] {
+			if !s.Terminal {
+				uses[s.Value] += u
+			}
+		}
+	}
+
+	// first/last terminal of each rule's expansion, for the digrams
+	// that straddle a rule reference.
+	first := make(map[int]int, len(g.Rules))
+	last := make(map[int]int, len(g.Rules))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		rhs := g.Rules[id]
+		if f := rhs[0]; f.Terminal {
+			first[id] = f.Value
+		} else {
+			first[id] = first[f.Value]
+		}
+		if l := rhs[len(rhs)-1]; l.Terminal {
+			last[id] = l.Value
+		} else {
+			last[id] = last[l.Value]
+		}
+	}
+
+	termOf := func(s Symbol, edge map[int]int) int {
+		if s.Terminal {
+			return s.Value
+		}
+		return edge[s.Value]
+	}
+	for _, id := range order {
+		u := uses[id]
+		rhs := g.Rules[id]
+		for i, s := range rhs {
+			if s.Terminal {
+				c.Unigrams[s.Value] += u
+				c.Length += u
+			}
+			if i > 0 {
+				pair := [2]int{termOf(rhs[i-1], last), termOf(s, first)}
+				c.Digrams[pair] += u
+			}
+		}
+	}
+	return c
+}
+
+// topoOrder returns the rule IDs reachable from the start rule with
+// every rule before the rules it references (parents first).
+func (g Grammar) topoOrder() []int {
+	var order []int
+	state := make(map[int]int, len(g.Rules)) // 0 unseen, 1 visiting, 2 done
+	var visit func(id int)
+	visit = func(id int) {
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		for _, s := range g.Rules[id] {
+			if !s.Terminal {
+				visit(s.Value)
+			}
+		}
+		state[id] = 2
+		order = append(order, id)
+	}
+	visit(0)
+	// Post-order puts children first; reverse for parents-first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Importance returns the terminal's share of the full expansion, in
+// [0, 1]: how much of the sequence this terminal accounts for.
+func (c Compact) Importance(term int) float64 {
+	if c.Length == 0 {
+		return 0
+	}
+	return float64(c.Unigrams[term]) / float64(c.Length)
+}
+
+// Terms returns the number of distinct terminals.
+func (c Compact) Terms() int { return len(c.Unigrams) }
+
+// sortedUnigrams returns the unigram terms ascending.
+func (c Compact) sortedUnigrams() []int {
+	terms := make([]int, 0, len(c.Unigrams))
+	for t := range c.Unigrams {
+		terms = append(terms, t)
+	}
+	sort.Ints(terms)
+	return terms
+}
+
+// sortedDigrams returns the digram pairs in ascending (a, b) order.
+func (c Compact) sortedDigrams() [][2]int {
+	pairs := make([][2]int, 0, len(c.Digrams))
+	for p := range c.Digrams {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// Fingerprint hashes the Compact's canonical serialization (sorted
+// unigrams, sorted digrams, length) to a 64-bit value. Equal expanded
+// sequences always collide; grammars differing in any count never do
+// short of a hash collision.
+func (c Compact) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [binary.MaxVarintLen64]byte
+	num := func(v int64) {
+		h.Write(buf[:binary.PutVarint(buf[:], v)])
+	}
+	num(c.Length)
+	num(int64(len(c.Unigrams)))
+	for _, t := range c.sortedUnigrams() {
+		num(int64(t))
+		num(c.Unigrams[t])
+	}
+	num(int64(len(c.Digrams)))
+	for _, p := range c.sortedDigrams() {
+		num(int64(p[0]))
+		num(int64(p[1]))
+		num(c.Digrams[p])
+	}
+	return h.Sum64()
+}
+
+// Similarity returns the Importance-weighted resemblance of two
+// grammars in [0, 1]: the weighted Jaccard overlap of their normalized
+// unigram distributions averaged with that of their digram
+// distributions (unigrams alone when either side has no digrams).
+// Identical expansions score 1; disjoint alphabets score 0.
+func (c Compact) Similarity(other Compact) float64 {
+	simU, okU := overlap(uniDist(c), uniDist(other), jaccard)
+	simD, okD := overlap(digDist(c), digDist(other), jaccard)
+	switch {
+	case okU && okD:
+		return (simU + simD) / 2
+	case okU:
+		return simU
+	default:
+		return 0
+	}
+}
+
+// Containment returns how much of c's Importance mass the donor
+// grammar covers, in [0, 1]. It is the asymmetric prefix-match score:
+// the early grammar of a session is contained in the full-run grammar
+// of the same program long before the two are symmetric-similar.
+func (c Compact) Containment(donor Compact) float64 {
+	simU, okU := overlap(uniDist(c), uniDist(donor), coverage)
+	simD, okD := overlap(digDist(c), digDist(donor), coverage)
+	switch {
+	case okU && okD:
+		return (simU + simD) / 2
+	case okU:
+		return simU
+	default:
+		return 0
+	}
+}
+
+// uniDist normalizes the unigram counts to a distribution keyed by a
+// canonical int64 (terminals are non-negative, so the key is direct).
+func uniDist(c Compact) map[int64]float64 {
+	if c.Length == 0 {
+		return nil
+	}
+	d := make(map[int64]float64, len(c.Unigrams))
+	for t, n := range c.Unigrams {
+		d[int64(t)] = float64(n) / float64(c.Length)
+	}
+	return d
+}
+
+// digDist normalizes the digram counts to a distribution keyed by the
+// packed pair (terminals fit comfortably in 31 bits each).
+func digDist(c Compact) map[int64]float64 {
+	total := int64(0)
+	for _, n := range c.Digrams {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	d := make(map[int64]float64, len(c.Digrams))
+	for p, n := range c.Digrams {
+		d[int64(p[0])<<32|int64(uint32(p[1]))] = float64(n) / float64(total)
+	}
+	return d
+}
+
+// jaccard is the weighted Jaccard overlap of two distributions.
+func jaccard(a, b map[int64]float64) float64 {
+	minSum, maxSum := 0.0, 0.0
+	for k, av := range a {
+		bv := b[k]
+		if av < bv {
+			minSum += av
+			maxSum += bv
+		} else {
+			minSum += bv
+			maxSum += av
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			maxSum += bv
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return minSum / maxSum
+}
+
+// coverage is the fraction of a's mass present in b (both sides sum to
+// 1, so this is simply the min-sum).
+func coverage(a, b map[int64]float64) float64 {
+	sum := 0.0
+	for k, av := range a {
+		if bv := b[k]; bv < av {
+			sum += bv
+		} else {
+			sum += av
+		}
+	}
+	return sum
+}
+
+// overlap applies a distribution comparison, reporting ok=false when
+// either distribution is empty (nothing to compare).
+func overlap(a, b map[int64]float64, f func(a, b map[int64]float64) float64) (float64, bool) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, false
+	}
+	return f(a, b), true
+}

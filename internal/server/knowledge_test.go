@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpp/internal/knowledge"
+	"lpp/internal/online"
+	"lpp/internal/phase"
+	"lpp/internal/predictor"
+	"lpp/internal/trace"
+	"lpp/internal/workload"
+)
+
+// fftEvents records the fft golden workload as decoded trace events.
+func fftEvents(t *testing.T) []trace.Event {
+	t.Helper()
+	spec, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col collector
+	spec.Make(workload.Params{N: 512, Steps: 6, Seed: 1}).Run(&col)
+	return col.events
+}
+
+// knowledgeServer builds a server wired to a durable knowledge store.
+// The chain uses a Strict-policy predictor: warm starts exist for
+// policies that need repeated observations before predicting (the
+// stock Relaxed predictor predicts off a single length, so its
+// sessions settle as knowledge misses — by design).
+func knowledgeServer(t *testing.T, store *knowledge.Store) *Server {
+	t.Helper()
+	return mustServer(t, Config{
+		Detector:  online.Config{},
+		Knowledge: store,
+		Consumers: func() *phase.Chain {
+			return phase.NewChain(phase.NewPredictorConsumer(predictor.Strict))
+		},
+	})
+}
+
+// TestKnowledgeWarmStartHTTP drives the full server path: a training
+// session contributes its learned phase knowledge on close, a second
+// session streaming the same program warm-starts from the store, and
+// the hit shows up on /metrics and /v1/knowledge.
+func TestKnowledgeWarmStartHTTP(t *testing.T) {
+	events := fftEvents(t)
+	path := filepath.Join(t.TempDir(), "knowledge.lpp")
+	store, err := knowledge.Open(path, nil, knowledge.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := knowledgeServer(t, store)
+	defer s.Close()
+
+	chunked(t, s.Handler(), "train", events, 10000, true)
+	if store.Len() != 1 {
+		t.Fatalf("store entries after training close = %d, want 1", store.Len())
+	}
+	if st := store.Stats(); st.Hits != 0 {
+		t.Fatalf("hits before replay = %d, want 0", st.Hits)
+	}
+
+	chunked(t, s.Handler(), "replay", events, 10000, true)
+	if st := store.Stats(); st.Hits != 1 {
+		t.Fatalf("hits after replay = %d, want 1: %+v", st.Hits, st)
+	}
+
+	mr := do(t, s.Handler(), "GET", "/metrics")
+	for _, want := range []string{"lpp_knowledge_entries 1", "lpp_knowledge_hits_total 1"} {
+		if !strings.Contains(mr.Body.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	kr := do(t, s.Handler(), "GET", "/v1/knowledge")
+	if kr.Code != http.StatusOK {
+		t.Fatalf("GET /v1/knowledge: status %d", kr.Code)
+	}
+	var inv struct {
+		Stats   knowledge.Stats     `json:"stats"`
+		Entries []knowledge.Summary `json:"entries"`
+	}
+	if err := json.Unmarshal(kr.Body.Bytes(), &inv); err != nil {
+		t.Fatalf("knowledge body: %v", err)
+	}
+	if inv.Stats.Entries != 1 || len(inv.Entries) != 1 {
+		t.Fatalf("inventory = %+v", inv)
+	}
+	if inv.Entries[0].Hits != 1 {
+		t.Errorf("entry hits = %d, want 1", inv.Entries[0].Hits)
+	}
+}
+
+// TestKnowledgeStoreKillRecovery pins the durability guarantee: after
+// a simulated crash (Kill: no flush, no goodbye), reopening the store
+// file yields a byte-identical store, and a server restarted on it
+// still warm-starts matching sessions.
+func TestKnowledgeStoreKillRecovery(t *testing.T) {
+	events := fftEvents(t)
+	path := filepath.Join(t.TempDir(), "knowledge.lpp")
+	store, err := knowledge.Open(path, nil, knowledge.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := knowledgeServer(t, store)
+	chunked(t, s1.Handler(), "train", events, 10000, true)
+	want := store.Snapshot()
+	s1.Kill()
+
+	recovered, err := knowledge.Open(path, nil, knowledge.Config{})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	if !bytes.Equal(recovered.Snapshot(), want) {
+		t.Fatalf("recovered store is not byte-identical to the pre-kill snapshot")
+	}
+
+	s2 := knowledgeServer(t, recovered)
+	defer s2.Close()
+	chunked(t, s2.Handler(), "replay", events, 10000, true)
+	if st := recovered.Stats(); st.Hits != 1 {
+		t.Fatalf("hits after restart replay = %d, want 1: %+v", st.Hits, st)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"lpp/internal/durable"
 	"lpp/internal/faultfs"
+	"lpp/internal/knowledge"
 	"lpp/internal/online"
 	"lpp/internal/phase"
 )
@@ -50,6 +51,15 @@ type Config struct {
 	// different consumer composition is quarantined rather than
 	// silently diverging.
 	Consumers func() *phase.Chain
+	// Knowledge, when non-nil, is the cross-session phase knowledge
+	// store. Every session's chain gains a knowledge consumer ahead of
+	// the chain's predictor consumer (if any), so a new session whose
+	// early grammar matches a stored program warm-starts its predictor;
+	// sessions contribute their learned state back on close and
+	// suspend, the store persists after each contribution, and
+	// lpp_knowledge_* counters appear on /metrics alongside the
+	// GET /v1/knowledge inventory endpoint.
+	Knowledge *knowledge.Store
 	// QueueDepth is the number of chunks buffered per session beyond
 	// the one being processed (default 8). A full queue rejects the
 	// chunk with 429.
@@ -156,6 +166,29 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = store
 	}
+	if s.cfg.Knowledge != nil {
+		// Wrap the chain factory so every session leads with a knowledge
+		// consumer targeting the chain's predictor consumer (if any).
+		// Leading matters: the warm start must land before the predictor
+		// consumes the boundary that triggered the match.
+		inner := s.cfg.Consumers
+		store := s.cfg.Knowledge
+		s.cfg.Consumers = func() *phase.Chain {
+			var cons []phase.Consumer
+			if inner != nil {
+				cons = inner().Consumers()
+			}
+			var target *phase.PredictorConsumer
+			for _, c := range cons {
+				if pc, ok := c.(*phase.PredictorConsumer); ok {
+					target = pc
+					break
+				}
+			}
+			kc := knowledge.NewConsumer(store, target)
+			return phase.NewChain(append([]phase.Consumer{kc}, cons...)...)
+		}
+	}
 	if s.cfg.Consumers != nil {
 		// Probe the factory once so the per-consumer metric slots (and
 		// their order) are fixed before any session exists.
@@ -172,6 +205,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/consumers", s.handleConsumers)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.store != nil && s.cfg.IdleTimeout > 0 {
 		s.reapWG.Add(1)
@@ -511,6 +545,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.m.write(w)
+	if s.cfg.Knowledge != nil {
+		st := s.cfg.Knowledge.Stats()
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_entries gauge\n")
+		fmt.Fprintf(w, "lpp_knowledge_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_bytes gauge\n")
+		fmt.Fprintf(w, "lpp_knowledge_bytes %d\n", st.Bytes)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_hits_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_misses_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_lookups_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_lookups_total %d\n", st.Lookups)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_evictions_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_evictions_total %d\n", st.Evictions)
+	}
+}
+
+// handleKnowledge reports the knowledge store's inventory: counters
+// plus one summary per stored program.
+func (s *Server) handleKnowledge(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Knowledge == nil {
+		writeErr(w, http.StatusNotFound, "no knowledge store configured")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Stats   knowledge.Stats     `json:"stats"`
+		Entries []knowledge.Summary `json:"entries"`
+	}{s.cfg.Knowledge.Stats(), s.cfg.Knowledge.Summaries()})
 }
 
 // reap periodically suspends idle sessions: checkpoint to disk, evict

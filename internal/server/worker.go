@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"lpp/internal/durable"
+	"lpp/internal/knowledge"
 	"lpp/internal/online"
 	"lpp/internal/phase"
 	"lpp/internal/trace"
@@ -439,7 +440,9 @@ func (w *worker) close() result {
 		return w.quarantineResult(w.lastSeq)
 	}
 	w.updateStats()
-	return result{status: http.StatusOK, body: w.emit(), seq: w.lastSeq}
+	body := w.emit()
+	w.contributeKnowledge()
+	return result{status: http.StatusOK, body: body, seq: w.lastSeq}
 }
 
 func (w *worker) suspend() result {
@@ -449,7 +452,33 @@ func (w *worker) suspend() result {
 		}
 		w.log.Close()
 	}
+	if !w.quarantined {
+		w.contributeKnowledge()
+	}
 	return result{status: http.StatusNoContent, seq: w.lastSeq}
+}
+
+// contributeKnowledge folds the session's learned phase knowledge into
+// the server's store and persists it. A session with nothing worth
+// donating (too few boundaries, no settled phases) is a no-op.
+func (w *worker) contributeKnowledge() {
+	store := w.s.cfg.Knowledge
+	if store == nil || w.chain == nil {
+		return
+	}
+	for _, cons := range w.chain.Consumers() {
+		kc, ok := cons.(*knowledge.Consumer)
+		if !ok {
+			continue
+		}
+		if entry, ok := kc.Entry(); ok {
+			store.Contribute(entry)
+			if err := store.Persist(); err != nil {
+				w.s.m.walErrors.Add(1)
+			}
+		}
+		return
+	}
 }
 
 func (w *worker) updateStats() {
