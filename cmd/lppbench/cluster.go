@@ -1,0 +1,351 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"time"
+
+	"lpp/internal/server"
+)
+
+// clusterReport is the BENCH_cluster.json schema: the measured cost of
+// a node-death failover on a two-node replicated pair, plus the proof
+// that it lost nothing.
+type clusterReport struct {
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	Events          int     `json:"events"`
+	Chunks          int     `json:"chunks"`
+	ChunkLen        int     `json:"chunk_len"`
+	CheckpointEvery int     `json:"checkpoint_every"`
+	KillChunk       int     `json:"kill_chunk"`
+	Seconds         float64 `json:"seconds"`
+
+	// Replication health on the primary, sampled just before it dies.
+	ReplicaSent         int64   `json:"replica_sent"`
+	ReplicaDropped      int64   `json:"replica_dropped"`
+	ReplicaQueueAtKill  int     `json:"replica_queue_at_kill"`
+	ReplicationLagP50Ms float64 `json:"replication_lag_p50_ms"`
+	ReplicationLagP99Ms float64 `json:"replication_lag_p99_ms"`
+
+	// The failover itself.
+	PromoteMs        float64 `json:"promote_ms"`
+	PromoteRecovered int     `json:"promote_recovered_sessions"`
+	FirstAckMs       float64 `json:"failover_first_ack_ms"`
+	CatchUpMs        float64 `json:"failover_catchup_ms"`
+	ChunksReplayed   int     `json:"chunks_replayed"`
+
+	// EventsLost counts acknowledged events missing from the promoted
+	// node; the bench errors out instead of writing a report unless it
+	// is zero, so a committed BENCH_cluster.json always proves zero.
+	EventsLost int    `json:"events_lost"`
+	Parity     string `json:"parity"`
+	Note       string `json:"note"`
+}
+
+// clusterNote is the caveat carried in every BENCH_cluster.json.
+const clusterNote = "single-CPU runner: both nodes, the client, and the " +
+	"replication stream share one core, so failover and lag numbers are " +
+	"upper bounds dominated by detection cost, not network. Node death is " +
+	"simulated with the in-process Kill() — the SIGKILL equivalent: no " +
+	"drain, no final checkpoint, the standby sees only what replication " +
+	"already delivered. Re-run on a multi-core machine for service-level " +
+	"numbers."
+
+// startNode brings up one in-process lppserve node on a real loopback
+// listener (the replicator dials it over TCP like a remote peer) and
+// returns the server, its base URL, and a shutdown func.
+func startNode(cfg server.Config) (*server.Server, string, func(), error) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		hs.Close()
+		srv.Close()
+	}
+	return srv, "http://" + ln.Addr().String(), stop, nil
+}
+
+// runCluster measures a node-death failover on a two-node pair: a
+// primary replicating checkpoints to a standby is killed mid-ingest
+// (no drain, no flush), the standby is promoted, and the client fails
+// over by switching base URL and replaying its tail past the 409 gap
+// response. The run verifies — against an uninterrupted single-node
+// run of the same stream — that every acknowledged chunk produced a
+// byte-identical response, i.e. zero acknowledged events were lost,
+// then writes BENCH_cluster.json.
+func runCluster(outDir string, perSession, chunkLen int) error {
+	const checkpointEvery = 2
+	events := ingestEvents(42, perSession)
+	chunks, err := encodeChunks(events, chunkLen)
+	if err != nil {
+		return err
+	}
+	if len(chunks) < 3 {
+		return fmt.Errorf("-cluster needs at least 3 chunks (%d events at -chunk %d gave %d); lower -chunk or raise -events",
+			len(events), chunkLen, len(chunks))
+	}
+	// Die at ~60% of the stream — never on the first chunk (so there is
+	// something to replicate) and never on the last (so there is a tail
+	// to fail over with).
+	killChunk := len(chunks) * 3 / 5
+	if killChunk < 1 {
+		killChunk = 1
+	}
+	if killChunk > len(chunks)-2 {
+		killChunk = len(chunks) - 2
+	}
+
+	// Reference: the same stream against one uninterrupted node. The
+	// failover run's acknowledged responses must match these byte for
+	// byte.
+	reference := make([][]byte, len(chunks))
+	var referenceClose []byte
+	{
+		_, base, stop, err := startNode(server.Config{})
+		if err != nil {
+			return err
+		}
+		client := &http.Client{}
+		var rc retryCounts
+		for i, body := range chunks {
+			resp, err := postChunk(client, base+"/v1/sessions/cluster/events", uint64(i+1), body, &rc)
+			if err != nil {
+				stop()
+				return fmt.Errorf("reference chunk %d: %w", i+1, err)
+			}
+			reference[i], err = readOK(resp)
+			if err != nil {
+				stop()
+				return fmt.Errorf("reference chunk %d: %w", i+1, err)
+			}
+		}
+		referenceClose, err = deleteSession(client, base, "cluster")
+		stop()
+		if err != nil {
+			return fmt.Errorf("reference close: %w", err)
+		}
+	}
+
+	dirA, err := os.MkdirTemp("", "lppbench-cluster-a-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirA)
+	dirB, err := os.MkdirTemp("", "lppbench-cluster-b-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirB)
+
+	srvB, baseB, stopB, err := startNode(server.Config{DataDir: dirB, Standby: true})
+	if err != nil {
+		return err
+	}
+	defer stopB()
+	srvA, baseA, stopA, err := startNode(server.Config{
+		DataDir: dirA, CheckpointEvery: checkpointEvery, Peer: baseB,
+	})
+	if err != nil {
+		return err
+	}
+	defer stopA()
+
+	client := &http.Client{}
+	var rc retryCounts
+	acked := make([][]byte, len(chunks))
+	start := time.Now()
+	for i := 0; i < killChunk; i++ {
+		resp, err := postChunk(client, baseA+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], &rc)
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", i+1, err)
+		}
+		acked[i], err = readOK(resp)
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", i+1, err)
+		}
+	}
+
+	// Sample replication health, then the node dies where it stands:
+	// whatever is still queued (or in flight) is lost with it.
+	repStats := srvA.Replicator().Stats()
+	killAt := time.Now()
+	srvA.Kill()
+
+	n, err := srvB.Promote()
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	promoted := time.Now()
+
+	// The client switches base URL and continues with its next sequence
+	// number. The promoted node recovered from the last replicated
+	// checkpoint, so the client may be ahead of it: the 409's
+	// X-Lpp-Want-Seq says where to rewind, and the tail is replayed
+	// under the same sequence numbers (idempotent by protocol).
+	next := killChunk // 0-based index of the next chunk to send
+	var firstAck, caughtUp time.Time
+	resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(next+1), chunks[next], &rc)
+	if err != nil {
+		return fmt.Errorf("first post after failover: %w", err)
+	}
+	replayed := 0
+	if resp.StatusCode == http.StatusConflict {
+		want, perr := strconv.ParseUint(resp.Header.Get("X-Lpp-Want-Seq"), 10, 64)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if perr != nil || want == 0 || want > uint64(next+1) {
+			return fmt.Errorf("409 without usable X-Lpp-Want-Seq %q (next seq %d)",
+				resp.Header.Get("X-Lpp-Want-Seq"), next+1)
+		}
+		next = int(want) - 1
+	} else {
+		body, rerr := readOK(resp)
+		if rerr != nil {
+			return fmt.Errorf("first post after failover: %w", rerr)
+		}
+		// The replicated checkpoint already covered everything the
+		// client had acknowledged: caught up on the first ack.
+		firstAck = time.Now()
+		caughtUp = firstAck
+		acked[next] = body
+		next++
+	}
+	for i := next; i < len(chunks); i++ {
+		resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], &rc)
+		if err != nil {
+			return fmt.Errorf("chunk %d after failover: %w", i+1, err)
+		}
+		body, rerr := readOK(resp)
+		if rerr != nil {
+			return fmt.Errorf("chunk %d after failover: %w", i+1, rerr)
+		}
+		if firstAck.IsZero() {
+			firstAck = time.Now()
+		}
+		if i < killChunk {
+			// The dead primary acknowledged this chunk; the promoted
+			// node must answer it identically or acknowledged events
+			// were lost.
+			replayed++
+			if !bytes.Equal(body, acked[i]) {
+				return fmt.Errorf("chunk %d replayed after failover diverges from the acknowledged response — acknowledged events lost", i+1)
+			}
+		}
+		acked[i] = body
+		// Caught up once every pre-kill acknowledgement is re-acked.
+		if caughtUp.IsZero() && i >= killChunk-1 {
+			caughtUp = time.Now()
+		}
+	}
+	closeBody, err := deleteSession(client, baseB, "cluster")
+	if err != nil {
+		return fmt.Errorf("close after failover: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	// Parity against the uninterrupted run: every response the client
+	// holds — acknowledged by either node — and the close summary must
+	// be byte-identical.
+	for i := range chunks {
+		if !bytes.Equal(acked[i], reference[i]) {
+			return fmt.Errorf("chunk %d diverges from the uninterrupted run — acknowledged events lost", i+1)
+		}
+	}
+	if !bytes.Equal(closeBody, referenceClose) {
+		return fmt.Errorf("close summary diverges from the uninterrupted run")
+	}
+
+	rep := clusterReport{
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		NumCPU:              runtime.NumCPU(),
+		Events:              len(events),
+		Chunks:              len(chunks),
+		ChunkLen:            chunkLen,
+		CheckpointEvery:     checkpointEvery,
+		KillChunk:           killChunk,
+		Seconds:             elapsed.Seconds(),
+		ReplicaSent:         repStats.Sent,
+		ReplicaDropped:      repStats.Dropped,
+		ReplicaQueueAtKill:  repStats.Queue,
+		ReplicationLagP50Ms: repStats.LagP50.Seconds() * 1e3,
+		ReplicationLagP99Ms: repStats.LagP99.Seconds() * 1e3,
+		PromoteMs:           promoted.Sub(killAt).Seconds() * 1e3,
+		PromoteRecovered:    n,
+		FirstAckMs:          firstAck.Sub(killAt).Seconds() * 1e3,
+		CatchUpMs:           caughtUp.Sub(killAt).Seconds() * 1e3,
+		ChunksReplayed:      replayed,
+		EventsLost:          0,
+		Parity:              "byte-identical",
+		Note:                clusterNote,
+	}
+
+	fmt.Printf("cluster: %d events in %d chunks; primary killed after chunk %d of %d\n",
+		rep.Events, rep.Chunks, rep.KillChunk, rep.Chunks)
+	fmt.Printf("replication before death: %d sent, %d dropped, %d queued; lag p50 %.2fms p99 %.2fms\n",
+		rep.ReplicaSent, rep.ReplicaDropped, rep.ReplicaQueueAtKill,
+		rep.ReplicationLagP50Ms, rep.ReplicationLagP99Ms)
+	fmt.Printf("failover: promote %.2fms (%d session(s) recovered), first ack %.2fms, caught up %.2fms; %d chunk(s) replayed\n",
+		rep.PromoteMs, rep.PromoteRecovered, rep.FirstAckMs, rep.CatchUpMs, rep.ChunksReplayed)
+	fmt.Printf("parity: %s vs uninterrupted run; events lost: %d\n", rep.Parity, rep.EventsLost)
+
+	out := "BENCH_cluster.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		out = filepath.Join(outDir, out)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}
+
+// readOK consumes a response, requiring 200, and returns its body.
+func readOK(resp *http.Response) ([]byte, error) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// deleteSession closes a session and returns the final phase-event
+// summary body.
+func deleteSession(client *http.Client, base, id string) ([]byte, error) {
+	req, err := http.NewRequest("DELETE", base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return readOK(resp)
+}

@@ -13,6 +13,7 @@
 //	lppbench -warmstart         # knowledge-store warm-start benchmark, write BENCH_warmstart.json
 //	lppbench -stream t.trace    # replay a trace against lppserve, write BENCH_stream.json
 //	lppbench -sessions 8 -concurrency 8   # concurrent multi-session ingest, write BENCH_ingest.json
+//	lppbench -cluster           # 2-node failover benchmark, write BENCH_cluster.json
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		addr     = flag.String("addr", "", "lppserve address for -stream/-sessions (default: in-process server)")
 		chunkLen = flag.Int("chunk", 16384, "events per chunk for -stream and -sessions")
 		sessions = flag.Int("sessions", 0, "multi-session ingest load mode: number of sessions (writes BENCH_ingest.json)")
+		cluster  = flag.Bool("cluster", false, "2-node replicated pair: kill the primary mid-ingest, promote the standby, verify zero loss (writes BENCH_cluster.json)")
 		conc     = flag.Int("concurrency", 0, "concurrent sessions in flight for -sessions (default: all)")
 		shards   = flag.Int("shards", 0, "session-table shard count for the in-process server (0 = server default)")
 		perSess  = flag.Int("events", 200_000, "events per session for -sessions")
@@ -67,6 +69,13 @@ func main() {
 
 	if *warm {
 		if err := runWarmstartBench(*out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *cluster {
+		if err := runCluster(*out, *perSess, *chunkLen); err != nil {
 			fatal(err)
 		}
 		return

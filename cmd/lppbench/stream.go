@@ -45,8 +45,12 @@ type streamReport struct {
 	Retries429   int            `json:"retries_429"`
 	Retries5xx   int            `json:"retries_5xx"`
 	RetriesConn  int            `json:"retries_conn"`
-	Replayed     int            `json:"replayed"`
-	Note         string         `json:"note"`
+	// RetriesHinted counts the retries that waited a server-provided
+	// Retry-After / X-Lpp-Retry-After-Ms interval instead of blind
+	// exponential backoff.
+	RetriesHinted int    `json:"retries_hinted"`
+	Replayed      int    `json:"replayed"`
+	Note          string `json:"note"`
 }
 
 // streamNote is the caveat carried in every BENCH_stream.json: the
@@ -59,6 +63,7 @@ const streamNote = "single-CPU runner: client and server share one core, so " +
 // retryCounts tallies the transient failures the client rode out.
 type retryCounts struct {
 	r429, r5xx, conn, replayed int
+	hinted                     int
 }
 
 // maxAttempts bounds the retry loop for one chunk; with the capped
@@ -66,11 +71,19 @@ type retryCounts struct {
 const maxAttempts = 60
 
 // postChunk sends one chunk, retrying transient failures — 429
-// backpressure, 5xx, and connection errors — with exponential backoff
-// and jitter, resending the same body under the same sequence number
-// each time. The sequence number makes retries idempotent: a chunk the
-// server already applied is answered from its response cache instead
-// of being double-fed into the detector.
+// backpressure, 5xx, and connection errors — resending the same body
+// under the same sequence number each time. The sequence number makes
+// retries idempotent: a chunk the server already applied is answered
+// from its response cache instead of being double-fed into the
+// detector.
+//
+// On 429 the server says how long to wait — X-Lpp-Retry-After-Ms (a
+// hint sized to its queue depth and recent chunk latency) or the
+// standard Retry-After in seconds — and the client honors that instead
+// of guessing. A hinted wait does not grow the exponential backoff:
+// the server already paced us, so the next failure shouldn't be
+// punished for it. Blind backoff with jitter remains the fallback for
+// hint-less failures.
 func postChunk(client *http.Client, url string, seq uint64, body []byte, rc *retryCounts) (*http.Response, error) {
 	backoff := 5 * time.Millisecond
 	const maxBackoff = 500 * time.Millisecond
@@ -83,12 +96,14 @@ func postChunk(client *http.Client, url string, seq uint64, body []byte, rc *ret
 		req.Header.Set("Content-Type", "application/x-lpp-trace")
 		req.Header.Set("X-Lpp-Seq", strconv.FormatUint(seq, 10))
 		resp, err := client.Do(req)
+		var hint time.Duration
 		switch {
 		case err != nil:
 			rc.conn++
 			lastErr = err
 		case resp.StatusCode == http.StatusTooManyRequests:
 			rc.r429++
+			hint = retryAfter(resp.Header)
 			lastErr = fmt.Errorf("server answered %s", resp.Status)
 		case resp.StatusCode >= 500:
 			rc.r5xx++
@@ -103,12 +118,42 @@ func postChunk(client *http.Client, url string, seq uint64, body []byte, rc *ret
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}
+		if hint > 0 {
+			rc.hinted++
+			time.Sleep(hint)
+			continue
+		}
 		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
 		}
 	}
 	return nil, fmt.Errorf("seq %d: gave up after %d attempts: %w", seq, maxAttempts, lastErr)
+}
+
+// retryAfter extracts the server's wait hint from a 429 response:
+// X-Lpp-Retry-After-Ms first (millisecond resolution), then the
+// standard Retry-After delay-seconds form. Zero means no usable hint.
+// Hints are clamped to 5s so a confused server can't stall the bench.
+func retryAfter(h http.Header) time.Duration {
+	const maxHint = 5 * time.Second
+	if v := h.Get("X-Lpp-Retry-After-Ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < maxHint {
+				return d
+			}
+			return maxHint
+		}
+	}
+	if v := h.Get("Retry-After"); v != "" {
+		if sec, err := strconv.ParseInt(v, 10, 64); err == nil && sec > 0 {
+			if d := time.Duration(sec) * time.Second; d < maxHint {
+				return d
+			}
+			return maxHint
+		}
+	}
+	return 0
 }
 
 // runStream replays a recorded trace file against an lppserve instance
@@ -204,34 +249,35 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		return lats[int(q*float64(len(lats)-1))].Seconds() * 1e3
 	}
 	rep := streamReport{
-		Trace:        path,
-		Addr:         addr,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		NumCPU:       runtime.NumCPU(),
-		Events:       len(events),
-		Chunks:       len(lats),
-		ChunkLen:     chunkLen,
-		Seconds:      elapsed.Seconds(),
-		EventsPerSec: float64(len(events)) / elapsed.Seconds(),
-		LatencyP50Ms: pct(0.50),
-		LatencyP90Ms: pct(0.90),
-		LatencyP99Ms: pct(0.99),
-		EventKinds:   kinds,
-		Boundaries:   kinds["boundary"],
-		Predictions:  kinds["prediction"],
-		Retries429:   rc.r429,
-		Retries5xx:   rc.r5xx,
-		RetriesConn:  rc.conn,
-		Replayed:     rc.replayed,
-		Note:         streamNote,
+		Trace:         path,
+		Addr:          addr,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Events:        len(events),
+		Chunks:        len(lats),
+		ChunkLen:      chunkLen,
+		Seconds:       elapsed.Seconds(),
+		EventsPerSec:  float64(len(events)) / elapsed.Seconds(),
+		LatencyP50Ms:  pct(0.50),
+		LatencyP90Ms:  pct(0.90),
+		LatencyP99Ms:  pct(0.99),
+		EventKinds:    kinds,
+		Boundaries:    kinds["boundary"],
+		Predictions:   kinds["prediction"],
+		Retries429:    rc.r429,
+		Retries5xx:    rc.r5xx,
+		RetriesConn:   rc.conn,
+		RetriesHinted: rc.hinted,
+		Replayed:      rc.replayed,
+		Note:          streamNote,
 	}
 
 	fmt.Printf("streamed %d events in %d chunks to %s in %v\n",
 		rep.Events, rep.Chunks, rep.Addr, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput %.0f events/s; chunk latency p50 %.2fms p90 %.2fms p99 %.2fms\n",
 		rep.EventsPerSec, rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms)
-	fmt.Printf("phase events: %s; retries: %d on 429, %d on 5xx, %d on connection errors; %d chunks replayed\n",
-		formatKinds(kinds), rep.Retries429, rep.Retries5xx, rep.RetriesConn, rep.Replayed)
+	fmt.Printf("phase events: %s; retries: %d on 429 (%d server-paced), %d on 5xx, %d on connection errors; %d chunks replayed\n",
+		formatKinds(kinds), rep.Retries429, rep.RetriesHinted, rep.Retries5xx, rep.RetriesConn, rep.Replayed)
 
 	out := "BENCH_stream.json"
 	if outDir != "" {

@@ -28,18 +28,30 @@
 // every closing session contributes its learned phase behavior back.
 // The store survives restarts (and crashes) byte-identically.
 //
+// With -peer, every session checkpoint (and knowledge snapshot)
+// streams asynchronously to a second lppserve started with -standby;
+// if this node dies, promote the standby (SIGUSR1 or
+// POST /v1/replica/promote) and point clients at it — their
+// seq-numbered retry loop replays the tail past the last replicated
+// checkpoint, losing zero acknowledged events. GET /readyz
+// distinguishes a serving node (200) from one that is a standby,
+// recovering, or draining (503); /healthz stays a pure liveness probe.
+//
 // Usage:
 //
 //	lppserve [-addr :8080] [-queue 8] [-shards 16] [-max-sessions 256]
 //	         [-max-chunk 8388608] [-data DIR] [-sync] [-checkpoint-every 64]
 //	         [-idle-timeout 0] [-drain 10s] [-consumers predictor:strict,cacheresize]
 //	         [-knowledge FILE] [-knowledge-cap 1024] [-knowledge-threshold 0.70]
+//	         [-peer URL] [-replica-queue 64] [-standby] [-promote]
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -82,12 +94,20 @@ func run(args []string, ready chan<- string) error {
 		knowledgePath      = fs.String("knowledge", "", "cross-session knowledge store file; sessions warm-start from it and contribute back on close (empty = disabled)")
 		knowledgeCap       = fs.Int("knowledge-cap", 0, "max stored programs before LRU/score eviction (0 = default 1024)")
 		knowledgeThreshold = fs.Float64("knowledge-threshold", 0, "minimum match score for a warm start (0 = default 0.70)")
+
+		peer         = fs.String("peer", "", "base URL of a standby replica to stream checkpoints to (needs -data)")
+		replicaQueue = fs.Int("replica-queue", 0, "replication queue depth; overflow drops oldest and resyncs (0 = default 64)")
+		standby      = fs.Bool("standby", false, "start as a replication target: refuse ingest until promoted (needs -data)")
+		promote      = fs.Bool("promote", false, "promote the standby already running at -addr, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *promote {
+		return promoteRunning(*addr)
 	}
 	// Validate the consumer spec at startup, not at first session.
 	var consumerFactory func() *phase.Chain
@@ -133,11 +153,16 @@ func run(args []string, ready chan<- string) error {
 		SyncWrites:      *syncWrites,
 		CheckpointEvery: *ckptEvery,
 		IdleTimeout:     *idleTimeout,
+		Peer:            *peer,
+		ReplicaQueue:    *replicaQueue,
+		Standby:         *standby,
 	})
 	if err != nil {
 		return err
 	}
-	if *dataDir != "" {
+	if *standby {
+		log.Printf("standby: accepting replication only; promote with SIGUSR1 or POST /v1/replica/promote")
+	} else if *dataDir != "" {
 		n, err := srv.RecoverSessions()
 		if err != nil {
 			return fmt.Errorf("recover sessions: %w", err)
@@ -145,6 +170,9 @@ func run(args []string, ready chan<- string) error {
 		if n > 0 {
 			log.Printf("recovered %d session(s) from %s", n, *dataDir)
 		}
+	}
+	if *peer != "" && !*standby {
+		log.Printf("replicating checkpoints to %s", *peer)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -155,6 +183,11 @@ func run(args []string, ready chan<- string) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
+	// SIGUSR1 promotes a standby in place (node-death failover without
+	// an HTTP round trip).
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Printf("lppserve listening on %s", ln.Addr())
@@ -162,12 +195,22 @@ func run(args []string, ready chan<- string) error {
 		ready <- ln.Addr().String()
 	}
 
-	select {
-	case sig := <-stop:
-		log.Printf("%v: draining (deadline %v)", sig, *drain)
-	case err := <-errc:
-		srv.Close()
-		return err
+	running := true
+	for running {
+		select {
+		case sig := <-stop:
+			log.Printf("%v: draining (deadline %v)", sig, *drain)
+			running = false
+		case <-usr1:
+			if n, err := srv.Promote(); err != nil {
+				log.Printf("SIGUSR1 promote: %v", err)
+			} else {
+				log.Printf("promoted: %d session(s) recovered; now serving as primary", n)
+			}
+		case err := <-errc:
+			srv.Close()
+			return err
+		}
 	}
 	// Stop accepting and finish in-flight requests, then checkpoint
 	// every session. Past the deadline we exit anyway: the WAL already
@@ -186,5 +229,27 @@ func run(args []string, ready chan<- string) error {
 	case <-ctx.Done():
 		log.Print("drain deadline exceeded; exiting on WAL durability alone")
 	}
+	return nil
+}
+
+// promoteRunning asks the standby listening at addr to promote itself,
+// for operators (or scripts) without signal access to the process.
+func promoteRunning(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("-promote needs -addr")
+	}
+	if addr[0] == ':' {
+		addr = "localhost" + addr
+	}
+	resp, err := http.Post("http://"+addr+"/v1/replica/promote", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	log.Printf("promoted standby at %s: %s", addr, bytes.TrimSpace(body))
 	return nil
 }

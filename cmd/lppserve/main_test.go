@@ -117,3 +117,145 @@ func TestSigtermDrainLeavesSessionsRecoverable(t *testing.T) {
 	}
 	sigterm(errc)
 }
+
+// serveArgs starts run() in-process with the given extra args and
+// returns the bound address and exit channel.
+func serveArgs(t *testing.T, extra ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { errc <- run(args, ready) }()
+	select {
+	case addr := <-ready:
+		return addr, errc
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return "", nil
+}
+
+func getStatus(t *testing.T, addr, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// TestStandbyPairFailover drives the full two-node story in-process:
+// a primary replicating to a -standby peer, SIGUSR1 promoting the
+// standby, and the client resuming against it with no acknowledged
+// chunk lost.
+func TestStandbyPairFailover(t *testing.T) {
+	addrB, errcB := serveArgs(t, "-data", t.TempDir(), "-standby")
+	addrA, errcA := serveArgs(t, "-data", t.TempDir(),
+		"-peer", "http://"+addrB, "-checkpoint-every", "2")
+
+	// Role signals before failover.
+	if resp, body := getStatus(t, addrB, "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby readyz: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := getStatus(t, addrA, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("primary readyz: %d", resp.StatusCode)
+	}
+	// Standby refuses ingest.
+	if resp := postChunk(t, addrB, "ha", 1, binaryChunk(t, 1, 512)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest on standby: status %d", resp.StatusCode)
+	}
+
+	for seq := uint64(1); seq <= 4; seq++ {
+		if resp := postChunk(t, addrA, "ha", seq, binaryChunk(t, int(seq), 4096)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d: status %d", seq, resp.StatusCode)
+		}
+	}
+	// Replication is async: poll the standby's inventory until the
+	// seq-4 checkpoint lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := getStatus(t, addrB, "/v1/replica/status")
+		var st struct {
+			Role     string            `json:"role"`
+			Sessions map[string]uint64 `json:"sessions"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("replica status: %v: %s", err, body)
+		}
+		if st.Sessions["ha"] == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoint never replicated: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Node death + failover: promote the standby with SIGUSR1. (The
+	// signal reaches every in-process instance; the primary logs a
+	// "not a standby" refusal and carries on, which is itself part of
+	// the contract.)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if resp, _ := getStatus(t, addrB, "/readyz"); resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("standby never became ready after SIGUSR1")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The promoted node holds the session at its last checkpoint; the
+	// client continues there (a real client would ride X-Lpp-Want-Seq —
+	// here the checkpoint covered seq 4, so seq 5 applies directly).
+	resp, body := getStatus(t, addrB, "/v1/sessions/ha/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats on promoted node: %d %s", resp.StatusCode, body)
+	}
+	var stats map[string]int64
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["seq"] != 4 {
+		t.Fatalf("promoted node at seq %d, want 4", stats["seq"])
+	}
+	if resp := postChunk(t, addrB, "ha", 5, binaryChunk(t, 5, 4096)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seq 5 after failover: status %d", resp.StatusCode)
+	}
+
+	// The -promote flag drives the same transition over HTTP: it must
+	// refuse an already-promoted node and succeed against a standby.
+	if err := run([]string{"-promote", "-addr", addrB}, nil); err == nil {
+		t.Fatal("-promote against a promoted node must fail")
+	}
+	addrC, errcC := serveArgs(t, "-data", t.TempDir(), "-standby")
+	if err := run([]string{"-promote", "-addr", addrC}, nil); err != nil {
+		t.Fatalf("-promote against a standby: %v", err)
+	}
+	if resp, _ := getStatus(t, addrC, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatal("standby not ready after -promote")
+	}
+
+	// One SIGTERM drains all three instances cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, errc := range map[string]chan error{"primary": errcA, "standby": errcB, "second standby": errcC} {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("%s drain returned error: %v", name, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not drain", name)
+		}
+	}
+}

@@ -341,17 +341,51 @@ func appendEvents(dst []byte, events []trace.Event) []byte {
 	return sink.buf
 }
 
-// Checkpoint atomically replaces the snapshot and resets the WAL. The
-// snapshot is renamed into place before the WAL is reset, so a crash
-// between the two leaves stale WAL records that recovery skips by
-// sequence number.
-func (l *Log) Checkpoint(seq uint64, snapshot, response []byte) error {
+// EncodeCheckpoint renders a checkpoint image — the LPPCKPT1-framed,
+// CRC-sealed bytes written to snapshot.bin. The same encoding doubles
+// as the peer-replication wire format: a replica validates the frame
+// and writes it through Checkpoint on its own store.
+func EncodeCheckpoint(seq uint64, snapshot, response []byte) []byte {
 	body := append([]byte(ckptMagic), binary.AppendUvarint(nil, seq)...)
 	body = binary.AppendUvarint(body, uint64(len(snapshot)))
 	body = append(body, snapshot...)
 	body = binary.AppendUvarint(body, uint64(len(response)))
 	body = append(body, response...)
-	body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+// DecodeCheckpoint validates and splits a checkpoint image produced by
+// EncodeCheckpoint. Corruption is reported wrapping ErrCorrupt; the
+// returned slices alias data.
+func DecodeCheckpoint(data []byte) (seq uint64, snapshot, response []byte, err error) {
+	var st State
+	if err := parseCheckpoint(data, &st); err != nil {
+		return 0, nil, nil, err
+	}
+	return st.Seq, st.Snapshot, st.Response, nil
+}
+
+// ReadCheckpoint reads the session's current checkpoint without
+// touching the WAL: the latest state image a peer replica needs during
+// a full resync. A session with no checkpoint returns seq 0 and nil
+// slices with no error; corruption is reported.
+func (l *Log) ReadCheckpoint() (seq uint64, snapshot, response []byte, err error) {
+	data, err := l.fs.ReadFile(filepath.Join(l.dir, ckptName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, nil, nil
+	}
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("durable: read checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}
+
+// Checkpoint atomically replaces the snapshot and resets the WAL. The
+// snapshot is renamed into place before the WAL is reset, so a crash
+// between the two leaves stale WAL records that recovery skips by
+// sequence number.
+func (l *Log) Checkpoint(seq uint64, snapshot, response []byte) error {
+	body := EncodeCheckpoint(seq, snapshot, response)
 	if err := l.writeAtomic(ckptName, body); err != nil {
 		return fmt.Errorf("durable: checkpoint: %w", err)
 	}

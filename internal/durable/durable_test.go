@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -270,5 +271,53 @@ func TestInjectedWriteErrors(t *testing.T) {
 	}
 	if got.LastSeq() != 2 {
 		t.Fatalf("last seq %d after fault recovery, want 2", got.LastSeq())
+	}
+}
+
+func TestCheckpointCodecRoundtrip(t *testing.T) {
+	seq, snap, resp := uint64(42), []byte("LPPBUS1 framed image"), []byte(`{"kind":"boundary"}`+"\n")
+	img := EncodeCheckpoint(seq, snap, resp)
+	gotSeq, gotSnap, gotResp, err := DecodeCheckpoint(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != seq || !bytes.Equal(gotSnap, snap) || !bytes.Equal(gotResp, resp) {
+		t.Fatalf("decode = (%d, %q, %q), want (%d, %q, %q)", gotSeq, gotSnap, gotResp, seq, snap, resp)
+	}
+	// A flipped bit anywhere must be caught by the CRC.
+	img[len(img)/2] ^= 0x10
+	if _, _, _, err := DecodeCheckpoint(img); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted image: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadCheckpoint(t *testing.T) {
+	st, err := Open(t.TempDir(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := st.Session("s")
+	// No checkpoint yet: seq 0, no error.
+	if seq, snap, _, err := l.ReadCheckpoint(); err != nil || seq != 0 || snap != nil {
+		t.Fatalf("empty session: (%d, %v, %v)", seq, snap, err)
+	}
+	if err := l.Append(Entry{Seq: 1, Events: testEvents(1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(1, []byte("image"), []byte("resp")); err != nil {
+		t.Fatal(err)
+	}
+	seq, snap, resp, err := l.ReadCheckpoint()
+	if err != nil || seq != 1 || string(snap) != "image" || string(resp) != "resp" {
+		t.Fatalf("ReadCheckpoint = (%d, %q, %q, %v)", seq, snap, resp, err)
+	}
+	// ReadCheckpoint must not disturb the WAL suffix.
+	if err := l.Append(Entry{Seq: 2, Events: testEvents(2, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, err := st.Session("s").Load()
+	if err != nil || got.Seq != 1 || got.LastSeq() != 2 {
+		t.Fatalf("Load after ReadCheckpoint: seq %d last %d err %v", got.Seq, got.LastSeq(), err)
 	}
 }

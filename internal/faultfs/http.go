@@ -1,0 +1,150 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPFault is one scripted failure for an HTTPTransport. Fields
+// compose in the order they are applied: Latency first, then Err, then
+// Status, then TruncateBody. The zero value passes the request through
+// untouched.
+type HTTPFault struct {
+	// Latency delays the request before anything else happens. A
+	// request whose context expires during the delay fails with the
+	// context's error, modeling a peer that is up but slow.
+	Latency time.Duration
+	// Err fails the request outright without reaching the inner
+	// transport, modeling a refused connection or a mid-flight reset.
+	Err error
+	// Status short-circuits the request with a synthesized empty-body
+	// response of this status, modeling a peer that answers but is
+	// unhealthy (500) or overloaded (429/503).
+	Status int
+	// TruncateBody lets the real request through but cuts the response
+	// body after this many bytes and fails the read, modeling a
+	// connection dropped mid-response. 0 means no truncation.
+	TruncateBody int
+}
+
+// HTTPTransport is an http.RoundTripper that injects scripted faults
+// into a request stream — the HTTP counterpart of Injector. Arm it with
+// Script: each request consumes the next fault in order; once the
+// script is exhausted (or without one), requests pass straight through
+// to the inner transport. Safe for concurrent use.
+type HTTPTransport struct {
+	inner http.RoundTripper
+
+	mu       sync.Mutex
+	script   []HTTPFault
+	requests int
+}
+
+// NewHTTPTransport wraps inner (nil means http.DefaultTransport).
+func NewHTTPTransport(inner http.RoundTripper) *HTTPTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &HTTPTransport{inner: inner}
+}
+
+// Script arms the transport: request i consumes faults[i]. It replaces
+// any unconsumed script. Passing nothing disarms.
+func (t *HTTPTransport) Script(faults ...HTTPFault) {
+	t.mu.Lock()
+	t.script = append([]HTTPFault(nil), faults...)
+	t.mu.Unlock()
+}
+
+// Repeat arms the transport with n copies of f — shorthand for an
+// outage that spans several requests.
+func (t *HTTPTransport) Repeat(n int, f HTTPFault) {
+	faults := make([]HTTPFault, n)
+	for i := range faults {
+		faults[i] = f
+	}
+	t.Script(faults...)
+}
+
+// Requests returns the number of requests observed.
+func (t *HTTPTransport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests
+}
+
+// next consumes the head of the script.
+func (t *HTTPTransport) next() HTTPFault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.requests++
+	if len(t.script) == 0 {
+		return HTTPFault{}
+	}
+	f := t.script[0]
+	t.script = t.script[1:]
+	return f
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *HTTPTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.next()
+	if f.Latency > 0 {
+		timer := time.NewTimer(f.Latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if f.Err != nil {
+		return nil, f.Err
+	}
+	if f.Status != 0 {
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			StatusCode: f.Status,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader("")),
+			Request:    req,
+		}, nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err == nil && f.TruncateBody > 0 && resp.Body != nil {
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: f.TruncateBody}
+		resp.ContentLength = -1
+	}
+	return resp, err
+}
+
+// truncatedBody delivers the first remaining bytes, then fails the
+// read the way a torn connection does.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == nil && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }

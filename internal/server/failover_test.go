@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lpp/internal/knowledge"
+	"lpp/internal/online"
+	"lpp/internal/phase"
+	"lpp/internal/predictor"
+	"lpp/internal/replica"
+	"lpp/internal/workload"
+)
+
+// standbyServer starts a standby replica on a real listener (the
+// primary's replicator dials it over TCP) and returns it with its base
+// URL.
+func standbyServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.Standby = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, "http://" + ln.Addr().String()
+}
+
+// flushReplication drains the primary's replication queue and fails
+// the test if the peer is unreachable.
+func flushReplication(t *testing.T, s *Server) {
+	t.Helper()
+	rep := s.Replicator()
+	if rep == nil {
+		t.Fatal("no replicator configured")
+	}
+	if !rep.Flush(10 * time.Second) {
+		t.Fatalf("replication did not drain: %+v", rep.Stats())
+	}
+}
+
+// TestFailoverChaosParityWorkloads is the headline robustness check:
+// for each of the nine paper workloads, a primary streams chunks to a
+// live standby, dies without warning at a random chunk boundary, the
+// standby is promoted, and the client replays its tail (riding the 409
+// gap responses via X-Lpp-Want-Seq). Every re-sent chunk must produce
+// a byte-identical response to the one the dead primary acknowledged —
+// zero acknowledged events lost — and the post-failover session state
+// (detector, consumer chain, predictor) must match an uninterrupted
+// run exactly.
+func TestFailoverChaosParityWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine-workload failover sweep is seconds-long; skipped in -short")
+	}
+	cases := []struct {
+		name          string
+		params        workload.Params
+		keepIrregular bool
+	}{
+		{"fft", workload.Params{N: 512, Steps: 6, Seed: 1}, false},
+		{"applu", workload.Params{N: 14, Steps: 5, Seed: 1}, false},
+		{"compress", workload.Params{N: 8192, Steps: 5, Seed: 1}, false},
+		{"gcc", workload.Params{N: 60, Steps: 20, Seed: 1}, true},
+		{"tomcatv", workload.Params{N: 48, Steps: 6, Seed: 1}, false},
+		{"swim", workload.Params{N: 48, Steps: 6, Seed: 1}, false},
+		{"vortex", workload.Params{N: 1 << 12, Steps: 6, Seed: 1}, true},
+		{"mesh", workload.Params{N: 2048, Steps: 6, Seed: 1}, false},
+		{"moldyn", workload.Params{N: 200, Steps: 6, Seed: 1}, false},
+	}
+	// Fixed seed: the kill point is arbitrary but the run reproducible.
+	rng := rand.New(rand.NewSource(20260808))
+	const failConsumers = "predictor,cacheresize"
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := workload.ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var col collector
+			spec.Make(c.params).Run(&col)
+			dcfg := online.Config{KeepIrregular: c.keepIrregular}
+			want := expectedCfg(dcfg, col.events)
+			if len(want) == 0 {
+				t.Fatalf("%s produced no phase events", c.name)
+			}
+			wantConsumers := referenceConsumers(t, failConsumers,
+				expectedPreFlush(dcfg, col.events))
+			bounds := chunkBounds(len(col.events), 10)
+			killChunk := 1 + rng.Intn(len(bounds)-2) // never first or last
+
+			consumers := func() *phase.Chain {
+				ch, err := phase.ParseChain(failConsumers)
+				if err != nil {
+					panic(err)
+				}
+				return ch
+			}
+			sB, peerURL := standbyServer(t, Config{
+				Detector: dcfg, DataDir: t.TempDir(), CheckpointEvery: 3,
+				Consumers: consumers,
+			})
+			s1 := mustServer(t, Config{
+				Detector: dcfg, DataDir: t.TempDir(), CheckpointEvery: 3,
+				Consumers: consumers, Peer: peerURL,
+			})
+
+			// The client's view: every acknowledged chunk's response.
+			acked := make([][]byte, len(bounds))
+			for i := 0; i <= killChunk; i++ {
+				rr := postSeq(t, s1.Handler(), "fo", uint64(i+1), col.events[bounds[i][0]:bounds[i][1]])
+				if rr.Code != http.StatusOK {
+					t.Fatalf("chunk %d: status %d: %s", i, rr.Code, rr.Body.String())
+				}
+				acked[i] = append([]byte(nil), rr.Body.Bytes()...)
+			}
+			// Let replication catch up, then the node dies where it
+			// stands: nothing else is flushed.
+			flushReplication(t, s1)
+			s1.Kill()
+
+			// Failover: promote the standby; its durable state is
+			// whatever the replication stream delivered.
+			if _, err := sB.Promote(); err != nil {
+				t.Fatalf("promote: %v", err)
+			}
+
+			// The client switches base URL and continues with its next
+			// sequence number. The promoted node recovered from the last
+			// replicated checkpoint, so the client may be ahead: ride the
+			// 409, rewind to X-Lpp-Want-Seq, replay the tail.
+			h2 := sB.Handler()
+			next := killChunk + 1
+			rr := postSeq(t, h2, "fo", uint64(next+1), col.events[bounds[next][0]:bounds[next][1]])
+			switch rr.Code {
+			case http.StatusOK:
+				acked[next] = append([]byte(nil), rr.Body.Bytes()...)
+				next++
+			case http.StatusConflict:
+				wantSeq, err := strconv.ParseUint(rr.Header().Get("X-Lpp-Want-Seq"), 10, 64)
+				if err != nil || wantSeq == 0 || wantSeq > uint64(next+1) {
+					t.Fatalf("409 without usable X-Lpp-Want-Seq %q (next %d)",
+						rr.Header().Get("X-Lpp-Want-Seq"), next)
+				}
+				next = int(wantSeq) - 1
+			default:
+				t.Fatalf("first post after failover: status %d: %s", rr.Code, rr.Body.String())
+			}
+			for i := next; i < len(bounds); i++ {
+				rr := postSeq(t, h2, "fo", uint64(i+1), col.events[bounds[i][0]:bounds[i][1]])
+				if rr.Code != http.StatusOK {
+					t.Fatalf("chunk %d after failover: status %d: %s", i, rr.Code, rr.Body.String())
+				}
+				if i <= killChunk && !bytes.Equal(rr.Body.Bytes(), acked[i]) {
+					// The dead primary acknowledged this chunk; the
+					// promoted replica must answer it identically or
+					// events were lost.
+					t.Fatalf("chunk %d replayed after failover diverges from the acknowledged response", i)
+				}
+				acked[i] = append([]byte(nil), rr.Body.Bytes()...)
+			}
+
+			// Post-failover consumer chain state must be byte-identical
+			// to an uninterrupted run's.
+			ci := do(t, h2, "GET", "/v1/sessions/fo/consumers")
+			if ci.Code != http.StatusOK {
+				t.Fatalf("consumers: status %d: %s", ci.Code, ci.Body.String())
+			}
+			var gotConsumers []consumerProbe
+			if err := json.Unmarshal(ci.Body.Bytes(), &gotConsumers); err != nil {
+				t.Fatalf("consumers body: %v", err)
+			}
+			if !reflect.DeepEqual(gotConsumers, wantConsumers) {
+				t.Errorf("post-failover consumer state diverges:\n got %+v\nwant %+v",
+					gotConsumers, wantConsumers)
+			}
+
+			var got []phaseWire
+			for _, body := range acked {
+				got = append(got, decodeResponse(t, body)...)
+			}
+			rr = do(t, h2, "DELETE", "/v1/sessions/fo")
+			if rr.Code != http.StatusOK {
+				t.Fatalf("delete: status %d: %s", rr.Code, rr.Body.String())
+			}
+			got = append(got, decodeResponse(t, rr.Body.Bytes())...)
+			assertMatches(t, got, want)
+		})
+	}
+}
+
+// TestReplicaKnowledgeFailover: knowledge contributed on the primary
+// (session close) replicates to the standby's store byte-identically,
+// and survives promotion.
+func TestReplicaKnowledgeFailover(t *testing.T) {
+	events := fftEvents(t)
+	consumers := func() *phase.Chain {
+		return phase.NewChain(phase.NewPredictorConsumer(predictor.Strict))
+	}
+	storeB, err := knowledge.Open(filepath.Join(t.TempDir(), "knowledge.lpp"), nil, knowledge.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, peerURL := standbyServer(t, Config{
+		DataDir: t.TempDir(), Knowledge: storeB, Consumers: consumers,
+	})
+	storeA, err := knowledge.Open(filepath.Join(t.TempDir(), "knowledge.lpp"), nil, knowledge.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustServer(t, Config{
+		DataDir: t.TempDir(), Knowledge: storeA, Consumers: consumers, Peer: peerURL,
+	})
+	defer s1.Close()
+
+	// Training session: the close contributes to the store, which
+	// enqueues a knowledge snapshot for the peer.
+	chunked(t, s1.Handler(), "train", events, 10000, true)
+	if storeA.Len() != 1 {
+		t.Fatalf("primary store entries = %d, want 1", storeA.Len())
+	}
+	flushReplication(t, s1)
+	if !bytes.Equal(storeA.Snapshot(), storeB.Snapshot()) {
+		t.Fatal("standby knowledge snapshot differs from the primary's")
+	}
+	// After promotion the replicated knowledge warm-starts sessions on
+	// the new primary.
+	if _, err := sB.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	chunked(t, sB.Handler(), "replay", events, 10000, true)
+	if st := storeB.Stats(); st.Hits != 1 {
+		t.Fatalf("warm-start hits on promoted node = %d, want 1: %+v", st.Hits, st)
+	}
+}
+
+// TestQuarantinedSessionCheckpointReplicates: a session that panics
+// keeps answering a stable "quarantined" error, and the last good
+// checkpoint it took before the panic is still on the peer — promotion
+// recovers the session at that point.
+func TestQuarantinedSessionCheckpointReplicates(t *testing.T) {
+	events := syntheticEvents(21, 6, 6)
+	bounds := chunkBounds(len(events), 6)
+	sB, peerURL := standbyServer(t, Config{DataDir: t.TempDir(), CheckpointEvery: 3})
+	s1 := mustServer(t, Config{DataDir: t.TempDir(), CheckpointEvery: 3, Peer: peerURL})
+	defer s1.Close()
+	h := s1.Handler()
+
+	// Three clean chunks: a checkpoint at seq 3 heads to the peer.
+	for i := 0; i < 3; i++ {
+		if rr := postSeq(t, h, "q", uint64(i+1), events[bounds[i][0]:bounds[i][1]]); rr.Code != http.StatusOK {
+			t.Fatalf("chunk %d: status %d", i, rr.Code)
+		}
+	}
+	flushReplication(t, s1)
+
+	// The fourth chunk panics the detector: quarantine.
+	s1.testChunkHook = func() { panic("detector bug") }
+	if rr := postSeq(t, h, "q", 4, events[bounds[3][0]:bounds[3][1]]); rr.Code != http.StatusInternalServerError ||
+		!strings.Contains(rr.Body.String(), "quarantined") {
+		t.Fatalf("panicking chunk: status %d body %s", rr.Code, rr.Body.String())
+	}
+	s1.testChunkHook = nil
+	// Ingest after quarantine returns the same stable error, and never
+	// advances the replicated state.
+	for i := 0; i < 2; i++ {
+		if rr := postSeq(t, h, "q", 4, events[bounds[3][0]:bounds[3][1]]); rr.Code != http.StatusInternalServerError ||
+			!strings.Contains(rr.Body.String(), "quarantined") {
+			t.Fatalf("ingest after quarantine: status %d body %s", rr.Code, rr.Body.String())
+		}
+	}
+
+	// The peer still holds the seq-3 checkpoint (the panic never
+	// poisoned it), and promotion recovers the session there.
+	st := replicaStatus(t, sB)
+	if st.Sessions["q"] != 3 {
+		t.Fatalf("peer holds seq %d for quarantined session, want 3", st.Sessions["q"])
+	}
+	s1.Kill()
+	if _, err := sB.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	// The promoted copy is healthy at seq 3: chunk 4 (the one that
+	// killed the primary's copy) feeds normally.
+	if rr := postSeq(t, sB.Handler(), "q", 4, events[bounds[3][0]:bounds[3][1]]); rr.Code != http.StatusOK {
+		t.Fatalf("chunk 4 on promoted node: status %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+func replicaStatus(t *testing.T, s *Server) replica.Status {
+	t.Helper()
+	rr := do(t, s.Handler(), "GET", "/v1/replica/status")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("replica status: %d", rr.Code)
+	}
+	var st replica.Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStandbyRefusalsAndReadyz pins the role contract: a standby
+// refuses normal ingest (503) and reports not-ready; a primary refuses
+// replica writes (409) and reports ready; promotion flips both.
+func TestStandbyRefusalsAndReadyz(t *testing.T) {
+	sB, _ := standbyServer(t, Config{DataDir: t.TempDir()})
+	events := syntheticEvents(22, 2, 2)
+
+	if rr := postSeq(t, sB.Handler(), "x", 1, events[:100]); rr.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rr.Body.String(), "standby") {
+		t.Fatalf("ingest on standby: status %d body %s", rr.Code, rr.Body.String())
+	}
+	if rr := do(t, sB.Handler(), "GET", "/readyz"); rr.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rr.Body.String(), "standby") {
+		t.Fatalf("standby readyz: status %d body %s", rr.Code, rr.Body.String())
+	}
+	if rr := do(t, sB.Handler(), "GET", "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("standby healthz: status %d (liveness must stay green on a standby)", rr.Code)
+	}
+	if st := replicaStatus(t, sB); st.Role != "standby" {
+		t.Fatalf("standby role = %q", st.Role)
+	}
+	if _, err := sB.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if _, err := sB.Promote(); err == nil {
+		t.Fatal("second promote must fail")
+	}
+	if rr := do(t, sB.Handler(), "GET", "/readyz"); rr.Code != http.StatusOK {
+		t.Fatalf("promoted readyz: status %d body %s", rr.Code, rr.Body.String())
+	}
+	if rr := postSeq(t, sB.Handler(), "x", 1, events[:100]); rr.Code != http.StatusOK {
+		t.Fatalf("ingest after promote: status %d", rr.Code)
+	}
+	if st := replicaStatus(t, sB); st.Role != "primary" {
+		t.Fatalf("promoted role = %q", st.Role)
+	}
+	// Replica writes bounce off a primary with 409 — the signal a
+	// stale primary's replicator uses to stop pushing (split brain
+	// guard on the receiving side).
+	req := httptest.NewRequest("PUT", "/v1/replica/sessions/x", bytes.NewReader([]byte("junk")))
+	rr := httptest.NewRecorder()
+	sB.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("replica PUT on primary: status %d", rr.Code)
+	}
+
+	// An ephemeral (no DataDir) server cannot be a standby or a
+	// replication source.
+	if _, err := New(Config{Standby: true}); err == nil {
+		t.Fatal("standby without DataDir must fail")
+	}
+	if _, err := New(Config{Peer: "http://localhost:1"}); err == nil {
+		t.Fatal("peer without DataDir must fail")
+	}
+}
+
+// TestRetryAfterHint: a backpressured POST carries both the standard
+// Retry-After header and the ms-precision X-Lpp-Retry-After-Ms hint.
+func TestRetryAfterHint(t *testing.T) {
+	s := mustServer(t, Config{QueueDepth: 1})
+	defer s.Close()
+	h := s.Handler()
+	events := syntheticEvents(23, 2, 2)
+
+	// Stall the worker on the first chunk so the queue fills.
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s.testChunkHook = func() {
+		once.Do(func() {
+			close(entered)
+			<-block
+		})
+	}
+	go postSeq(t, h, "bp", 1, events[:100])
+	<-entered
+	// The worker is stalled and the queue holds one slot: of these six
+	// concurrent posts, at most one enqueues (and blocks until the
+	// worker resumes); the rest bounce with 429.
+	rejected := make(chan *httptest.ResponseRecorder, 6)
+	for i := 0; i < 6; i++ {
+		seq := uint64(2 + i)
+		go func() {
+			if rr := postSeq(t, h, "bp", seq, events[:100]); rr.Code == http.StatusTooManyRequests {
+				rejected <- rr
+			}
+		}()
+	}
+	var rr *httptest.ResponseRecorder
+	select {
+	case rr = <-rejected:
+	case <-time.After(5 * time.Second):
+		t.Fatal("never saw 429 under backpressure")
+	}
+	close(block)
+	if rr.Header().Get("Retry-After") != "1" {
+		t.Errorf("429 Retry-After = %q, want \"1\"", rr.Header().Get("Retry-After"))
+	}
+	ms, err := strconv.ParseInt(rr.Header().Get("X-Lpp-Retry-After-Ms"), 10, 64)
+	if err != nil || ms < 5 || ms > 1000 {
+		t.Errorf("429 X-Lpp-Retry-After-Ms = %q, want 5..1000", rr.Header().Get("X-Lpp-Retry-After-Ms"))
+	}
+}

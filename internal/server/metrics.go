@@ -49,6 +49,7 @@ type metrics struct {
 	walErrors      atomic.Int64
 	checkpoints    atomic.Int64
 	replayed       atomic.Int64
+	replicaApplied atomic.Int64
 
 	// Per-consumer delivery totals across all sessions. The name list
 	// is fixed at New (probed from the Consumers factory), so workers

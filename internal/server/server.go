@@ -34,6 +34,7 @@ import (
 	"lpp/internal/knowledge"
 	"lpp/internal/online"
 	"lpp/internal/phase"
+	"lpp/internal/replica"
 )
 
 // Config tunes the server. The zero value takes the defaults below.
@@ -94,6 +95,25 @@ type Config struct {
 	// shard by ID; sessions on different shards never contend on a
 	// table lock. 1 reproduces the old single-mutex behavior.
 	Shards int
+	// Peer, when non-empty, is the base URL of a standby replica.
+	// Session checkpoints (and knowledge snapshots) stream to it
+	// asynchronously so the peer can take over after a node death;
+	// see internal/replica for the delivery contract. Requires DataDir.
+	Peer string
+	// Standby starts the server as a replication target: it refuses
+	// normal ingest with 503, accepts /v1/replica/* writes, and reports
+	// not-ready until promoted (Promote or POST /v1/replica/promote).
+	// Requires DataDir.
+	Standby bool
+	// ReplicaQueue bounds the replication queue (default 64); overflow
+	// drops the oldest item and schedules a resync.
+	ReplicaQueue int
+	// ReplicaTimeout is the per-replication-request deadline
+	// (default 5s).
+	ReplicaTimeout time.Duration
+	// ReplicaTransport overrides the replication HTTP transport
+	// (fault-injection tests).
+	ReplicaTransport http.RoundTripper
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +158,23 @@ type Server struct {
 	stopOnce sync.Once
 	reapWG   sync.WaitGroup
 
+	// standby is true until Promote; a standby refuses normal ingest
+	// and accepts /v1/replica/* writes instead. ready backs /readyz;
+	// state is the human-readable reason when not ready.
+	standby atomic.Bool
+	ready   atomic.Bool
+	stateMu sync.Mutex
+	state   string
+
+	// rep streams checkpoints to the configured peer (nil without one;
+	// installed at New on a primary, at Promote on a standby).
+	rep atomic.Pointer[replica.Replicator]
+
+	// replicaMu serializes replica ingest; replicaSeqs tracks the
+	// checkpoint seq held per session so stale images are ignored.
+	replicaMu   sync.Mutex
+	replicaSeqs map[string]uint64
+
 	m metrics
 
 	// testChunkHook, when set (tests only), runs during each chunk's
@@ -159,6 +196,14 @@ func New(cfg Config) (*Server, error) {
 		s.shards[i].sessions = make(map[string]*session)
 	}
 	s.m.rings = make([]latencyRing, s.cfg.Shards)
+	if s.cfg.DataDir == "" {
+		if s.cfg.Peer != "" {
+			return nil, errors.New("server: replication (Peer) requires DataDir")
+		}
+		if s.cfg.Standby {
+			return nil, errors.New("server: standby mode requires DataDir")
+		}
+	}
 	if s.cfg.DataDir != "" {
 		store, err := durable.Open(s.cfg.DataDir, s.cfg.FS, s.cfg.SyncWrites)
 		if err != nil {
@@ -207,6 +252,33 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
+	s.mux.HandleFunc("PUT /v1/replica/sessions/{id}", s.handleReplicaPut)
+	s.mux.HandleFunc("DELETE /v1/replica/sessions/{id}", s.handleReplicaDelete)
+	s.mux.HandleFunc("PUT /v1/replica/knowledge", s.handleReplicaKnowledge)
+	s.mux.HandleFunc("POST /v1/replica/promote", s.handleReplicaPromote)
+	s.replicaSeqs = make(map[string]uint64)
+	s.standby.Store(s.cfg.Standby)
+	if s.cfg.Standby {
+		s.setState("standby")
+		// Seed the per-session seq table from disk so a restarted
+		// standby answers /v1/replica/status without re-receiving
+		// everything.
+		if err := s.loadReplicaSeqs(); err != nil {
+			return nil, err
+		}
+	} else {
+		s.ready.Store(true)
+		s.setState("ready")
+		if s.cfg.Peer != "" {
+			rep, err := s.newReplicator()
+			if err != nil {
+				return nil, err
+			}
+			s.rep.Store(rep)
+		}
+	}
 	if s.store != nil && s.cfg.IdleTimeout > 0 {
 		s.reapWG.Add(1)
 		go s.reap()
@@ -229,16 +301,26 @@ func (s *Server) RecoverSessions() (int, error) {
 	if s.store == nil {
 		return 0, nil
 	}
+	// WAL replay can take a while; flag it on /readyz so load balancers
+	// hold traffic until the detectors are warm.
+	s.ready.Store(false)
+	s.setState("recovering")
 	ids, err := s.store.List()
 	if err != nil {
+		s.setState("recovery failed: " + err.Error())
 		return 0, err
 	}
 	for i, id := range ids {
 		sess, err := s.getSession(id, true)
 		if err != nil {
+			s.setState("recovery failed: " + err.Error())
 			return i, fmt.Errorf("recover session %q: %w", id, err)
 		}
 		<-sess.ready
+	}
+	if !s.standby.Load() {
+		s.setState("ready")
+		s.ready.Store(true)
 	}
 	return len(ids), nil
 }
@@ -250,6 +332,8 @@ func (s *Server) RecoverSessions() (int, error) {
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.reapWG.Wait()
+	s.ready.Store(false)
+	s.setState("shutting down")
 	// Store closed before draining: any create serialized after this
 	// point is refused inside its shard's critical section, and any
 	// create that got in first is visible to the drain.
@@ -266,6 +350,12 @@ func (s *Server) Close() {
 		}
 	}
 	s.m.sessionsActive.Store(0)
+	// Replication drains after the suspend pass so the final
+	// checkpoints reach the peer before the sender stops.
+	if rep := s.rep.Load(); rep != nil {
+		rep.Flush(5 * time.Second)
+		rep.Stop()
+	}
 }
 
 // Kill simulates a crash: every worker stops where it stands; nothing
@@ -279,6 +369,9 @@ func (s *Server) Kill() {
 	for _, sess := range s.drainSessions() {
 		sess.killOnce.Do(func() { close(sess.kill) })
 	}
+	if rep := s.rep.Load(); rep != nil {
+		rep.Stop() // no flush: a crash abandons the queue
+	}
 }
 
 var (
@@ -287,6 +380,7 @@ var (
 	errServerClosed    = errors.New("server closed")
 	errQueueFull       = errors.New("session queue full")
 	errSessionDown     = errors.New("session terminated")
+	errStandby         = errors.New("standby: not accepting ingest; promote this node or use the primary")
 )
 
 func (s *Server) getSession(id string, create bool) (*session, error) {
@@ -299,6 +393,11 @@ func (s *Server) getSession(id string, create bool) (*session, error) {
 	// before it is already in the map when the drain takes this lock.
 	if s.closed.Load() {
 		return nil, errServerClosed
+	}
+	// A standby's durable state belongs to the replication stream;
+	// reviving a session here would race the next replicated image.
+	if s.standby.Load() {
+		return nil, errStandby
 	}
 	if sess, ok := sh.sessions[id]; ok {
 		return sess, nil
@@ -414,6 +513,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		// chunk is not partially applied (and was never enqueued).
 		putDecodeState(st)
 		s.m.rejectedChunks.Add(1)
+		// Hint how long the drain actually takes (ms precision; the
+		// standard Retry-After below is a blunt whole second).
+		w.Header().Set("X-Lpp-Retry-After-Ms", strconv.FormatInt(s.retryHintMs(), 10))
 		writeErr(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, errSessionDown):
 		// The chunk may still sit in a dead worker's queue; leave the
@@ -560,6 +662,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE lpp_knowledge_evictions_total counter\n")
 		fmt.Fprintf(w, "lpp_knowledge_evictions_total %d\n", st.Evictions)
 	}
+	s.writeReplicaMetrics(w)
 }
 
 // handleKnowledge reports the knowledge store's inventory: counters
@@ -658,6 +761,11 @@ func writeResult(w http.ResponseWriter, res result) {
 	}
 	if res.replayed {
 		w.Header().Set("X-Lpp-Replayed", "true")
+	}
+	if res.wantSeq > 0 {
+		// Sequence-gap responses tell the client where to rewind to, so
+		// a failover client can replay its tail from the right chunk.
+		w.Header().Set("X-Lpp-Want-Seq", strconv.FormatUint(res.wantSeq, 10))
 	}
 	if res.status >= 400 {
 		w.Header().Set("Content-Type", "application/json")

@@ -13,6 +13,7 @@ import (
 	"lpp/internal/knowledge"
 	"lpp/internal/online"
 	"lpp/internal/phase"
+	"lpp/internal/replica"
 	"lpp/internal/trace"
 )
 
@@ -51,6 +52,9 @@ type result struct {
 	body     []byte
 	seq      uint64
 	replayed bool
+	// wantSeq, set on sequence-gap conflicts, is the sequence number
+	// the worker expects next (the X-Lpp-Want-Seq header).
+	wantSeq uint64
 }
 
 // session is one detection stream. The worker goroutine is the sole
@@ -268,9 +272,10 @@ func (w *worker) events(c chunk) result {
 		return result{status: http.StatusOK, body: w.cached, seq: seq, replayed: true}
 	case seq != w.lastSeq+1:
 		return result{
-			status: http.StatusConflict,
-			body:   errBody(fmt.Sprintf("sequence gap: got %d, want %d", seq, w.lastSeq+1)),
-			seq:    seq,
+			status:  http.StatusConflict,
+			body:    errBody(fmt.Sprintf("sequence gap: got %d, want %d", seq, w.lastSeq+1)),
+			seq:     seq,
+			wantSeq: w.lastSeq + 1,
 		}
 	}
 	// Log before processing: a worker killed between here and the reply
@@ -379,6 +384,17 @@ func (w *worker) checkpoint() {
 	}
 	w.sinceCkpt = 0
 	w.s.m.checkpoints.Add(1)
+	// Replicate only what disk accepted: the peer must never hold an
+	// image the primary could not persist. snap and w.cached are fresh
+	// allocations owned by this checkpoint, safe to hand off.
+	if rep := w.s.rep.Load(); rep != nil {
+		rep.EnqueueCheckpoint(replica.Checkpoint{
+			Session:  w.sess.id,
+			Seq:      w.lastSeq,
+			Snapshot: snap,
+			Response: w.cached,
+		})
+	}
 }
 
 // busMagic frames a combined detector+chain checkpoint image. Legacy
@@ -432,6 +448,11 @@ func (w *worker) close() result {
 		if err := w.log.Remove(); err != nil {
 			w.s.m.walErrors.Add(1)
 		}
+		// FIFO queue order guarantees this lands after any pending
+		// checkpoint of the same session.
+		if rep := w.s.rep.Load(); rep != nil {
+			rep.EnqueueRemove(w.sess.id)
+		}
 	}
 	if w.quarantined {
 		return w.quarantineResult(w.lastSeq)
@@ -475,6 +496,9 @@ func (w *worker) contributeKnowledge() {
 			store.Contribute(entry)
 			if err := store.Persist(); err != nil {
 				w.s.m.walErrors.Add(1)
+			}
+			if rep := w.s.rep.Load(); rep != nil {
+				rep.EnqueueKnowledge(store.Snapshot())
 			}
 		}
 		return
