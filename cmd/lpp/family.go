@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+
+	"lpp/internal/torture"
+	"lpp/internal/workload"
+)
+
+// runFamily runs the differential torture harness for one hostile
+// family ("all" or "" runs every family) and prints the report: the
+// three paths' boundary counts, HTTP parity, and the precision/recall
+// scores against the generator's ground truth.
+func runFamily(name string) error {
+	var reports []*torture.Report
+	if name == "" || name == "all" {
+		var err error
+		reports, err = torture.RunAll(torture.Options{})
+		if err != nil {
+			return err
+		}
+	} else {
+		r, err := torture.Run(name, torture.Options{})
+		if err != nil {
+			return err
+		}
+		reports = []*torture.Report{r}
+	}
+	for _, r := range reports {
+		fmt.Printf("hostile family %s:\n", r.Family)
+		fmt.Printf("  trace: %d accesses, %d blocks, %d ground-truth boundaries\n",
+			r.Accesses, r.Blocks, r.TruthBoundaries)
+		fmt.Printf("  offline %d boundaries, online %d, http events %d\n",
+			r.OfflineBoundaries, r.OnlineBoundaries, r.HTTPEvents)
+		if r.HTTPParity {
+			fmt.Printf("  http parity: exact\n")
+		} else {
+			fmt.Printf("  http parity: DIVERGED\n")
+		}
+		fmt.Printf("  offline recall %.3f  truth recall %.3f  truth precision %.3f  (tolerance %d)\n",
+			r.OfflineRecall, r.TruthRecall, r.TruthPrecision, r.Tolerance)
+		fmt.Printf("  peaks: grammar %d, signature %d pages, window %d, phases %d\n",
+			r.MaxGrammarSize, r.MaxSignature, r.MaxWindow, r.MaxPhases)
+		fmt.Printf("  hardening: %d suppressed, %d grammar restarts, %d truncated pages\n",
+			r.Suppressed, r.GrammarRestarts, r.TruncatedPages)
+	}
+	return nil
+}
+
+// listFamilies prints the hostile families in -list style.
+func listFamilies() {
+	for _, s := range workload.Hostile() {
+		fmt.Printf("%-12s %s\n", s.Name, s.Description)
+	}
+}

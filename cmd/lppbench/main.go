@@ -14,6 +14,7 @@
 //	lppbench -stream t.trace    # replay a trace against lppserve, write BENCH_stream.json
 //	lppbench -sessions 8 -concurrency 8   # concurrent multi-session ingest, write BENCH_ingest.json
 //	lppbench -cluster           # 2-node failover benchmark, write BENCH_cluster.json
+//	lppbench -hostile [-family drift]     # differential torture harness, write BENCH_hostile.json
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 		perSess  = flag.Int("events", 200_000, "events per session for -sessions")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		hostile  = flag.Bool("hostile", false, "run the differential torture harness over the hostile families (writes BENCH_hostile.json)")
+		family   = flag.String("family", "", "restrict -hostile to one family: interleaved, drift, or adaptive")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -69,6 +72,17 @@ func main() {
 
 	if *warm {
 		if err := runWarmstartBench(*out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *hostile {
+		if *list {
+			listHostile()
+			return
+		}
+		if err := runHostile(*out, *family); err != nil {
 			fatal(err)
 		}
 		return

@@ -83,6 +83,8 @@ func run(args []string, ready chan<- string) error {
 		maxSessions = fs.Int("max-sessions", 0, "concurrent session cap (0 = default 256)")
 		maxChunk    = fs.Int64("max-chunk", 0, "max POST body bytes (0 = default 8MiB)")
 		maxStride   = fs.Int("max-stride", 0, "load-shedding stride cap (0 = default 16, 1 disables)")
+		minGap      = fs.Int64("min-boundary-gap", 0, "suppress boundaries closer than this many accesses to the previous one (0 = disabled)")
+		maxSig      = fs.Int("max-signature", 0, "cap on locality-signature pages per phase segment (0 = default 4096)")
 		shards      = fs.Int("shards", 0, "session-table lock stripes, rounded up to a power of two (0 = default 16)")
 		dataDir     = fs.String("data", "", "durable session directory (empty = in-memory only)")
 		syncWrites  = fs.Bool("sync", false, "fsync every WAL append and checkpoint")
@@ -142,7 +144,7 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Detector:        online.Config{MaxStride: *maxStride},
+		Detector:        online.Config{MaxStride: *maxStride, MinBoundaryGap: *minGap, MaxSignature: *maxSig},
 		Consumers:       consumerFactory,
 		Knowledge:       kstore,
 		QueueDepth:      *queue,

@@ -57,6 +57,14 @@ type Config struct {
 	// BoundaryMargin is the number of trailing window samples whose
 	// cuts are withheld as unstable (0 takes BoundaryWindow/4).
 	BoundaryMargin int
+	// MinBoundaryGap suppresses a detected boundary closer than this
+	// many accesses to the previously accepted one. Jittery streams —
+	// two tenants time-sliced at a fine quantum, drifting periods —
+	// otherwise shatter one true boundary into a cluster of near-
+	// duplicates, each minting a phase identity. 0 disables the guard
+	// (the default: the paper's workloads need no suppression, and the
+	// golden traces pin that).
+	MinBoundaryGap int64
 	// Alpha and MaxSpan parameterize phasedet.Partition as offline.
 	Alpha   float64
 	MaxSpan int
@@ -101,6 +109,14 @@ type Config struct {
 	// Similarity is the minimum Jaccard similarity between segment
 	// datum sets for two segments to share a phase ID (default 0.5).
 	Similarity float64
+	// MaxSignature caps the 64KB pages held in any phase signature
+	// (known or open segment). An adversarial stream that touches new
+	// pages forever would otherwise grow the open segment's set — the
+	// one per-segment structure no other cap bounds — without limit;
+	// past the cap new pages are dropped and counted (default 4096,
+	// far above any of the paper's workloads: identity is unaffected
+	// on well-behaved streams).
+	MaxSignature int
 
 	// MaxPending caps the buffered event queue when no OnEvent
 	// callback is set; overflow drops the oldest events and counts
@@ -137,6 +153,7 @@ func DefaultConfig() Config {
 		PhaseTail:      512,
 		MaxPhases:      64,
 		Similarity:     0.5,
+		MaxSignature:   4096,
 		MaxPending:     1024,
 		MaxStride:      16,
 	}
@@ -218,6 +235,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Similarity <= 0 {
 		c.Similarity = def.Similarity
+	}
+	if c.MaxSignature <= 0 {
+		c.MaxSignature = def.MaxSignature
+	}
+	if c.MinBoundaryGap < 0 {
+		c.MinBoundaryGap = 0
 	}
 	if c.MaxPending <= 0 {
 		c.MaxPending = def.MaxPending

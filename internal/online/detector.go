@@ -34,6 +34,16 @@ type Stats struct {
 	Stride        int   // current load-shedding stride (1 = no shedding)
 	Shed          int64 // accesses skipped by load shedding
 	DroppedEvents int64 // events lost to a full pending buffer
+
+	// Hardening counters: boundaries rejected by the MinBoundaryGap
+	// margin guard, grammar restarts forced by the MaxGrammar cap, and
+	// signature pages dropped by the MaxSignature cap.
+	SuppressedBoundaries int64
+	GrammarRestarts      int64
+	TruncatedPages       int64
+	// LargestSignature is the page count of the biggest phase
+	// signature, open segment included (gauge, bounded by MaxSignature).
+	LargestSignature int
 }
 
 // datum is one tracked data sample and its sliding sub-trace window.
@@ -82,6 +92,7 @@ type Detector struct {
 	filtered     int64
 	lastBoundary int64
 	segStart     int64
+	suppressed   int64 // boundaries rejected by the MinBoundaryGap guard
 
 	// Phase identity + hierarchy (hierarchy.go).
 	hier *hierarchy
@@ -359,6 +370,11 @@ func (d *Detector) Stats() Stats {
 		Stride:          d.stride,
 		Shed:            d.shed,
 		DroppedEvents:   d.droppedEvents,
+
+		SuppressedBoundaries: d.suppressed,
+		GrammarRestarts:      d.hier.restarts,
+		TruncatedPages:       d.hier.truncated,
+		LargestSignature:     d.hier.largestSignature(),
 	}
 }
 

@@ -192,3 +192,52 @@ func TestGoldenTraces(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenHostileTraces extends the golden tier to the three hostile
+// families: the multi-tenant interleaved trace, the period-drift
+// kernel, and the input-adaptive kernel. Same contract as
+// TestGoldenTraces — batched ingest must match per-event ingest
+// exactly, and both must match the checked-in fixture — but over
+// workloads engineered to shake boundary placement loose. Fixture
+// names carry a "hostile-" prefix so the nine original fixtures stay
+// untouched.
+func TestGoldenHostileTraces(t *testing.T) {
+	for _, spec := range workload.Hostile() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			rec := trace.NewRecorder(1<<20, 1<<16)
+			spec.Make(spec.Params).Run(rec)
+
+			c := parityCase{name: "hostile-" + spec.Name}
+			perEvent := goldenRun(c, &rec.T, feedPerEvent)
+			batched := goldenRun(c, &rec.T, feedBatched)
+			diffFixtures(t, "batched vs per-event", batched, perEvent)
+
+			path := goldenPath(c.name)
+			if *updateGolden {
+				buf, err := json.MarshalIndent(perEvent, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d events)", path, len(perEvent.Events))
+				return
+			}
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run go test ./internal/online -run TestGoldenHostileTraces -update): %v", err)
+			}
+			var want goldenFixture
+			if err := json.Unmarshal(buf, &want); err != nil {
+				t.Fatalf("corrupt fixture %s: %v", path, err)
+			}
+			diffFixtures(t, "per-event vs fixture", perEvent, want)
+			diffFixtures(t, "batched vs fixture", batched, want)
+		})
+	}
+}

@@ -50,6 +50,14 @@ func (d *Detector) flushBoundaries(final bool) {
 			// Overlap with a previous flush, or a degenerate segment.
 			continue
 		}
+		if d.cfg.MinBoundaryGap > 0 && t-d.lastBoundary < d.cfg.MinBoundaryGap {
+			// Unstable-boundary margin guard: too close to the last
+			// accepted boundary to be a distinct phase change. The
+			// samples stay in the open segment, so the next accepted
+			// cut absorbs them instead of minting a sliver phase.
+			d.suppressed++
+			continue
+		}
 		for ; retired < c; retired++ {
 			d.hier.retire(d.window[retired].page)
 		}
@@ -103,6 +111,11 @@ type hierarchy struct {
 	known []map[int]struct{}
 	// curSeg accumulates the datums of the still-open segment.
 	curSeg map[int]struct{}
+	// restarts counts grammar restarts from the tail (the MaxGrammar
+	// graceful fallback); truncated counts pages dropped from the open
+	// segment by the MaxSignature cap. Both feed lpp_detector_* metrics.
+	restarts  int64
+	truncated int64
 }
 
 func newHierarchy(cfg Config) *hierarchy {
@@ -114,8 +127,16 @@ func newHierarchy(cfg Config) *hierarchy {
 }
 
 // retire folds one filtered sample's page (64KB identity granule) into
-// the open segment's signature.
+// the open segment's signature, dropping (and counting) pages past the
+// MaxSignature cap so a never-recurring stream cannot grow the set
+// without bound.
 func (h *hierarchy) retire(page int) {
+	if len(h.curSeg) >= h.cfg.MaxSignature {
+		if _, ok := h.curSeg[page]; !ok {
+			h.truncated++
+			return
+		}
+	}
 	h.curSeg[page] = struct{}{}
 }
 
@@ -131,14 +152,14 @@ func (h *hierarchy) closeSegment() int {
 	}
 	h.tail = append(h.tail, id)
 
-	g := h.builder.Grammar()
-	h.grammarSize = g.Size()
+	h.grammarSize = h.builder.Size()
 	if h.grammarSize > h.cfg.MaxGrammar {
+		h.restarts++
 		h.builder = sequitur.NewBuilder()
 		for _, p := range h.tail {
 			h.builder.Append(p)
 		}
-		h.grammarSize = h.builder.Grammar().Size()
+		h.grammarSize = h.builder.Size()
 	}
 	h.curSeg = make(map[int]struct{})
 	return id
@@ -185,6 +206,19 @@ func (h *hierarchy) identify() int {
 		best = 0
 	}
 	return best
+}
+
+// largestSignature returns the page count of the biggest signature,
+// the open segment included — the gauge the bounded-memory tests hold
+// against MaxSignature.
+func (h *hierarchy) largestSignature() int {
+	max := len(h.curSeg)
+	for _, sig := range h.known {
+		if len(sig) > max {
+			max = len(sig)
+		}
+	}
+	return max
 }
 
 // predictNext recompiles the grammar into the next-phase automaton and

@@ -32,7 +32,7 @@ import (
 // truncated or bit-flipped snapshot is detected, never applied.
 const (
 	snapMagic   = "LPPSNAP"
-	snapVersion = 1
+	snapVersion = 2 // v2: hardening counters + MinBoundaryGap/MaxSignature in the fingerprint
 )
 
 // Snapshot decode errors, distinguishable by errors.Is.
@@ -204,6 +204,8 @@ func (c Config) fingerprint() uint64 {
 	e.f64(c.Similarity)
 	e.num(c.MaxPending)
 	e.num(c.MaxStride)
+	e.i64(c.MinBoundaryGap)
+	e.num(c.MaxSignature)
 	h := fnv.New64a()
 	h.Write(e.buf)
 	return h.Sum64()
@@ -239,6 +241,7 @@ func (d *Detector) Snapshot() []byte {
 	e.i64(d.boundaries)
 	e.i64(d.predictions)
 	e.i64(d.droppedEvents)
+	e.i64(d.suppressed)
 
 	// Approximate reuse analyzer.
 	ast := d.analyzer.State()
@@ -300,6 +303,8 @@ func (d *Detector) Snapshot() []byte {
 		e.num(p)
 	}
 	e.num(d.hier.grammarSize)
+	e.i64(d.hier.restarts)
+	e.i64(d.hier.truncated)
 	e.num(len(d.hier.known))
 	for _, sig := range d.hier.known {
 		e.intSet(sig)
@@ -382,6 +387,7 @@ func (d *Detector) Restore(data []byte) error {
 	nd.boundaries = dec.i64()
 	nd.predictions = dec.i64()
 	nd.droppedEvents = dec.i64()
+	nd.suppressed = dec.i64()
 	if dec.err == nil && (nd.stride < 1 || nd.stride > nd.cfg.MaxStride) {
 		dec.fail("stride %d out of [1,%d]", nd.stride, nd.cfg.MaxStride)
 	}
@@ -514,6 +520,11 @@ func (d *Detector) Restore(data []byte) error {
 	h.grammarSize = dec.num()
 	if dec.err == nil && h.grammarSize < 0 {
 		dec.fail("negative grammar size")
+	}
+	h.restarts = dec.i64()
+	h.truncated = dec.i64()
+	if dec.err == nil && (h.restarts < 0 || h.truncated < 0) {
+		dec.fail("negative hardening counter")
 	}
 	n = dec.length(1)
 	if dec.err == nil && n > nd.cfg.MaxPhases {

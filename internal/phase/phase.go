@@ -51,6 +51,26 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// Kinds returns every defined event kind, in declaration order. New
+// kinds must be added here; the round-trip test walks this list.
+func Kinds() []Kind {
+	return []Kind{BoundaryDetected, PhasePredicted, PhaseProfile}
+}
+
+// ParseKind inverts Kind.String for the defined kinds, so wire-format
+// consumers (the NDJSON HTTP responses, the torture harness) can map
+// names back without a private table of their own. The "kind(N)"
+// rendering of an unknown kind does not parse: it exists to surface
+// drift, not to round-trip it.
+func ParseKind(s string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Event is one phase-bus event: a boundary found in the stream, a
 // prediction of the phase now beginning, or a phase's measured
 // profile. Both pipelines speak it: the streaming detector emits

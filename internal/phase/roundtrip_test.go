@@ -1,0 +1,67 @@
+package phase
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKindRoundTrip pins the wire names: every defined kind parses
+// back to itself, and the explicit unknown rendering does not parse.
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := ParseKind(Kind(99).String()); ok {
+		t.Fatalf("unknown kind rendering %q must not parse", Kind(99).String())
+	}
+	if _, ok := ParseKind("boundry"); ok {
+		t.Fatalf("misspelled kind name parsed")
+	}
+}
+
+// TestConsumerNamesRoundTrip pins registry/Name agreement: every
+// registered stock name builds a consumer whose Name() is the
+// registered name, option-carrying specs resolve to the base name, and
+// a chain built from every name reports each consumer under it. This
+// is the drift guard for the docs' consumer table: a consumer renamed
+// or added without updating Names() fails here.
+func TestConsumerNamesRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no registered consumers")
+	}
+	for _, name := range names {
+		c, err := Stock(name)
+		if err != nil {
+			t.Fatalf("Stock(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("Stock(%q).Name() = %q; registry and consumer disagree", name, c.Name())
+		}
+	}
+	// Option-carrying specs keep the base name.
+	c, err := Stock("predictor:strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "predictor" {
+		t.Fatalf(`Stock("predictor:strict").Name() = %q, want "predictor"`, c.Name())
+	}
+
+	chain, err := ParseChain(strings.Join(names, ","))
+	if err != nil {
+		t.Fatalf("ParseChain over all registered names: %v", err)
+	}
+	got := chain.Consumers()
+	if len(got) != len(names) {
+		t.Fatalf("chain has %d consumers, want %d", len(got), len(names))
+	}
+	for i, c := range got {
+		if c.Name() != names[i] {
+			t.Fatalf("chain consumer %d is %q, want %q", i, c.Name(), names[i])
+		}
+	}
+}

@@ -62,6 +62,10 @@ type Builder struct {
 	digrams map[digram]*symbol
 	rules   map[int]*rule
 	nextID  int
+	// size counts the symbols on all right-hand sides (guards
+	// excluded), maintained incrementally so growth-cap checks do not
+	// have to materialize the grammar.
+	size int
 }
 
 // NewBuilder returns an empty Builder whose start rule has ID 0.
@@ -98,6 +102,7 @@ func (b *Builder) insertAfter(pos, n *symbol) {
 	if n.rule != nil {
 		n.rule.count++
 	}
+	b.size++
 }
 
 // remove unlinks s (no digram bookkeeping).
@@ -107,6 +112,7 @@ func (b *Builder) remove(s *symbol) {
 	if s.rule != nil {
 		s.rule.count--
 	}
+	b.size--
 }
 
 // forgetDigram removes the digram starting at s from the index if the
@@ -246,6 +252,11 @@ func (b *Builder) Grammar() Grammar {
 	}
 	return g
 }
+
+// Size returns the current grammar size (total symbols on all
+// right-hand sides) in O(1). It always equals Grammar().Size() but
+// costs nothing, so callers can bound growth on every Append.
+func (b *Builder) Size() int { return b.size }
 
 // Build runs SEQUITUR over the whole sequence and returns the grammar.
 func Build(seq []int) Grammar {

@@ -212,3 +212,28 @@ func BenchmarkBuild(b *testing.B) {
 		Build(seq)
 	}
 }
+
+// TestIncrementalSize pins Builder.Size to Grammar().Size() after
+// every Append on random streams, and across a State round trip, so
+// the O(1) growth-cap check can never drift from the real grammar.
+func TestIncrementalSize(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		b := NewBuilder()
+		n := 50 + rng.Intn(300)
+		alphabet := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			b.Append(rng.Intn(alphabet))
+			if got, want := b.Size(), b.Grammar().Size(); got != want {
+				t.Fatalf("trial %d, append %d: incremental size %d, grammar size %d", trial, i, got, want)
+			}
+		}
+		restored, err := NewBuilderFromState(b.State())
+		if err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		if restored.Size() != b.Size() {
+			t.Fatalf("trial %d: restored size %d, original %d", trial, restored.Size(), b.Size())
+		}
+	}
+}

@@ -51,6 +51,13 @@ type metrics struct {
 	replayed       atomic.Int64
 	replicaApplied atomic.Int64
 
+	// Detector hardening totals across all sessions: boundaries
+	// suppressed by the MinBoundaryGap guard, grammar restarts forced
+	// by MaxGrammar, and signature pages dropped by MaxSignature.
+	detSuppressed atomic.Int64
+	detRestarts   atomic.Int64
+	detTruncated  atomic.Int64
+
 	// Per-consumer delivery totals across all sessions. The name list
 	// is fixed at New (probed from the Consumers factory), so workers
 	// add deltas by index with no locking.
@@ -155,6 +162,12 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "lpp_checkpoints_total %d\n", m.checkpoints.Load())
 	fmt.Fprintf(w, "# TYPE lpp_replayed_chunks_total counter\n")
 	fmt.Fprintf(w, "lpp_replayed_chunks_total %d\n", m.replayed.Load())
+	fmt.Fprintf(w, "# TYPE lpp_detector_suppressed_boundaries_total counter\n")
+	fmt.Fprintf(w, "lpp_detector_suppressed_boundaries_total %d\n", m.detSuppressed.Load())
+	fmt.Fprintf(w, "# TYPE lpp_detector_grammar_restarts_total counter\n")
+	fmt.Fprintf(w, "lpp_detector_grammar_restarts_total %d\n", m.detRestarts.Load())
+	fmt.Fprintf(w, "# TYPE lpp_detector_truncated_pages_total counter\n")
+	fmt.Fprintf(w, "lpp_detector_truncated_pages_total %d\n", m.detTruncated.Load())
 	if len(m.consumerNames) > 0 {
 		fmt.Fprintf(w, "# TYPE lpp_consumer_events_total counter\n")
 		for i, name := range m.consumerNames {

@@ -96,6 +96,12 @@ type worker struct {
 	// consBase is the chain's counters at the last metrics flush, so
 	// deltas fold into the server-wide per-consumer totals.
 	consBase []phase.ConsumerStats
+	// Detector hardening counters at the last metrics flush (and after
+	// a snapshot restore, whose counts the writing process already
+	// reported); updateStats folds the deltas into the server totals.
+	baseSuppressed int64
+	baseRestarts   int64
+	baseTruncated  int64
 	// pending accumulates detector output between chunk boundaries.
 	pending []phase.Event
 	// log is the session's durable state; nil when the server is
@@ -233,6 +239,10 @@ func (w *worker) restore() {
 			w.consBase = w.chain.Stats()
 		}
 		w.det = nd
+		dst := nd.Stats()
+		w.baseSuppressed = dst.SuppressedBoundaries
+		w.baseRestarts = dst.GrammarRestarts
+		w.baseTruncated = dst.TruncatedPages
 	}
 	w.lastSeq = st.Seq
 	w.cached = st.Response
@@ -512,4 +522,10 @@ func (w *worker) updateStats() {
 	w.sess.predictions.Store(st.Predictions)
 	w.sess.dropped.Store(st.DroppedEvents)
 	w.sess.shed.Store(st.Shed)
+	w.s.m.detSuppressed.Add(st.SuppressedBoundaries - w.baseSuppressed)
+	w.s.m.detRestarts.Add(st.GrammarRestarts - w.baseRestarts)
+	w.s.m.detTruncated.Add(st.TruncatedPages - w.baseTruncated)
+	w.baseSuppressed = st.SuppressedBoundaries
+	w.baseRestarts = st.GrammarRestarts
+	w.baseTruncated = st.TruncatedPages
 }

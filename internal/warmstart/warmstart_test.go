@@ -8,6 +8,7 @@ import (
 	"lpp/internal/phase"
 	"lpp/internal/sequitur"
 	"lpp/internal/trace"
+	"lpp/internal/workload"
 )
 
 // TestWarmVsColdAcceptance pins the subsystem's reason to exist: train
@@ -191,6 +192,78 @@ func TestFingerprintStability(t *testing.T) {
 		}
 		if bestScore < 0.999 {
 			t.Errorf("%s: self-similarity %.3f, want ~1", a.name, bestScore)
+		}
+	}
+}
+
+// TestInterleavedStreamDoesNotContaminate extends the fleet suite with
+// the hostile multi-tenant shape: a store trained on the pure tenants
+// (fft and moldyn) sees their time-sliced interleaving as one session.
+// The mixed stream's grammar is neither tenant's, so it must not
+// falsely warm-start from either entry — and after the mixed session
+// contributes its own entry, the pure tenants must still warm-start
+// from their own entries, not the hybrid's.
+func TestInterleavedStreamDoesNotContaminate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two golden workloads and replays a hostile trace")
+	}
+	store := knowledge.NewStore(knowledge.Config{})
+	own := make(map[string]uint64)
+	tenants := []string{"fft", "moldyn"}
+	for _, name := range tenants {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := c.Events()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Run(events, Config{Detector: c.Detector()}, store, true)
+		own[name] = r.Fingerprint
+	}
+
+	spec, err := workload.HostileByName("interleaved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the tenants explicitly so the mixed stream interleaves
+	// exactly the two programs the store was trained on.
+	p := spec.Params
+	p.TenantA, p.TenantB = "fft", "moldyn"
+	rec := trace.NewRecorder(1<<20, 1<<16)
+	spec.Make(p).Run(rec)
+	mixed := Run(Events(&rec.T), Config{Detector: online.DefaultConfig()}, store, true)
+	if mixed.WarmStarted {
+		name := "unknown"
+		for n, fp := range own {
+			if fp == mixed.Matched {
+				name = n
+			}
+		}
+		t.Errorf("interleaved stream warm-started from %s's entry (%#x, score %.3f); a mixed-tenant grammar must match no tenant",
+			name, mixed.Matched, mixed.MatchScore)
+	}
+
+	// The hybrid entry contributed above must not hijack the pure
+	// tenants' own matches.
+	for _, name := range tenants {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := c.Events()
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := Run(events, Config{Detector: c.Detector()}, store, false)
+		if !warm.WarmStarted {
+			t.Errorf("%s: no warm start after the hybrid entry joined the store", name)
+			continue
+		}
+		if warm.Matched != own[name] {
+			t.Errorf("%s: warm-started from %#x, want own entry %#x (hybrid contamination)",
+				name, warm.Matched, own[name])
 		}
 	}
 }

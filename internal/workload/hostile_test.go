@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"lpp/internal/trace"
+)
+
+// encodeHostile runs a freshly made hostile program into the binary
+// trace encoding; byte equality of two encodings is the determinism
+// contract the CI job asserts.
+func encodeHostile(t *testing.T, s HostileSpec, p HostileParams) ([]byte, Truth) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	prog := s.Make(p)
+	prog.Run(w)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("%s: flush: %v", s.Name, err)
+	}
+	return buf.Bytes(), prog.Truth()
+}
+
+func TestHostileDeterminism(t *testing.T) {
+	for _, s := range Hostile() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			b1, truth1 := encodeHostile(t, s, s.Params)
+			b2, truth2 := encodeHostile(t, s, s.Params)
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(b1), len(b2))
+			}
+			if len(truth1.Boundaries) != len(truth2.Boundaries) {
+				t.Fatalf("same seed produced different truth: %d vs %d boundaries",
+					len(truth1.Boundaries), len(truth2.Boundaries))
+			}
+			for i := range truth1.Boundaries {
+				if truth1.Boundaries[i] != truth2.Boundaries[i] {
+					t.Fatalf("truth boundary %d differs: %d vs %d",
+						i, truth1.Boundaries[i], truth2.Boundaries[i])
+				}
+			}
+
+			other := s.Params
+			other.Seed += 13
+			b3, _ := encodeHostile(t, s, other)
+			if bytes.Equal(b1, b3) {
+				t.Fatalf("different seeds produced identical traces")
+			}
+		})
+	}
+}
+
+func TestHostileTruthSelfDescribing(t *testing.T) {
+	for _, s := range Hostile() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			prog := s.Make(s.Params)
+			var c trace.Counter
+			prog.Run(&c)
+			truth := prog.Truth()
+
+			if len(truth.Boundaries) < 5 {
+				t.Fatalf("only %d ground-truth boundaries; want a real phase structure", len(truth.Boundaries))
+			}
+			if len(truth.Labels) != len(truth.Boundaries)+1 {
+				t.Fatalf("%d labels for %d boundaries; want boundaries+1 (one per segment)",
+					len(truth.Labels), len(truth.Boundaries))
+			}
+			last := int64(0)
+			for i, b := range truth.Boundaries {
+				if b <= last {
+					t.Fatalf("boundary %d not strictly increasing: %d after %d", i, b, last)
+				}
+				last = b
+			}
+			if last >= int64(c.Accesses) {
+				t.Fatalf("last boundary %d not inside the trace (%d accesses)", last, c.Accesses)
+			}
+
+			// ManualMarks is the Program-compatible view of the truth.
+			marks := prog.ManualMarks()
+			if len(marks) != len(truth.Boundaries) {
+				t.Fatalf("ManualMarks has %d entries, Truth %d", len(marks), len(truth.Boundaries))
+			}
+			for i := range marks {
+				if marks[i] != truth.Boundaries[i] {
+					t.Fatalf("mark %d = %d, truth %d", i, marks[i], truth.Boundaries[i])
+				}
+			}
+		})
+	}
+}
+
+func TestHostileByName(t *testing.T) {
+	for _, s := range Hostile() {
+		got, err := HostileByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Fatalf("HostileByName(%q) = %v, %v", s.Name, got.Name, err)
+		}
+	}
+	if _, err := HostileByName("nope"); err == nil {
+		t.Fatalf("HostileByName accepted an unknown family")
+	}
+}
+
+func TestInterleavedTenantsDisjoint(t *testing.T) {
+	prog := newInterleaved(HostileParams{Seed: 3})
+	rec := trace.NewRecorder(0, 0)
+	prog.Run(rec)
+	var low, high int
+	for _, a := range rec.T.Accesses {
+		if a >= tenantAddrOffset {
+			high++
+		} else {
+			low++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Fatalf("expected both tenants in the stream; got %d low / %d high accesses", low, high)
+	}
+}
