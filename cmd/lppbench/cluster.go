@@ -93,7 +93,7 @@ func startNode(cfg server.Config) (*server.Server, string, func(), error) {
 func runCluster(outDir string, perSession, chunkLen int) error {
 	const checkpointEvery = 2
 	events := ingestEvents(42, perSession)
-	chunks, err := encodeChunks(events, chunkLen)
+	chunks, err := encodeChunks(events, chunkLen, "v1")
 	if err != nil {
 		return err
 	}
@@ -125,7 +125,7 @@ func runCluster(outDir string, perSession, chunkLen int) error {
 		client := &http.Client{}
 		var rc retryCounts
 		for i, body := range chunks {
-			resp, err := postChunk(client, base+"/v1/sessions/cluster/events", uint64(i+1), body, &rc)
+			resp, err := postChunk(client, base+"/v1/sessions/cluster/events", uint64(i+1), body, chunkContentType("v1"), &rc)
 			if err != nil {
 				stop()
 				return fmt.Errorf("reference chunk %d: %w", i+1, err)
@@ -172,7 +172,7 @@ func runCluster(outDir string, perSession, chunkLen int) error {
 	acked := make([][]byte, len(chunks))
 	start := time.Now()
 	for i := 0; i < killChunk; i++ {
-		resp, err := postChunk(client, baseA+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], &rc)
+		resp, err := postChunk(client, baseA+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], chunkContentType("v1"), &rc)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i+1, err)
 		}
@@ -201,7 +201,7 @@ func runCluster(outDir string, perSession, chunkLen int) error {
 	// under the same sequence numbers (idempotent by protocol).
 	next := killChunk // 0-based index of the next chunk to send
 	var firstAck, caughtUp time.Time
-	resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(next+1), chunks[next], &rc)
+	resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(next+1), chunks[next], chunkContentType("v1"), &rc)
 	if err != nil {
 		return fmt.Errorf("first post after failover: %w", err)
 	}
@@ -228,7 +228,7 @@ func runCluster(outDir string, perSession, chunkLen int) error {
 		next++
 	}
 	for i := next; i < len(chunks); i++ {
-		resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], &rc)
+		resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], chunkContentType("v1"), &rc)
 		if err != nil {
 			return fmt.Errorf("chunk %d after failover: %w", i+1, err)
 		}

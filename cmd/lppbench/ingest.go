@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -19,9 +20,11 @@ import (
 )
 
 // ingestReport is the BENCH_ingest.json schema: aggregate throughput
-// and latency for a multi-session concurrent ingest run.
+// and latency for a multi-session concurrent ingest run, the v1-vs-v2
+// codec comparison, and the GOMAXPROCS scaling curve.
 type ingestReport struct {
 	Addr             string  `json:"addr"`
+	Format           string  `json:"format"`
 	Sessions         int     `json:"sessions"`
 	Concurrency      int     `json:"concurrency"`
 	Shards           int     `json:"shards"`
@@ -40,6 +43,18 @@ type ingestReport struct {
 	Retries429       int     `json:"retries_429"`
 	Retries5xx       int     `json:"retries_5xx"`
 	RetriesConn      int     `json:"retries_conn"`
+
+	// Direct codec comparison over the same event stream, no HTTP:
+	// v1 decode materializes rows (the server's binary path), v2
+	// decodes into reused columns (the server's columnar path).
+	WireBytesV1          int     `json:"wire_bytes_v1"`
+	WireBytesV2          int     `json:"wire_bytes_v2"`
+	DecodeV1EventsPerSec float64 `json:"decode_v1_events_per_sec"`
+	DecodeV2EventsPerSec float64 `json:"decode_v2_events_per_sec"`
+	DecodeV2Speedup      float64 `json:"decode_v2_speedup"`
+
+	Scaling []scalePoint `json:"gomaxprocs_scaling,omitempty"`
+	Note    string       `json:"note,omitempty"`
 }
 
 // ingestEvents synthesizes a deterministic phased access trace for one
@@ -64,15 +79,24 @@ func ingestEvents(seed int64, n int) []trace.Event {
 	return events
 }
 
-// encodeChunks pre-encodes a session's events into binary wire chunks
-// so the timed section measures HTTP, decode, and detection — not
-// client-side encoding.
-func encodeChunks(events []trace.Event, chunkLen int) ([][]byte, error) {
+// encodeChunks pre-encodes a session's events into wire chunks in the
+// requested format ("v1" row-binary or "v2" columnar) so the timed
+// section measures HTTP, decode, and detection — not client-side
+// encoding.
+func encodeChunks(events []trace.Event, chunkLen int, format string) ([][]byte, error) {
 	var chunks [][]byte
 	for off := 0; off < len(events); off += chunkLen {
 		end := off + chunkLen
 		if end > len(events) {
 			end = len(events)
+		}
+		if format == "v2" {
+			body, err := trace.AppendChunkV2(nil, events[off:end])
+			if err != nil {
+				return nil, err
+			}
+			chunks = append(chunks, body)
+			continue
 		}
 		var buf bytes.Buffer
 		w := trace.NewWriter(&buf)
@@ -87,16 +111,206 @@ func encodeChunks(events []trace.Event, chunkLen int) ([][]byte, error) {
 	return chunks, nil
 }
 
+// ingestPassResult aggregates one full pass of every session's chunk
+// stream. The events/boundaries/predictions sums come from each
+// session's /stats endpoint just before it is deleted; together they
+// fingerprint the detector's output so scaling-curve points can prove
+// parallel runs reproduce the single-core result.
+type ingestPassResult struct {
+	elapsed     time.Duration
+	lats        []time.Duration
+	rc          retryCounts
+	events      int64
+	boundaries  int64
+	predictions int64
+}
+
+// fingerprint is the parity token compared across scaling points.
+func (r *ingestPassResult) fingerprint() string {
+	return fmt.Sprintf("%d/%d/%d", r.events, r.boundaries, r.predictions)
+}
+
+// ingestPass replays every session's pre-encoded chunks against the
+// server at base, up to concurrency sessions in flight, each session's
+// chunks in order under the seq protocol. Sessions are named by pass
+// so repeated passes against one server never collide.
+func ingestPass(base string, pass int, sessionChunks [][][]byte, concurrency int, ct string) (*ingestPassResult, error) {
+	type workerState struct {
+		lats []time.Duration
+		rc   retryCounts
+		ev   int64
+		bd   int64
+		pr   int64
+		err  error
+	}
+	states := make([]workerState, concurrency)
+	jobs := make(chan int, len(sessionChunks))
+	for i := range sessionChunks {
+		jobs <- i
+	}
+	close(jobs)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &states[w]
+			client := &http.Client{}
+			for si := range jobs {
+				sess := fmt.Sprintf("%s/v1/sessions/ingest-%d-%d", base, pass, si)
+				url := sess + "/events"
+				for ci, body := range sessionChunks[si] {
+					t0 := time.Now()
+					resp, err := postChunk(client, url, uint64(ci+1), body, ct, &st.rc)
+					if err != nil {
+						st.err = fmt.Errorf("session %d chunk %d: %w", si, ci, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						st.err = fmt.Errorf("session %d chunk %d: %s", si, ci, resp.Status)
+						return
+					}
+					st.lats = append(st.lats, time.Since(t0))
+				}
+				stats, err := fetchSessionStats(client, sess+"/stats")
+				if err != nil {
+					st.err = fmt.Errorf("session %d stats: %w", si, err)
+					return
+				}
+				st.ev += stats["events"]
+				st.bd += stats["boundaries"]
+				st.pr += stats["predictions"]
+				req, _ := http.NewRequest("DELETE", sess, nil)
+				if resp, err := client.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &ingestPassResult{elapsed: time.Since(start)}
+	for i := range states {
+		if states[i].err != nil {
+			return nil, states[i].err
+		}
+		res.lats = append(res.lats, states[i].lats...)
+		res.rc.r429 += states[i].rc.r429
+		res.rc.r5xx += states[i].rc.r5xx
+		res.rc.conn += states[i].rc.conn
+		res.events += states[i].ev
+		res.boundaries += states[i].bd
+		res.predictions += states[i].pr
+	}
+	if len(res.lats) == 0 {
+		return nil, fmt.Errorf("no chunks completed")
+	}
+	return res, nil
+}
+
+// fetchSessionStats reads a session's counter map from its /stats
+// endpoint.
+func fetchSessionStats(client *http.Client, url string) (map[string]int64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	stats := make(map[string]int64)
+	if err := json.Unmarshal(data, &stats); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// decodeThroughput times the two chunk codecs head to head over the
+// same event stream, mirroring what the server does per format: v1
+// decodes row events into a reused slice, v2 decodes into reused
+// columns. Each codec loops over its chunks until the measurement
+// window fills, so the numbers are events decoded per second of pure
+// codec work.
+func decodeThroughput(events []trace.Event, chunkLen int) (v1PerSec, v2PerSec float64, v1Bytes, v2Bytes int, err error) {
+	v1Chunks, err := encodeChunks(events, chunkLen, "v1")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	v2Chunks, err := encodeChunks(events, chunkLen, "v2")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, c := range v1Chunks {
+		v1Bytes += len(c)
+	}
+	for _, c := range v2Chunks {
+		v2Bytes += len(c)
+	}
+
+	const window = 500 * time.Millisecond
+	br := bytes.NewReader(nil)
+	tr := trace.NewReader(br)
+	scratch := make([]trace.Event, 0, chunkLen)
+	decoded := 0
+	start := time.Now()
+	for time.Since(start) < window {
+		for _, c := range v1Chunks {
+			br.Reset(c)
+			tr.Reset(br)
+			scratch = scratch[:0]
+			for {
+				ev, rerr := tr.Next()
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					return 0, 0, 0, 0, fmt.Errorf("v1 decode: %w", rerr)
+				}
+				scratch = append(scratch, ev)
+			}
+			decoded += len(scratch)
+		}
+	}
+	v1PerSec = float64(decoded) / time.Since(start).Seconds()
+
+	var cols trace.Columns
+	decoded = 0
+	start = time.Now()
+	for time.Since(start) < window {
+		for _, c := range v2Chunks {
+			if derr := trace.DecodeChunkV2(c, &cols, len(events)); derr != nil {
+				return 0, 0, 0, 0, fmt.Errorf("v2 decode: %w", derr)
+			}
+			decoded += cols.N
+		}
+	}
+	v2PerSec = float64(decoded) / time.Since(start).Seconds()
+	return v1PerSec, v2PerSec, v1Bytes, v2Bytes, nil
+}
+
 // runIngest drives sessions concurrent ingest streams — each session's
 // chunks sent in order under the seq protocol, with up to concurrency
 // sessions in flight — against a running lppserve at addr, or an
 // in-process server with the given shard count when addr is empty.
 // It writes BENCH_ingest.json with aggregate throughput, chunk-latency
-// percentiles, and (in-process only) whole-process allocations per
-// chunk from runtime.MemStats.
-func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, chunkLen int) error {
+// percentiles, (in-process only) whole-process allocations per chunk
+// from runtime.MemStats, the direct v1-vs-v2 codec comparison, and
+// (in-process only) the GOMAXPROCS scaling curve with stats-sum parity
+// enforced at every point.
+func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, chunkLen int, format string, minScale float64) error {
 	if sessions <= 0 {
 		return fmt.Errorf("-sessions must be positive")
+	}
+	if format != "v1" && format != "v2" {
+		return fmt.Errorf("-format must be v1 or v2, got %q", format)
 	}
 	if concurrency <= 0 {
 		concurrency = sessions
@@ -104,11 +318,12 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 	if concurrency > sessions {
 		concurrency = sessions
 	}
+	ct := chunkContentType(format)
 
 	// Pre-encode every session's chunk stream before timing.
 	sessionChunks := make([][][]byte, sessions)
 	for i := range sessionChunks {
-		chunks, err := encodeChunks(ingestEvents(int64(i), perSession), chunkLen)
+		chunks, err := encodeChunks(ingestEvents(int64(i), perSession), chunkLen, format)
 		if err != nil {
 			return err
 		}
@@ -136,74 +351,20 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 	}
 	base := "http://" + addr
 
-	type workerState struct {
-		lats []time.Duration
-		rc   retryCounts
-		err  error
-	}
-	states := make([]workerState, concurrency)
-	jobs := make(chan int, sessions)
-	for i := 0; i < sessions; i++ {
-		jobs <- i
-	}
-	close(jobs)
-
 	var before, after runtime.MemStats
 	if inProcess {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 	}
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			st := &states[w]
-			client := &http.Client{}
-			for si := range jobs {
-				url := fmt.Sprintf("%s/v1/sessions/ingest-%d/events", base, si)
-				for ci, body := range sessionChunks[si] {
-					t0 := time.Now()
-					resp, err := postChunk(client, url, uint64(ci+1), body, &st.rc)
-					if err != nil {
-						st.err = fmt.Errorf("session %d chunk %d: %w", si, ci, err)
-						return
-					}
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						st.err = fmt.Errorf("session %d chunk %d: %s", si, ci, resp.Status)
-						return
-					}
-					st.lats = append(st.lats, time.Since(t0))
-				}
-				req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/sessions/ingest-%d", base, si), nil)
-				if resp, err := client.Do(req); err == nil {
-					resp.Body.Close()
-				}
-			}
-		}(w)
+	res, err := ingestPass(base, 0, sessionChunks, concurrency, ct)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
 	if inProcess {
 		runtime.ReadMemStats(&after)
 	}
 
-	var lats []time.Duration
-	var rc retryCounts
-	for i := range states {
-		if states[i].err != nil {
-			return states[i].err
-		}
-		lats = append(lats, states[i].lats...)
-		rc.r429 += states[i].rc.r429
-		rc.r5xx += states[i].rc.r5xx
-		rc.conn += states[i].rc.conn
-	}
-	if len(lats) == 0 {
-		return fmt.Errorf("no chunks completed")
-	}
+	lats := res.lats
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(q float64) float64 {
 		return lats[int(q*float64(len(lats)-1))].Seconds() * 1e3
@@ -212,6 +373,7 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 	totalEvents := sessions * perSession
 	rep := ingestReport{
 		Addr:             addr,
+		Format:           format,
 		Sessions:         sessions,
 		Concurrency:      concurrency,
 		Shards:           shards,
@@ -221,13 +383,14 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 		Events:           totalEvents,
 		Chunks:           len(lats),
 		ChunkLen:         chunkLen,
-		Seconds:          elapsed.Seconds(),
-		EventsPerSec:     float64(totalEvents) / elapsed.Seconds(),
+		Seconds:          res.elapsed.Seconds(),
+		EventsPerSec:     float64(totalEvents) / res.elapsed.Seconds(),
 		LatencyP50Ms:     pct(0.50),
 		LatencyP99Ms:     pct(0.99),
-		Retries429:       rc.r429,
-		Retries5xx:       rc.r5xx,
-		RetriesConn:      rc.conn,
+		Retries429:       res.rc.r429,
+		Retries5xx:       res.rc.r5xx,
+		RetriesConn:      res.rc.conn,
+		Note:             scalingNote(),
 	}
 	if inProcess {
 		allocs := float64(after.Mallocs - before.Mallocs)
@@ -235,16 +398,60 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 		rep.AllocsPerEvent = allocs / float64(totalEvents)
 	}
 
-	fmt.Printf("ingested %d events across %d sessions (%d workers, %d shards) in %v\n",
-		rep.Events, rep.Sessions, rep.Concurrency, rep.Shards, elapsed.Round(time.Millisecond))
+	fmt.Printf("ingested %d events (%s chunks) across %d sessions (%d workers, %d shards) in %v\n",
+		rep.Events, format, rep.Sessions, rep.Concurrency, rep.Shards, res.elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput %.0f events/s; chunk latency p50 %.2fms p99 %.2fms\n",
 		rep.EventsPerSec, rep.LatencyP50Ms, rep.LatencyP99Ms)
 	if inProcess {
 		fmt.Printf("allocations (whole process, client+server): %.1f/chunk, %.4f/event\n",
 			rep.AllocsPerChunk, rep.AllocsPerEvent)
 	}
-	if rc.r429+rc.r5xx+rc.conn > 0 {
-		fmt.Printf("retries: %d on 429, %d on 5xx, %d on connection errors\n", rc.r429, rc.r5xx, rc.conn)
+	if res.rc.r429+res.rc.r5xx+res.rc.conn > 0 {
+		fmt.Printf("retries: %d on 429, %d on 5xx, %d on connection errors\n",
+			res.rc.r429, res.rc.r5xx, res.rc.conn)
+	}
+
+	// Head-to-head codec comparison on session 0's stream, no HTTP in
+	// the way.
+	v1ps, v2ps, v1b, v2b, err := decodeThroughput(ingestEvents(0, perSession), chunkLen)
+	if err != nil {
+		return err
+	}
+	rep.DecodeV1EventsPerSec = v1ps
+	rep.DecodeV2EventsPerSec = v2ps
+	rep.DecodeV2Speedup = v2ps / v1ps
+	rep.WireBytesV1 = v1b
+	rep.WireBytesV2 = v2b
+	fmt.Printf("codec: v1 %.0f events/s (%d bytes), v2 %.0f events/s (%d bytes), v2 speedup %.2fx\n",
+		v1ps, v1b, v2ps, v2b, rep.DecodeV2Speedup)
+
+	// Scaling curve: repeat the whole pass with GOMAXPROCS capped at
+	// each point, against the same in-process server; the stats-sum
+	// fingerprint must match the single-core point exactly. Remote
+	// servers run in another process, so there is nothing local to cap.
+	if inProcess {
+		pass := 1
+		curve, err := runScalingCurve(func(procs int) (float64, int, string, error) {
+			r, err := ingestPass(base, pass, sessionChunks, concurrency, ct)
+			pass++
+			if err != nil {
+				return 0, 0, "", err
+			}
+			return r.elapsed.Seconds(), totalEvents, r.fingerprint(), nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.Scaling = curve
+		for _, pt := range curve {
+			fmt.Printf("scaling gomaxprocs=%d: %.0f events/s (%.2fx, parity ok)\n",
+				pt.GOMAXPROCS, pt.EventsPerSec, pt.SpeedupVs1)
+		}
+		if err := enforceMinScale(curve, minScale); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("scaling curve skipped: remote server (use in-process mode)")
 	}
 
 	out := "BENCH_ingest.json"

@@ -51,6 +51,8 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		hostile  = flag.Bool("hostile", false, "run the differential torture harness over the hostile families (writes BENCH_hostile.json)")
 		family   = flag.String("family", "", "restrict -hostile to one family: interleaved, drift, or adaptive")
+		format   = flag.String("format", "v2", "chunk wire format for -stream/-sessions: v1 (row binary) or v2 (columnar)")
+		minScale = flag.Float64("minscale", 0, "fail if the best multi-core scaling point is below this multiple of single-core throughput (0 = no check; skipped on single-CPU hosts)")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -64,7 +66,7 @@ func main() {
 	defer stopProf()
 
 	if *offline {
-		if err := runOffline(*out, *jobs, *quick); err != nil {
+		if err := runOffline(*out, *jobs, *quick, *minScale); err != nil {
 			fatal(err)
 		}
 		return
@@ -96,14 +98,14 @@ func main() {
 	}
 
 	if *sessions > 0 {
-		if err := runIngest(*addr, *out, *sessions, *conc, *shards, *perSess, *chunkLen); err != nil {
+		if err := runIngest(*addr, *out, *sessions, *conc, *shards, *perSess, *chunkLen, *format, *minScale); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	if *stream != "" {
-		if err := runStream(*stream, *addr, *out, *chunkLen); err != nil {
+		if err := runStream(*stream, *addr, *out, *chunkLen, *format, *minScale); err != nil {
 			fatal(err)
 		}
 		return

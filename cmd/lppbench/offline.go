@@ -37,6 +37,11 @@ type offlineReport struct {
 	DetectAllocsJN  uint64  `json:"detect_allocs_jn"`
 	DetectParityOK  bool    `json:"detect_parity_ok"`
 
+	// DetectScaling re-runs the single-workload Detect with both the
+	// worker count and GOMAXPROCS capped at each curve point; every
+	// point's Detection must DeepEqual the single-core one.
+	DetectScaling []scalePoint `json:"detect_gomaxprocs_scaling,omitempty"`
+
 	ReportExperiments int     `json:"report_experiments"`
 	ReportSecondsJ1   float64 `json:"report_seconds_j1"`
 	ReportSecondsJN   float64 `json:"report_seconds_jn"`
@@ -51,7 +56,7 @@ type offlineReport struct {
 // BENCH_offline.json (to outDir when set, else the working directory).
 // Both halves double as parity checks: the -j N results must equal the
 // -j 1 results exactly, and the run fails loudly if they do not.
-func runOffline(outDir string, jobs int, quick bool) error {
+func runOffline(outDir string, jobs int, quick bool, minScale float64) error {
 	if jobs < 2 {
 		jobs = runtime.GOMAXPROCS(0)
 		if jobs < 2 {
@@ -101,6 +106,32 @@ func runOffline(outDir string, jobs int, quick bool) error {
 	fmt.Printf("detect %s (%d accesses): %.3fs at -j 1, %.3fs at -j %d (%.2fx), parity %v\n",
 		rep.DetectWorkload, rep.DetectAccesses, seqSecs, parSecs, jobs,
 		rep.DetectSpeedup, rep.DetectParityOK)
+
+	// Scaling curve for the detect half: worker count and GOMAXPROCS
+	// both capped at each point, result pinned to the -j 1 Detection.
+	curve, err := runScalingCurve(func(procs int) (float64, int, string, error) {
+		det, secs, _, err := timeDetect(spec, train, procs)
+		if err != nil {
+			return 0, 0, "", err
+		}
+		det.Config.Workers = seqDet.Config.Workers
+		fp := "match"
+		if !reflect.DeepEqual(seqDet, det) {
+			fp = fmt.Sprintf("divergent at workers=%d", procs)
+		}
+		return secs, int(seqDet.Accesses), fp, nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.DetectScaling = curve
+	for _, pt := range curve {
+		fmt.Printf("scaling gomaxprocs=%d: %.0f accesses/s (%.2fx, parity ok)\n",
+			pt.GOMAXPROCS, pt.EventsPerSec, pt.SpeedupVs1)
+	}
+	if err := enforceMinScale(curve, minScale); err != nil {
+		return err
+	}
 
 	// Half 2: the full nine-workload evaluation report, once with a
 	// serial cache fill and once with the concurrent prewarm.

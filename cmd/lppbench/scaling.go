@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"lpp/internal/trace"
+)
+
+// scalePoint is one GOMAXPROCS setting in a scaling curve. Every BENCH
+// artifact carries a curve so parallel speedups are regression-checked
+// numbers in the committed JSON, not prose claims: each point re-runs
+// the same workload with the runtime capped at that many cores and
+// must reproduce the single-core result exactly (ParityOK).
+type scalePoint struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	SpeedupVs1   float64 `json:"speedup_vs_1"`
+	ParityOK     bool    `json:"parity_ok"`
+}
+
+// scalingProcs is the fixed curve shape: 1/2/4/8 cores. Points beyond
+// runtime.NumCPU still run (GOMAXPROCS may exceed the core count) but
+// cannot speed up; scalingNote records that caveat where it applies.
+var scalingProcs = []int{1, 2, 4, 8}
+
+// runScalingCurve measures one pass of a benchmark at each GOMAXPROCS
+// point. fn runs the full workload under the given cap and returns
+// wall-clock seconds, the event count processed, and a deterministic
+// fingerprint of its output; any point whose fingerprint differs from
+// the single-core one fails the whole run — a parallel configuration
+// that changes results is a bug, not a data point. GOMAXPROCS is
+// restored afterwards.
+func runScalingCurve(fn func(procs int) (secs float64, events int, fingerprint string, err error)) ([]scalePoint, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var points []scalePoint
+	var base scalePoint
+	var baseFP string
+	for i, p := range scalingProcs {
+		runtime.GOMAXPROCS(p)
+		secs, events, fp, err := fn(p)
+		if err != nil {
+			return nil, fmt.Errorf("scaling point gomaxprocs=%d: %w", p, err)
+		}
+		pt := scalePoint{
+			GOMAXPROCS:   p,
+			Seconds:      secs,
+			EventsPerSec: float64(events) / secs,
+			SpeedupVs1:   1,
+			ParityOK:     true,
+		}
+		if i == 0 {
+			base, baseFP = pt, fp
+		} else {
+			pt.SpeedupVs1 = base.Seconds / secs
+			pt.ParityOK = fp == baseFP
+			if !pt.ParityOK {
+				return nil, fmt.Errorf("scaling parity violated at gomaxprocs=%d: %q != %q", p, fp, baseFP)
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// enforceMinScale asserts the curve against -minscale: the best
+// multi-core point that the host can actually parallelize (gomaxprocs
+// <= NumCPU) must reach at least minScale times the single-core
+// throughput. On a single-CPU host there is no such point and the
+// check is vacuous — GOMAXPROCS > 1 on one core measures scheduler
+// overhead, not scaling.
+func enforceMinScale(points []scalePoint, minScale float64) error {
+	if minScale <= 0 || len(points) == 0 {
+		return nil
+	}
+	ncpu := runtime.NumCPU()
+	if ncpu < 2 {
+		fmt.Printf("minscale %.2f: skipped (single-CPU host)\n", minScale)
+		return nil
+	}
+	base := points[0].EventsPerSec
+	best, bestP := 0.0, 0
+	for _, pt := range points[1:] {
+		if pt.GOMAXPROCS <= ncpu && pt.EventsPerSec > best {
+			best, bestP = pt.EventsPerSec, pt.GOMAXPROCS
+		}
+	}
+	if bestP == 0 {
+		return nil
+	}
+	if best < minScale*base {
+		return fmt.Errorf("scaling regression: best multi-core throughput %.0f events/s (gomaxprocs=%d) is below %.2fx the single-core %.0f events/s",
+			best, bestP, minScale, base)
+	}
+	fmt.Printf("minscale %.2f: ok (gomaxprocs=%d reaches %.2fx single-core)\n", minScale, bestP, best/base)
+	return nil
+}
+
+// scalingNote is the caveat attached to artifacts recorded on a host
+// with fewer cores than the curve's largest point; empty on hosts that
+// can drive the whole curve.
+func scalingNote() string {
+	ncpu := runtime.NumCPU()
+	if ncpu == 1 {
+		return "single-CPU runner: every curve point time-slices one core, so speedup_vs_1 " +
+			"stays ~1x by construction; parity is still enforced. Re-run on a multi-core " +
+			"machine for real scaling numbers."
+	}
+	if ncpu < scalingProcs[len(scalingProcs)-1] {
+		return fmt.Sprintf("%d-CPU runner: curve points above gomaxprocs=%d cannot speed up further.", ncpu, ncpu)
+	}
+	return ""
+}
+
+// chunkContentType maps a wire-format name (-format flag) to the HTTP
+// Content-Type the bench client sends.
+func chunkContentType(format string) string {
+	if format == "v2" {
+		return trace.ChunkV2ContentType
+	}
+	return "application/x-lpp-trace"
+}

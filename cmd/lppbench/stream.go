@@ -29,6 +29,7 @@ import (
 type streamReport struct {
 	Trace        string         `json:"trace"`
 	Addr         string         `json:"addr"`
+	Format       string         `json:"format"`
 	GOMAXPROCS   int            `json:"gomaxprocs"`
 	NumCPU       int            `json:"num_cpu"`
 	Events       int            `json:"events"`
@@ -48,9 +49,10 @@ type streamReport struct {
 	// RetriesHinted counts the retries that waited a server-provided
 	// Retry-After / X-Lpp-Retry-After-Ms interval instead of blind
 	// exponential backoff.
-	RetriesHinted int    `json:"retries_hinted"`
-	Replayed      int    `json:"replayed"`
-	Note          string `json:"note"`
+	RetriesHinted int          `json:"retries_hinted"`
+	Replayed      int          `json:"replayed"`
+	Scaling       []scalePoint `json:"gomaxprocs_scaling,omitempty"`
+	Note          string       `json:"note"`
 }
 
 // streamNote is the caveat carried in every BENCH_stream.json: the
@@ -70,12 +72,12 @@ type retryCounts struct {
 // backoff below it spans roughly half a minute of server unavailability.
 const maxAttempts = 60
 
-// postChunk sends one chunk, retrying transient failures — 429
-// backpressure, 5xx, and connection errors — resending the same body
-// under the same sequence number each time. The sequence number makes
-// retries idempotent: a chunk the server already applied is answered
-// from its response cache instead of being double-fed into the
-// detector.
+// postChunk sends one chunk with the given Content-Type (v1 row-binary
+// or v2 columnar), retrying transient failures — 429 backpressure, 5xx,
+// and connection errors — resending the same body under the same
+// sequence number each time. The sequence number makes retries
+// idempotent: a chunk the server already applied is answered from its
+// response cache instead of being double-fed into the detector.
 //
 // On 429 the server says how long to wait — X-Lpp-Retry-After-Ms (a
 // hint sized to its queue depth and recent chunk latency) or the
@@ -84,7 +86,7 @@ const maxAttempts = 60
 // the server already paced us, so the next failure shouldn't be
 // punished for it. Blind backoff with jitter remains the fallback for
 // hint-less failures.
-func postChunk(client *http.Client, url string, seq uint64, body []byte, rc *retryCounts) (*http.Response, error) {
+func postChunk(client *http.Client, url string, seq uint64, body []byte, ct string, rc *retryCounts) (*http.Response, error) {
 	backoff := 5 * time.Millisecond
 	const maxBackoff = 500 * time.Millisecond
 	var lastErr error
@@ -93,7 +95,7 @@ func postChunk(client *http.Client, url string, seq uint64, body []byte, rc *ret
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/x-lpp-trace")
+		req.Header.Set("Content-Type", ct)
 		req.Header.Set("X-Lpp-Seq", strconv.FormatUint(seq, 10))
 		resp, err := client.Do(req)
 		var hint time.Duration
@@ -156,10 +158,66 @@ func retryAfter(h http.Header) time.Duration {
 	return 0
 }
 
+// streamPassResult aggregates one full replay of the chunk stream. The
+// kinds tally doubles as the parity fingerprint across scaling points:
+// a parallel run that changes any emitted phase event changes the
+// tally.
+type streamPassResult struct {
+	elapsed time.Duration
+	lats    []time.Duration
+	kinds   map[string]int
+	rc      retryCounts
+}
+
+// streamPass replays pre-encoded chunks into one session under the seq
+// protocol, tallies every phase event the server emits (including the
+// final flush on DELETE), and deletes the session.
+func streamPass(base, session string, chunks [][]byte, ct string) (*streamPassResult, error) {
+	res := &streamPassResult{kinds: make(map[string]int)}
+	client := &http.Client{}
+	url := base + "/v1/sessions/" + session + "/events"
+	start := time.Now()
+	for i, body := range chunks {
+		t0 := time.Now()
+		resp, err := postChunk(client, url, uint64(i+1), body, ct, &res.rc)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", i+1, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("chunk %d: %s: %s", i+1, resp.Status, bytes.TrimSpace(msg))
+		}
+		err = countPhaseEvents(resp.Body, res.kinds)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.lats = append(res.lats, time.Since(t0))
+	}
+	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/"+session, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	err = countPhaseEvents(resp.Body, res.kinds)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.elapsed = time.Since(start)
+	return res, nil
+}
+
 // runStream replays a recorded trace file against an lppserve instance
 // — a running one at addr, or an in-process server when addr is empty
-// — measuring ingest throughput and per-chunk detection latency.
-func runStream(path, addr, outDir string, chunkLen int) error {
+// — measuring ingest throughput and per-chunk detection latency, plus
+// (in-process only) the GOMAXPROCS scaling curve with the phase-event
+// tally enforced as the parity fingerprint at every point.
+func runStream(path, addr, outDir string, chunkLen int, format string, minScale float64) error {
+	if format != "v1" && format != "v2" {
+		return fmt.Errorf("-format must be v1 or v2, got %q", format)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -173,7 +231,16 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		return fmt.Errorf("%s: empty trace", path)
 	}
 
-	if addr == "" {
+	// Pre-encode the whole stream before timing so the measured loop is
+	// HTTP + decode + detection, not client-side encoding.
+	chunks, err := encodeChunks(events, chunkLen, format)
+	if err != nil {
+		return err
+	}
+	ct := chunkContentType(format)
+
+	inProcess := addr == ""
+	if inProcess {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -191,66 +258,25 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		addr = ln.Addr().String()
 	}
 	base := "http://" + addr
-	session := base + "/v1/sessions/bench/events"
 
-	var (
-		lats  []time.Duration
-		kinds = make(map[string]int)
-		rc    retryCounts
-	)
-	client := &http.Client{}
-	start := time.Now()
-	seq := uint64(0)
-	for off := 0; off < len(events); off += chunkLen {
-		end := off + chunkLen
-		if end > len(events) {
-			end = len(events)
-		}
-		var buf bytes.Buffer
-		w := trace.NewWriter(&buf)
-		for _, ev := range events[off:end] {
-			ev.Feed(w)
-		}
-		if err := w.Flush(); err != nil {
-			return err
-		}
-		seq++
-		t0 := time.Now()
-		resp, err := postChunk(client, session, seq, buf.Bytes(), &rc)
-		if err != nil {
-			return fmt.Errorf("chunk at %d: %w", off, err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			return fmt.Errorf("chunk at %d: %s: %s", off, resp.Status, bytes.TrimSpace(msg))
-		}
-		err = countPhaseEvents(resp.Body, kinds)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		lats = append(lats, time.Since(t0))
-	}
-	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/bench", nil)
-	resp, err := client.Do(req)
+	res, err := streamPass(base, "bench", chunks, ct)
 	if err != nil {
 		return err
 	}
-	err = countPhaseEvents(resp.Body, kinds)
-	resp.Body.Close()
-	if err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
+	lats, kinds, rc, elapsed := res.lats, res.kinds, res.rc, res.elapsed
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(q float64) float64 {
 		return lats[int(q*float64(len(lats)-1))].Seconds() * 1e3
 	}
+	note := streamNote
+	if runtime.NumCPU() > 1 {
+		note = scalingNote()
+	}
 	rep := streamReport{
 		Trace:         path,
 		Addr:          addr,
+		Format:        format,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		NumCPU:        runtime.NumCPU(),
 		Events:        len(events),
@@ -269,15 +295,44 @@ func runStream(path, addr, outDir string, chunkLen int) error {
 		RetriesConn:   rc.conn,
 		RetriesHinted: rc.hinted,
 		Replayed:      rc.replayed,
-		Note:          streamNote,
+		Note:          note,
 	}
 
-	fmt.Printf("streamed %d events in %d chunks to %s in %v\n",
-		rep.Events, rep.Chunks, rep.Addr, elapsed.Round(time.Millisecond))
+	fmt.Printf("streamed %d events in %d %s chunks to %s in %v\n",
+		rep.Events, rep.Chunks, format, rep.Addr, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput %.0f events/s; chunk latency p50 %.2fms p90 %.2fms p99 %.2fms\n",
 		rep.EventsPerSec, rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms)
 	fmt.Printf("phase events: %s; retries: %d on 429 (%d server-paced), %d on 5xx, %d on connection errors; %d chunks replayed\n",
 		formatKinds(kinds), rep.Retries429, rep.RetriesHinted, rep.Retries5xx, rep.RetriesConn, rep.Replayed)
+
+	// Scaling curve: replay the same chunk stream with GOMAXPROCS
+	// capped at each point; the phase-event tally must reproduce the
+	// single-core run exactly. Remote servers run in another process,
+	// so there is nothing local to cap.
+	if inProcess {
+		pass := 1
+		curve, err := runScalingCurve(func(procs int) (float64, int, string, error) {
+			r, err := streamPass(base, fmt.Sprintf("bench-scale-%d", pass), chunks, ct)
+			pass++
+			if err != nil {
+				return 0, 0, "", err
+			}
+			return r.elapsed.Seconds(), len(events), formatKinds(r.kinds), nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.Scaling = curve
+		for _, pt := range curve {
+			fmt.Printf("scaling gomaxprocs=%d: %.0f events/s (%.2fx, parity ok)\n",
+				pt.GOMAXPROCS, pt.EventsPerSec, pt.SpeedupVs1)
+		}
+		if err := enforceMinScale(curve, minScale); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("scaling curve skipped: remote server (use in-process mode)")
+	}
 
 	out := "BENCH_stream.json"
 	if outDir != "" {

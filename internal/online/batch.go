@@ -7,13 +7,14 @@ import (
 // AccessBatch feeds a decoded chunk of trace events to the detector in
 // one call. It is exactly equivalent to calling Block/Access once per
 // event in order — the golden-trace suite pins that equivalence on all
-// nine workloads — but it amortizes the per-event cost the streaming
-// server would otherwise pay: no Instrumenter interface dispatch per
-// event, and reuse distances for each run of consecutive data accesses
-// are computed by a single reuse.ApproxAnalyzer.AccessBatch call with
-// the eviction rule applied inside the loop. The batch path allocates
-// nothing in the steady state; its scratch buffers live on the
-// detector and are bounded by the longest access run in a batch.
+// nine workloads plus the hostile tier — but it amortizes the per-event
+// cost the streaming server would otherwise pay: no Instrumenter
+// interface dispatch per event, and each run of consecutive data
+// accesses goes through one fused loop doing analyzer access, eviction,
+// and sampling together (step), with no intermediate address or
+// distance buffers. Load shedding (stride > 1) is handled inside the
+// same fused loop, so the degraded regime batches exactly like the
+// healthy one. The batch path allocates nothing in the steady state.
 func (d *Detector) AccessBatch(events []trace.Event) {
 	i := 0
 	for i < len(events) {
@@ -27,39 +28,64 @@ func (d *Detector) AccessBatch(events []trace.Event) {
 		for j < len(events) && events[j].Kind == trace.EventAccess {
 			j++
 		}
-		d.accessRun(events[i:j])
+		for k := i; k < j; k++ {
+			d.step(events[k].Addr)
+		}
 		i = j
 	}
 }
 
-// accessRun processes one maximal run of consecutive access events.
-// Distances are computed for the whole run first — sampling state and
-// the analyzer are independent, so deferring the sampling half of each
-// access past the analyzer half of later ones changes nothing — then
-// the sampling half replays per access with logical time advanced at
-// the same points the per-event path advances it.
-func (d *Detector) accessRun(run []trace.Event) {
-	if d.stride > 1 {
-		// Load shedding drops individual accesses by position; keep the
-		// per-event path, which is exact, for the degraded regime.
-		for k := range run {
-			d.Access(run[k].Addr)
+// AccessColumns feeds a decoded v2 chunk to the detector straight from
+// its columns, without materializing []trace.Event: the kinds bitmap is
+// walked in stream order, block events fold their counters from the
+// dense block columns, and each maximal run of accesses streams the
+// address column through the same fused step loop AccessBatch uses.
+// The golden suites pin AccessColumns bit-identical to the per-event
+// and row-batch paths.
+func (d *Detector) AccessColumns(c *trace.Columns) {
+	ai, bi := 0, 0
+	i := 0
+	for i < c.N {
+		if c.IsBlock(i) {
+			d.blocks++
+			d.instrs += int64(c.Instrs[bi])
+			bi++
+			i++
+			continue
 		}
-		return
+		j := i + 1
+		for j < c.N && !c.IsBlock(j) {
+			j++
+		}
+		for _, addr := range c.Addrs[ai : ai+(j-i)] {
+			d.step(addr)
+		}
+		ai += j - i
+		i = j
 	}
-	n := len(run)
-	if cap(d.batchAddrs) < n {
-		d.batchAddrs = make([]trace.Addr, n)
-		d.batchDists = make([]int64, n)
+}
+
+// step is the fused per-reference hot path shared by Access and both
+// batch entry points: advance logical time, apply load shedding, run
+// the analyzer with its eviction rule (one call via AccessEvict), then
+// the sampling half. Keeping one body makes per-event/batched/columnar
+// parity structural rather than re-proven per path.
+func (d *Detector) step(addr trace.Addr) {
+	t := d.now
+	d.now++
+
+	// Load shedding: under pressure only every stride-th access is
+	// analyzed; the rest advance time only. Reuse distances shrink by
+	// about the stride, and the threshold feedback re-adapts.
+	if d.stride > 1 {
+		d.strideAt++
+		if d.strideAt < int64(d.stride) {
+			d.shed++
+			return
+		}
+		d.strideAt = 0
 	}
-	addrs := d.batchAddrs[:n]
-	for k := range run {
-		addrs[k] = run[k].Addr
-	}
-	dists := d.analyzer.AccessBatch(addrs, d.cfg.MaxLive, d.batchDists[:n])
-	for k, addr := range addrs {
-		t := d.now
-		d.now++
-		d.sample(t, addr, dists[k])
-	}
+
+	dist := d.analyzer.AccessEvict(addr, d.cfg.MaxLive)
+	d.sample(t, addr, dist)
 }

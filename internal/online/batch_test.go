@@ -47,6 +47,112 @@ func TestAccessBatchHotPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestAccessColumnsHotPathZeroAllocs pins the columnar feed — bitmap
+// walk, fused analyzer/sampling loop, counter folds — at exactly zero
+// allocations per chunk, the v2 analog of the AccessBatch guard above.
+func TestAccessColumnsHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	cfg := DefaultConfig()
+	cfg.CheckEvery = 1 << 40 // no threshold feedback inside the run
+	cfg.OnEvent = func(phase.Event) {}
+	d := NewDetector(cfg)
+	data, err := trace.AppendChunkV2(nil, steadyChunk(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols trace.Columns
+	if err := trace.DecodeChunkV2(data, &cols, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.AccessColumns(&cols) // settle analyzer compaction
+	}
+	if avg := testing.AllocsPerRun(100, func() { d.AccessColumns(&cols) }); avg != 0 {
+		t.Errorf("steady-state AccessColumns: %.2f allocs per %d-event chunk, want 0", avg, cols.N)
+	}
+}
+
+// TestLoadSheddingBatchParity pins the degraded regime: with pressure
+// applied (stride > 1), the per-event, row-batch, and columnar paths
+// must shed the same accesses and end in identical states. The batch
+// paths used to fall back to per-event dispatch whenever stride > 1;
+// now shedding is handled inside the fused loop, and this test is what
+// holds that equivalence.
+func TestLoadSheddingBatchParity(t *testing.T) {
+	spec, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(1<<20, 1<<16)
+	spec.Make(workload.Params{N: 512, Steps: 6, Seed: 1}).Run(rec)
+	events := recordedEvents(&rec.T)
+
+	// Pressure flips mid-stream, twice, so runs straddle stride changes.
+	pressures := []float64{0.9, 0, 0.5}
+	run := func(feed func(d *Detector, events []trace.Event)) Stats {
+		cfg := DefaultConfig()
+		cfg.OnEvent = func(phase.Event) {}
+		d := NewDetector(cfg)
+		per := (len(events) + len(pressures) - 1) / len(pressures)
+		for i, p := range pressures {
+			d.SetPressure(p)
+			end := (i + 1) * per
+			if end > len(events) {
+				end = len(events)
+			}
+			feed(d, events[i*per:end])
+		}
+		d.Flush()
+		return d.Stats()
+	}
+
+	perEvent := run(func(d *Detector, events []trace.Event) {
+		for _, ev := range events {
+			ev.Feed(d)
+		}
+	})
+	if perEvent.Shed == 0 {
+		t.Fatal("test did not exercise load shedding")
+	}
+	batched := run(func(d *Detector, events []trace.Event) {
+		for off := 0; off < len(events); off += 777 {
+			end := off + 777
+			if end > len(events) {
+				end = len(events)
+			}
+			d.AccessBatch(events[off:end])
+		}
+	})
+	columns := run(func(d *Detector, events []trace.Event) {
+		var (
+			buf  []byte
+			cols trace.Columns
+		)
+		for off := 0; off < len(events); off += 777 {
+			end := off + 777
+			if end > len(events) {
+				end = len(events)
+			}
+			var err error
+			if buf, err = trace.AppendChunkV2(buf[:0], events[off:end]); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.DecodeChunkV2(buf, &cols, 0); err != nil {
+				t.Fatal(err)
+			}
+			d.AccessColumns(&cols)
+		}
+	})
+	if batched != perEvent {
+		t.Errorf("batched stats diverge under shedding:\n got  %+v\n want %+v", batched, perEvent)
+	}
+	if columns != perEvent {
+		t.Errorf("columnar stats diverge under shedding:\n got  %+v\n want %+v", columns, perEvent)
+	}
+}
+
 // TestAccessBatchAmortizedAllocs bounds the full batched path —
 // sampling, filtering, and boundary flushes included — on a real
 // workload's trace. Those stages allocate per *sample* by design (the
@@ -121,6 +227,35 @@ func BenchmarkAccessBatch(b *testing.B) {
 		off += chunkLen
 	}
 	b.SetBytes(0)
+	b.ReportMetric(float64(b.N)*chunkLen/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkAccessColumns measures the columnar feed on the same trace
+// and chunk size as BenchmarkAccessBatch, minus the []trace.Event
+// materialization the row path pays upstream.
+func BenchmarkAccessColumns(b *testing.B) {
+	events := benchmarkEvents(b)
+	cfg := DefaultConfig()
+	cfg.OnEvent = func(phase.Event) {}
+	d := NewDetector(cfg)
+	const chunkLen = 8192
+	var chunks []*trace.Columns
+	for off := 0; off+chunkLen <= len(events); off += chunkLen {
+		data, err := trace.AppendChunkV2(nil, events[off:off+chunkLen])
+		if err != nil {
+			b.Fatal(err)
+		}
+		var c trace.Columns
+		if err := trace.DecodeChunkV2(data, &c, 0); err != nil {
+			b.Fatal(err)
+		}
+		chunks = append(chunks, &c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.AccessColumns(chunks[i%len(chunks)])
+	}
 	b.ReportMetric(float64(b.N)*chunkLen/b.Elapsed().Seconds(), "events/s")
 }
 

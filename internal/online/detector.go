@@ -102,12 +102,6 @@ type Detector struct {
 	boundaries    int64
 	predictions   int64
 	droppedEvents int64
-
-	// AccessBatch scratch (batch.go): reused across batches so the
-	// steady-state batched path allocates nothing. Bounded by the
-	// longest run of consecutive access events in one batch.
-	batchAddrs []trace.Addr
-	batchDists []int64
 }
 
 // fsample is one filtered (kept) access sample pending partitioning.
@@ -140,36 +134,16 @@ func (d *Detector) Block(_ trace.BlockID, instrs int) {
 }
 
 // Access implements trace.Instrumenter: it advances logical time and
-// runs the single-pass analysis on this reference.
+// runs the single-pass analysis on this reference. It is the fused
+// per-reference loop body (step in batch.go), so the per-event and
+// batched paths share one implementation.
 func (d *Detector) Access(addr trace.Addr) {
-	t := d.now
-	d.now++
-
-	// Load shedding: under pressure only every stride-th access is
-	// analyzed; the rest advance time only. Reuse distances shrink by
-	// about the stride, and the threshold feedback re-adapts.
-	if d.stride > 1 {
-		d.strideAt++
-		if d.strideAt < int64(d.stride) {
-			d.shed++
-			return
-		}
-		d.strideAt = 0
-	}
-
-	dist := d.analyzer.Access(addr)
-	if d.analyzer.Distinct() > d.cfg.MaxLive {
-		d.analyzer.EvictOldest(d.cfg.MaxLive / 2)
-	}
-	d.sample(t, addr, dist)
+	d.step(addr)
 }
 
-// sample runs the post-analyzer half of Access — variable-distance
+// sample runs the post-analyzer half of a step — variable-distance
 // sampling and the threshold feedback loop — on one reference whose
-// reuse distance is already known. AccessBatch computes distances for a
-// run of references first (with the eviction rule interleaved inside
-// internal/reuse), then replays this half per reference in order, so
-// both paths make every decision with identical state.
+// reuse distance is already known.
 func (d *Detector) sample(t int64, addr trace.Addr, dist int64) {
 	if dist != reuse.Infinite {
 		if id, ok := d.dataIDs[addr]; ok {

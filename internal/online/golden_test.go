@@ -124,6 +124,35 @@ func feedBatched(d *Detector, rec *trace.Recorded) {
 	}
 }
 
+// feedColumns is the v2 ingest path: each uneven chunk is encoded as a
+// columnar v2 frame, decoded back into a reused Columns (exactly what
+// the server's pooled decode does), and fed through AccessColumns — so
+// the golden suites pin the whole encode→decode→columnar-feed pipeline
+// against the per-event truth, not just the feed loop.
+func feedColumns(d *Detector, rec *trace.Recorded) {
+	events := recordedEvents(rec)
+	var (
+		buf  []byte
+		cols trace.Columns
+	)
+	for off, k := 0, 0; off < len(events); k++ {
+		end := off + goldenChunkSizes[k%len(goldenChunkSizes)]
+		if end > len(events) {
+			end = len(events)
+		}
+		buf = buf[:0]
+		var err error
+		if buf, err = trace.AppendChunkV2(buf, events[off:end]); err != nil {
+			panic(err)
+		}
+		if err := trace.DecodeChunkV2(buf, &cols, 0); err != nil {
+			panic(err)
+		}
+		d.AccessColumns(&cols)
+		off = end
+	}
+}
+
 func diffFixtures(t *testing.T, label string, got, want goldenFixture) {
 	t.Helper()
 	if got.Stats != want.Stats {
@@ -162,7 +191,9 @@ func TestGoldenTraces(t *testing.T) {
 
 			perEvent := goldenRun(c, &rec.T, feedPerEvent)
 			batched := goldenRun(c, &rec.T, feedBatched)
+			columns := goldenRun(c, &rec.T, feedColumns)
 			diffFixtures(t, "batched vs per-event", batched, perEvent)
+			diffFixtures(t, "columns vs per-event", columns, perEvent)
 
 			path := goldenPath(c.name)
 			if *updateGolden {
@@ -189,6 +220,7 @@ func TestGoldenTraces(t *testing.T) {
 			}
 			diffFixtures(t, "per-event vs fixture", perEvent, want)
 			diffFixtures(t, "batched vs fixture", batched, want)
+			diffFixtures(t, "columns vs fixture", columns, want)
 		})
 	}
 }
@@ -211,7 +243,9 @@ func TestGoldenHostileTraces(t *testing.T) {
 			c := parityCase{name: "hostile-" + spec.Name}
 			perEvent := goldenRun(c, &rec.T, feedPerEvent)
 			batched := goldenRun(c, &rec.T, feedBatched)
+			columns := goldenRun(c, &rec.T, feedColumns)
 			diffFixtures(t, "batched vs per-event", batched, perEvent)
+			diffFixtures(t, "columns vs per-event", columns, perEvent)
 
 			path := goldenPath(c.name)
 			if *updateGolden {
@@ -238,6 +272,7 @@ func TestGoldenHostileTraces(t *testing.T) {
 			}
 			diffFixtures(t, "per-event vs fixture", perEvent, want)
 			diffFixtures(t, "batched vs fixture", batched, want)
+			diffFixtures(t, "columns vs fixture", columns, want)
 		})
 	}
 }

@@ -75,24 +75,31 @@ func (a *ApproxAnalyzer) Access(addr trace.Addr) int64 {
 	return dist
 }
 
+// AccessEvict records one reference and applies the streaming
+// detector's eviction rule in the same call: once more than maxLive
+// distinct addresses are live, the oldest are forgotten down to
+// maxLive/2. It is exactly an Access followed by the detector's
+// Distinct-gauge check — the fused entry point exists so the ingest hot
+// path pays one concrete call per reference instead of a call, a gauge
+// read, and a branch. maxLive <= 0 disables eviction.
+func (a *ApproxAnalyzer) AccessEvict(addr trace.Addr, maxLive int) int64 {
+	d := a.Access(addr)
+	if maxLive > 0 && len(a.last) > maxLive {
+		a.EvictOldest(maxLive / 2)
+	}
+	return d
+}
+
 // AccessBatch records a reference to each address in order, writing the
 // approximate reuse distance of addrs[i] into dists[i] (len(dists) must
-// be at least len(addrs)). When maxLive is positive, the streaming
-// detector's eviction rule runs after each access — once more than
-// maxLive distinct addresses are live, the oldest are forgotten down to
-// maxLive/2 — interleaved exactly as a caller making one Access and one
-// EvictOldest check per reference would, so batched and per-call
-// processing yield identical distances. The batch entry point exists to
-// keep the per-reference cost to one concrete call on the ingest hot
-// path instead of a call, a gauge read, and a branch per event.
+// be at least len(addrs)). When maxLive is positive, the eviction rule
+// runs after each access via AccessEvict, interleaved exactly as a
+// caller making one Access and one EvictOldest check per reference
+// would, so batched and per-call processing yield identical distances.
 func (a *ApproxAnalyzer) AccessBatch(addrs []trace.Addr, maxLive int, dists []int64) []int64 {
 	dists = dists[:len(addrs)]
 	for i, addr := range addrs {
-		d := a.Access(addr)
-		if maxLive > 0 && len(a.last) > maxLive {
-			a.EvictOldest(maxLive / 2)
-		}
-		dists[i] = d
+		dists[i] = a.AccessEvict(addr, maxLive)
 	}
 	return dists
 }

@@ -24,12 +24,23 @@ type decodeState struct {
 	tr     *trace.Reader
 	buf    []byte
 	events []trace.Event
+	// body and cols serve the columnar v2 path: the whole chunk is
+	// slurped into body (the v2 decoder is a pointer walk over one
+	// contiguous buffer, not a scanner) and decoded into cols' reused
+	// column slices.
+	body []byte
+	cols trace.Columns
 }
 
 // maxRetainedEvents caps the event-slice capacity a pooled state keeps:
 // an occasional pathologically dense chunk must not pin its worst-case
 // buffer in the pool forever.
 const maxRetainedEvents = 1 << 20
+
+// maxRetainedBody caps the raw-chunk buffer a pooled state keeps, for
+// the same reason: typical v2 chunks are tens of KiB, and one
+// MaxChunkBytes-sized outlier must not stay resident per pool slot.
+const maxRetainedBody = 1 << 20
 
 var decodePool = sync.Pool{New: func() any {
 	return &decodeState{
@@ -54,21 +65,70 @@ func (st *decodeState) trimForPool() {
 	if cap(st.events) > maxRetainedEvents {
 		st.events = nil
 	}
+	if cap(st.body) > maxRetainedBody {
+		st.body = nil
+	}
+	if cap(st.cols.Addrs)+cap(st.cols.IDs) > maxRetainedEvents {
+		st.cols = trace.Columns{}
+	}
 }
 
-// decodeChunk parses a request body as either the binary trace format
-// (recognized by its magic header or Content-Type) or NDJSON events.
-// The returned slice is owned by st and valid until st is recycled.
-func (s *Server) decodeChunk(r *http.Request, st *decodeState) ([]trace.Event, error) {
+// decodeChunk parses a request body as the columnar chunk format v2,
+// the v1 binary trace format, or NDJSON events. v2 and v1 are each
+// recognized by their magic header or Content-Type — magic first, so a
+// client speaking the new format through middleware that rewrites
+// Content-Type still negotiates correctly, and old v1/NDJSON clients
+// decode exactly as before. A v2 chunk comes back as cols (events nil);
+// the other formats come back as events (cols nil). Both are owned by
+// st and valid until st is recycled.
+func (s *Server) decodeChunk(r *http.Request, st *decodeState) (events []trace.Event, cols *trace.Columns, err error) {
 	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxChunkBytes)
 	st.br.Reset(body)
 	st.events = st.events[:0]
 	ct := r.Header.Get("Content-Type")
 	head, _ := st.br.Peek(len("LPPTRACE1\n"))
-	if strings.HasPrefix(ct, "application/x-lpp-trace") || bytes.Equal(head, []byte("LPPTRACE1\n")) {
-		return st.decodeBinary()
+	switch {
+	case trace.IsChunkV2(head) || strings.HasPrefix(ct, trace.ChunkV2ContentType):
+		cols, err = st.decodeColumns(int(s.cfg.MaxChunkBytes))
+		return nil, cols, err
+	case bytes.Equal(head, []byte("LPPTRACE1\n")) || strings.HasPrefix(ct, "application/x-lpp-trace"):
+		events, err = st.decodeBinary()
+		return events, nil, err
+	default:
+		events, err = st.decodeNDJSON()
+		return events, nil, err
 	}
-	return st.decodeNDJSON()
+}
+
+// decodeColumns slurps the body into the reusable chunk buffer and runs
+// the v2 columnar decoder over it. maxEvents caps the RLE expansion at
+// one event per allowed body byte — any denser chunk is refused, which
+// bounds decoded memory by the same knob (MaxChunkBytes) that already
+// bounds the wire size.
+func (st *decodeState) decodeColumns(maxEvents int) (*trace.Columns, error) {
+	buf := st.body[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64<<10)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := st.br.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			st.body = buf
+			return nil, fmt.Errorf("chunk v2: %w", err)
+		}
+	}
+	st.body = buf
+	if err := trace.DecodeChunkV2(buf, &st.cols, maxEvents); err != nil {
+		return nil, err // the codec's errors carry the "chunk v2" context
+	}
+	return &st.cols, nil
 }
 
 func (st *decodeState) decodeBinary() ([]trace.Event, error) {

@@ -21,9 +21,12 @@ func decodeVia(t *testing.T, s *Server, contentType string, body []byte) ([]trac
 	}
 	st := getDecodeState()
 	defer putDecodeState(st)
-	events, err := s.decodeChunk(req, st)
+	events, cols, err := s.decodeChunk(req, st)
 	if err != nil {
 		return nil, err
+	}
+	if cols != nil {
+		return cols.AppendEvents(nil), nil
 	}
 	return append([]trace.Event(nil), events...), nil
 }
@@ -124,9 +127,12 @@ func TestDecodeReuseIsClean(t *testing.T) {
 	defer putDecodeState(st)
 	decode := func(body []byte) []trace.Event {
 		req := httptest.NewRequest("POST", "/x", bytes.NewReader(body))
-		events, err := s.decodeChunk(req, st)
+		events, cols, err := s.decodeChunk(req, st)
 		if err != nil {
 			t.Fatalf("decode: %v", err)
+		}
+		if cols != nil {
+			return cols.AppendEvents(nil)
 		}
 		return events
 	}
@@ -163,8 +169,9 @@ func TestDecodeSteadyStateAllocs(t *testing.T) {
 		body []byte
 		ct   string
 	}{
-		"binary": {encodeBinary(t, events), "application/x-lpp-trace"},
-		"ndjson": {encodeNDJSON(events), ""},
+		"binary":  {encodeBinary(t, events), "application/x-lpp-trace"},
+		"ndjson":  {encodeNDJSON(events), ""},
+		"chunkv2": {encodeChunkV2(t, events), trace.ChunkV2ContentType},
 	} {
 		t.Run(name, func(t *testing.T) {
 			st := getDecodeState()
@@ -175,7 +182,7 @@ func TestDecodeSteadyStateAllocs(t *testing.T) {
 			run := func() {
 				reader.Reset(c.body)
 				req.Body = io.NopCloser(reader)
-				if _, err := s.decodeChunk(req, st); err != nil {
+				if _, _, err := s.decodeChunk(req, st); err != nil {
 					t.Fatalf("decode: %v", err)
 				}
 			}
@@ -204,12 +211,122 @@ func TestDecodePoolBoundsRetention(t *testing.T) {
 	if cap(small.events) != 128 {
 		t.Error("right-sized buffer dropped")
 	}
+	wide := &decodeState{body: make([]byte, maxRetainedBody+1)}
+	wide.cols.Addrs = make([]trace.Addr, maxRetainedEvents)
+	wide.cols.IDs = make([]trace.BlockID, 1)
+	wide.trimForPool()
+	if wide.body != nil {
+		t.Error("oversized chunk buffer retained for the pool")
+	}
+	if wide.cols.Addrs != nil {
+		t.Error("oversized column buffers retained for the pool")
+	}
+	snug := &decodeState{body: make([]byte, 4096)}
+	snug.cols.Addrs = make([]trace.Addr, 4096)
+	snug.trimForPool()
+	if cap(snug.body) != 4096 || cap(snug.cols.Addrs) != 4096 {
+		t.Error("right-sized v2 buffers dropped")
+	}
+}
+
+// TestDecodeChunkV2Negotiation pins the three-way format negotiation:
+// a v2 chunk is recognized by magic alone (wrong or missing
+// Content-Type included) and by Content-Type alone, decodes to the
+// same events as the v1 and NDJSON encodings of the stream, and v1
+// bodies keep decoding through the v1 path untouched. Corrupt v2
+// frames must fail decode, not fall through to another decoder.
+func TestDecodeChunkV2Negotiation(t *testing.T) {
+	s := mustServer(t, Config{})
+	defer s.Close()
+	events := syntheticEvents(3, 2, 1)[:1000]
+	v2 := encodeChunkV2(t, events)
+	want, err := decodeVia(t, s, "", encodeBinary(t, events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ct := range map[string]string{
+		"magic_only":    "",
+		"content_type":  trace.ChunkV2ContentType,
+		"wrong_v1_type": "application/x-lpp-trace",
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, err := decodeVia(t, s, ct, v2)
+			if err != nil {
+				t.Fatalf("v2 decode (%s): %v", name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("v2 decode: %d events, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+	t.Run("corrupt", func(t *testing.T) {
+		if _, err := decodeVia(t, s, "", v2[:len(v2)-1]); err == nil {
+			t.Error("truncated v2 chunk accepted")
+		}
+		if _, err := decodeVia(t, s, trace.ChunkV2ContentType, encodeNDJSON(events)); err == nil {
+			t.Error("NDJSON body with v2 Content-Type accepted")
+		}
+	})
+	t.Run("expansion_guard", func(t *testing.T) {
+		tiny := mustServer(t, Config{MaxChunkBytes: 256})
+		defer tiny.Close()
+		dense := make([]trace.Event, 500)
+		for i := range dense {
+			dense[i] = trace.Event{Kind: trace.EventBlock, Block: 1, Instrs: 1}
+		}
+		if _, err := decodeVia(t, tiny, "", encodeChunkV2(t, dense)); err == nil {
+			t.Error("chunk expanding past MaxChunkBytes events accepted")
+		}
+	})
+}
+
+// TestIngestChunkV2EndToEnd runs the same event stream through the HTTP
+// ingest path in all three wire formats against separate sessions and
+// requires identical responses and identical session stats — the
+// server-level proof that format choice cannot change detection.
+func TestIngestChunkV2EndToEnd(t *testing.T) {
+	s := mustServer(t, Config{})
+	defer s.Close()
+	h := s.Handler()
+	events := syntheticEvents(5, 6, 2)
+	bodies := map[string]struct {
+		body []byte
+		ct   string
+	}{
+		"v1": {encodeBinary(t, events), "application/x-lpp-trace"},
+		"v2": {encodeChunkV2(t, events), trace.ChunkV2ContentType},
+	}
+	stats := map[string]string{}
+	responses := map[string]string{}
+	for name, c := range bodies {
+		rr := post(t, h, "/v1/sessions/fmt-"+name+"/events", c.ct, c.body)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s ingest: status %d: %s", name, rr.Code, rr.Body.String())
+		}
+		responses[name] = rr.Body.String()
+		st := do(t, h, "GET", "/v1/sessions/fmt-"+name+"/stats")
+		if st.Code != http.StatusOK {
+			t.Fatalf("%s stats: status %d", name, st.Code)
+		}
+		stats[name] = st.Body.String()
+	}
+	if responses["v1"] != responses["v2"] {
+		t.Errorf("phase-event responses differ between formats:\n v1 %s\n v2 %s", responses["v1"], responses["v2"])
+	}
+	if stats["v1"] != stats["v2"] {
+		t.Errorf("session stats differ between formats:\n v1 %s\n v2 %s", stats["v1"], stats["v2"])
+	}
 }
 
 // BenchmarkIngestChunk measures the full HTTP ingest path — decode,
 // dispatch, detector feed, response encode — for both wire formats.
 func BenchmarkIngestChunk(b *testing.B) {
-	for _, format := range []string{"binary", "ndjson"} {
+	for _, format := range []string{"binary", "ndjson", "chunkv2"} {
 		b.Run(format, func(b *testing.B) {
 			s, err := New(Config{QueueDepth: 4})
 			if err != nil {
@@ -220,7 +337,8 @@ func BenchmarkIngestChunk(b *testing.B) {
 			events := syntheticEvents(1, 4, 2)[:8192]
 			var body []byte
 			ct := ""
-			if format == "binary" {
+			switch format {
+			case "binary":
 				var buf bytes.Buffer
 				w := trace.NewWriter(&buf)
 				for _, ev := range events {
@@ -231,7 +349,12 @@ func BenchmarkIngestChunk(b *testing.B) {
 				}
 				body = buf.Bytes()
 				ct = "application/x-lpp-trace"
-			} else {
+			case "chunkv2":
+				if body, err = trace.AppendChunkV2(nil, events); err != nil {
+					b.Fatal(err)
+				}
+				ct = trace.ChunkV2ContentType
+			default:
 				body = encodeNDJSON(events)
 			}
 			reader := bytes.NewReader(body)

@@ -490,14 +490,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := getDecodeState()
-	events, err := s.decodeChunk(r, st)
+	events, cols, err := s.decodeChunk(r, st)
 	if err != nil {
 		putDecodeState(st)
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	nEvents := len(events)
+	if cols != nil {
+		nEvents = cols.N
+		if s.store != nil {
+			// The WAL's entry format is row-shaped, so durable sessions
+			// materialize the columns once here (into the pooled slice)
+			// and take the event path; recovery replay stays identical
+			// for both wire formats.
+			st.events = cols.AppendEvents(st.events[:0])
+			events, cols = st.events, nil
+		}
+	}
 	start := time.Now()
-	c := chunk{op: opEvents, seq: seq, events: events, reply: make(chan result, 1)}
+	c := chunk{op: opEvents, seq: seq, events: events, cols: cols, reply: make(chan result, 1)}
 	res, err := s.dispatch(id, c)
 	switch {
 	case err == nil:
@@ -505,7 +517,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		// any more (the WAL encodes them before the reply).
 		putDecodeState(st)
 		if res.status == http.StatusOK && !res.replayed {
-			s.m.observeChunk(s.shardIndex(id), time.Since(start), len(events))
+			s.m.observeChunk(s.shardIndex(id), time.Since(start), nEvents)
 		}
 		writeResult(w, res)
 	case errors.Is(err, errQueueFull):

@@ -65,6 +65,16 @@ func encodeBinary(t *testing.T, events []trace.Event) []byte {
 	return buf.Bytes()
 }
 
+// encodeChunkV2 renders events as one columnar v2 chunk.
+func encodeChunkV2(t *testing.T, events []trace.Event) []byte {
+	t.Helper()
+	data, err := trace.AppendChunkV2(nil, events)
+	if err != nil {
+		t.Fatalf("encode v2 chunk: %v", err)
+	}
+	return data
+}
+
 // decodeResponse parses an NDJSON phase-event response body.
 func decodeResponse(t *testing.T, body []byte) []phaseWire {
 	t.Helper()

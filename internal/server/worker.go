@@ -43,7 +43,12 @@ type chunk struct {
 	// 0 means "assign the next one" (no idempotency requested).
 	seq    uint64
 	events []trace.Event
-	reply  chan result
+	// cols carries a columnar v2 chunk in place of events, fed through
+	// Detector.AccessColumns without ever materializing rows. Only
+	// ephemeral sessions take this path: the WAL's entry format is
+	// row-shaped, so durable sessions materialize before dispatch.
+	cols  *trace.Columns
+	reply chan result
 }
 
 // result is the worker's answer to one chunk.
@@ -303,7 +308,11 @@ func (w *worker) events(c chunk) result {
 		// Queue occupancy is the pressure signal: a backed-up consumer
 		// degrades detection fidelity instead of memory.
 		w.det.SetPressure(float64(len(w.sess.queue)) / float64(cap(w.sess.queue)))
-		w.det.AccessBatch(c.events)
+		if c.cols != nil {
+			w.det.AccessColumns(c.cols)
+		} else {
+			w.det.AccessBatch(c.events)
+		}
 	}) {
 		return w.quarantineResult(seq)
 	}
