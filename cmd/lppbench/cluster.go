@@ -10,67 +10,81 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"time"
 
+	"lpp/internal/cluster"
+	"lpp/internal/httpx"
 	"lpp/internal/server"
 )
 
-// clusterReport is the BENCH_cluster.json schema: the measured cost of
-// a node-death failover on a two-node replicated pair, plus the proof
-// that it lost nothing.
+// clusterReport is the BENCH_cluster.json schema: a routed 3-node
+// cluster under multi-session load, with one node killed mid-ingest
+// and one session live-migrated, plus the proof that the chaos lost
+// nothing.
 type clusterReport struct {
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	NumCPU          int     `json:"num_cpu"`
-	Events          int     `json:"events"`
-	Chunks          int     `json:"chunks"`
-	ChunkLen        int     `json:"chunk_len"`
-	CheckpointEvery int     `json:"checkpoint_every"`
-	KillChunk       int     `json:"kill_chunk"`
-	Seconds         float64 `json:"seconds"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Nodes      int     `json:"nodes"`
+	Vnodes     int     `json:"vnodes"`
+	Sessions   int     `json:"sessions"`
+	Events     int     `json:"events"`
+	Chunks     int     `json:"chunks_per_session"`
+	ChunkLen   int     `json:"chunk_len"`
+	Seconds    float64 `json:"seconds"`
 
-	// Replication health on the primary, sampled just before it dies.
-	ReplicaSent         int64   `json:"replica_sent"`
-	ReplicaDropped      int64   `json:"replica_dropped"`
-	ReplicaQueueAtKill  int     `json:"replica_queue_at_kill"`
-	ReplicationLagP50Ms float64 `json:"replication_lag_p50_ms"`
-	ReplicationLagP99Ms float64 `json:"replication_lag_p99_ms"`
+	// Placement balance on the ring, sampled before any chaos.
+	SessionsPerNode  map[string]int `json:"sessions_per_node"`
+	BalanceRatio     float64        `json:"balance_max_min_ratio"`
+	CrossNodeP50Ms   float64        `json:"cross_node_ingest_p50_ms"`
+	CrossNodeP99Ms   float64        `json:"cross_node_ingest_p99_ms"`
+	RoutedEventsPerS float64        `json:"routed_events_per_sec"`
 
-	// The failover itself.
-	PromoteMs        float64 `json:"promote_ms"`
-	PromoteRecovered int     `json:"promote_recovered_sessions"`
-	FirstAckMs       float64 `json:"failover_first_ack_ms"`
-	CatchUpMs        float64 `json:"failover_catchup_ms"`
-	ChunksReplayed   int     `json:"chunks_replayed"`
+	// The node kill: how many sessions lost their home and how much
+	// tail the clients replayed through the router to land them on the
+	// fallback owners.
+	KillRound        int     `json:"kill_round"`
+	ReroutedSessions int     `json:"rerouted_sessions"`
+	ReplayedChunks   int     `json:"replayed_chunks"`
+	RetriedConn      int     `json:"retried_conn_errors"`
+	Rewinds          int     `json:"rewinds_409"`
+	MigrationPauseMs float64 `json:"migration_pause_ms"`
+	MigrationImage   int     `json:"migration_image_bytes"`
+	MigrationSession string  `json:"migration_session"`
 
-	// EventsLost counts acknowledged events missing from the promoted
-	// node; the bench errors out instead of writing a report unless it
-	// is zero, so a committed BENCH_cluster.json always proves zero.
+	// EventsLost counts acknowledged events whose replayed responses
+	// diverged from the uninterrupted reference; the bench errors out
+	// instead of writing a report unless it is zero, so a committed
+	// BENCH_cluster.json always proves zero.
 	EventsLost int    `json:"events_lost"`
 	Parity     string `json:"parity"`
 	Note       string `json:"note"`
 }
 
 // clusterNote is the caveat carried in every BENCH_cluster.json.
-const clusterNote = "single-CPU runner: both nodes, the client, and the " +
-	"replication stream share one core, so failover and lag numbers are " +
-	"upper bounds dominated by detection cost, not network. Node death is " +
-	"simulated with the in-process Kill() — the SIGKILL equivalent: no " +
-	"drain, no final checkpoint, the standby sees only what replication " +
-	"already delivered. Re-run on a multi-core machine for service-level " +
-	"numbers."
+const clusterNote = "single-CPU runner: all three nodes, the router, and the " +
+	"client share one core, so cross-node latencies and the migration pause " +
+	"are upper bounds dominated by detection cost, not network. Node death " +
+	"is simulated with the in-process Kill() — the SIGKILL equivalent: no " +
+	"drain, no final checkpoint; the clients replay the dead node's " +
+	"sessions onto their fallback owners through the router, riding 409 " +
+	"X-Lpp-Want-Seq rewinds. Re-run on a multi-core machine for " +
+	"service-level numbers."
 
 // startNode brings up one in-process lppserve node on a real loopback
-// listener (the replicator dials it over TCP like a remote peer) and
-// returns the server, its base URL, and a shutdown func.
+// listener, advertising its real URL, and returns the server, its base
+// URL, and a shutdown func.
 func startNode(cfg server.Config) (*server.Server, string, func(), error) {
-	srv, err := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, "", nil, err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	base := "http://" + ln.Addr().String()
+	cfg.Advertise = base
+	srv, err := server.New(cfg)
 	if err != nil {
-		srv.Close()
+		ln.Close()
 		return nil, "", nil, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
@@ -79,231 +93,311 @@ func startNode(cfg server.Config) (*server.Server, string, func(), error) {
 		hs.Close()
 		srv.Close()
 	}
-	return srv, "http://" + ln.Addr().String(), stop, nil
+	return srv, base, stop, nil
 }
 
-// runCluster measures a node-death failover on a two-node pair: a
-// primary replicating checkpoints to a standby is killed mid-ingest
-// (no drain, no flush), the standby is promoted, and the client fails
-// over by switching base URL and replaying its tail past the 409 gap
-// response. The run verifies — against an uninterrupted single-node
-// run of the same stream — that every acknowledged chunk produced a
-// byte-identical response, i.e. zero acknowledged events were lost,
+// clusterSession is one client's stream through the router.
+type clusterSession struct {
+	id     string
+	chunks [][]byte
+	next   int      // index of the next chunk to send
+	acked  [][]byte // responses acknowledged so far
+	ref    [][]byte // the uninterrupted run's responses
+	refEnd []byte   // the uninterrupted run's close summary
+}
+
+// runCluster measures a routed 3-node cluster under chaos: 12 sessions
+// stream through the router, placement balance and cross-node ingest
+// latency are sampled, then one node is killed mid-ingest (its
+// sessions fail over to their ring successors via 409 rewinds) and one
+// session is live-migrated under load. The run verifies — against
+// uninterrupted single-node runs of the same streams — that every
+// acknowledged response and every close summary is byte-identical,
 // then writes BENCH_cluster.json.
 func runCluster(outDir string, perSession, chunkLen int) error {
-	const checkpointEvery = 2
-	events := ingestEvents(42, perSession)
-	chunks, err := encodeChunks(events, chunkLen, "v1")
-	if err != nil {
-		return err
+	const nNodes = 3
+	const nSessions = 12
+	// Keep each session at ~10 chunks so the kill and the migration
+	// both land with plenty of live traffic around them.
+	perSession /= 4
+	if perSession < 20_000 {
+		perSession = 20_000
 	}
-	if len(chunks) < 3 {
-		return fmt.Errorf("-cluster needs at least 3 chunks (%d events at -chunk %d gave %d); lower -chunk or raise -events",
-			len(events), chunkLen, len(chunks))
-	}
-	// Die at ~60% of the stream — never on the first chunk (so there is
-	// something to replicate) and never on the last (so there is a tail
-	// to fail over with).
-	killChunk := len(chunks) * 3 / 5
-	if killChunk < 1 {
-		killChunk = 1
-	}
-	if killChunk > len(chunks)-2 {
-		killChunk = len(chunks) - 2
+	if chunkLen > perSession/8 {
+		chunkLen = perSession / 8
 	}
 
-	// Reference: the same stream against one uninterrupted node. The
-	// failover run's acknowledged responses must match these byte for
-	// byte.
-	reference := make([][]byte, len(chunks))
-	var referenceClose []byte
+	sessions := make([]*clusterSession, nSessions)
+	maxChunks := 0
+	for i := range sessions {
+		events := ingestEvents(int64(42+i), perSession)
+		chunks, err := encodeChunks(events, chunkLen, "v1")
+		if err != nil {
+			return err
+		}
+		sessions[i] = &clusterSession{
+			id:     fmt.Sprintf("s-%02d", i),
+			chunks: chunks,
+			acked:  make([][]byte, len(chunks)),
+			ref:    make([][]byte, len(chunks)),
+		}
+		if len(chunks) > maxChunks {
+			maxChunks = len(chunks)
+		}
+	}
+	if maxChunks < 6 {
+		return fmt.Errorf("-cluster needs at least 6 chunks per session (got %d); lower -chunk or raise -events", maxChunks)
+	}
+
+	// Reference: every stream against one uninterrupted node.
 	{
 		_, base, stop, err := startNode(server.Config{})
 		if err != nil {
 			return err
 		}
 		client := &http.Client{}
-		var rc retryCounts
-		for i, body := range chunks {
-			resp, err := postChunk(client, base+"/v1/sessions/cluster/events", uint64(i+1), body, chunkContentType("v1"), &rc)
-			if err != nil {
-				stop()
-				return fmt.Errorf("reference chunk %d: %w", i+1, err)
+		var rc httpx.RetryCounts
+		for _, cs := range sessions {
+			for i, body := range cs.chunks {
+				resp, err := postChunk(client, base+"/v1/sessions/"+cs.id+"/events", uint64(i+1), body, chunkContentType("v1"), &rc)
+				if err != nil {
+					stop()
+					return fmt.Errorf("reference %s chunk %d: %w", cs.id, i+1, err)
+				}
+				cs.ref[i], err = readOK(resp)
+				if err != nil {
+					stop()
+					return fmt.Errorf("reference %s chunk %d: %w", cs.id, i+1, err)
+				}
 			}
-			reference[i], err = readOK(resp)
+			cs.refEnd, err = deleteSession(client, base, cs.id)
 			if err != nil {
 				stop()
-				return fmt.Errorf("reference chunk %d: %w", i+1, err)
+				return fmt.Errorf("reference close %s: %w", cs.id, err)
 			}
 		}
-		referenceClose, err = deleteSession(client, base, "cluster")
 		stop()
+	}
+
+	// The routed cluster: three durable nodes behind one router.
+	type node struct {
+		srv  *server.Server
+		base string
+		stop func()
+	}
+	nodes := make([]node, nNodes)
+	bases := make([]string, nNodes)
+	for i := range nodes {
+		dir, err := os.MkdirTemp("", "lppbench-cluster-")
 		if err != nil {
-			return fmt.Errorf("reference close: %w", err)
+			return err
+		}
+		defer os.RemoveAll(dir)
+		srv, base, stop, err := startNode(server.Config{DataDir: dir, CheckpointEvery: 4})
+		if err != nil {
+			return err
+		}
+		defer stop()
+		nodes[i] = node{srv: srv, base: base, stop: stop}
+		bases[i] = base
+	}
+	ring, err := cluster.New(bases, 0)
+	if err != nil {
+		return err
+	}
+	health := cluster.NewHealth(bases, nil, 50*time.Millisecond)
+	defer health.Close()
+	rt := cluster.NewRouter(ring, health, nil)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rhs := &http.Server{Handler: rt}
+	go rhs.Serve(rln)
+	defer rhs.Close()
+	routerBase := "http://" + rln.Addr().String()
+
+	// Placement balance before any chaos.
+	perNode := make(map[string]int, nNodes)
+	for _, cs := range sessions {
+		perNode[ring.Owner(cs.id)]++
+	}
+	minOwned, maxOwned := nSessions, 0
+	for _, b := range bases {
+		if perNode[b] < minOwned {
+			minOwned = perNode[b]
+		}
+		if perNode[b] > maxOwned {
+			maxOwned = perNode[b]
+		}
+	}
+	balance := float64(maxOwned)
+	if minOwned > 0 {
+		balance = float64(maxOwned) / float64(minOwned)
+	}
+
+	killRound := maxChunks * 2 / 5
+	migrateRound := maxChunks * 7 / 10
+	if migrateRound <= killRound {
+		migrateRound = killRound + 1
+	}
+	// The victim owns the most sessions: the worst-case reroute.
+	victim := ""
+	for _, b := range bases {
+		if victim == "" || perNode[b] > perNode[victim] {
+			victim = b
 		}
 	}
 
-	dirA, err := os.MkdirTemp("", "lppbench-cluster-a-")
-	if err != nil {
-		return err
-	}
-	defer os.RemoveAll(dirA)
-	dirB, err := os.MkdirTemp("", "lppbench-cluster-b-")
-	if err != nil {
-		return err
-	}
-	defer os.RemoveAll(dirB)
-
-	srvB, baseB, stopB, err := startNode(server.Config{DataDir: dirB, Standby: true})
-	if err != nil {
-		return err
-	}
-	defer stopB()
-	srvA, baseA, stopA, err := startNode(server.Config{
-		DataDir: dirA, CheckpointEvery: checkpointEvery, Peer: baseB,
-	})
-	if err != nil {
-		return err
-	}
-	defer stopA()
-
-	client := &http.Client{}
-	var rc retryCounts
-	acked := make([][]byte, len(chunks))
+	client := &http.Client{Timeout: 60 * time.Second}
+	var rc httpx.RetryCounts
+	var latencies []time.Duration
+	var totalEvents int
+	rewinds, replayed, rerouted := 0, 0, perNode[victim]
+	killed := false
+	var migration cluster.MigrationReport
 	start := time.Now()
-	for i := 0; i < killChunk; i++ {
-		resp, err := postChunk(client, baseA+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], chunkContentType("v1"), &rc)
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i+1, err)
-		}
-		acked[i], err = readOK(resp)
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i+1, err)
-		}
-	}
 
-	// Sample replication health, then the node dies where it stands:
-	// whatever is still queued (or in flight) is lost with it.
-	repStats := srvA.Replicator().Stats()
-	killAt := time.Now()
-	srvA.Kill()
-
-	n, err := srvB.Promote()
-	if err != nil {
-		return fmt.Errorf("promote: %w", err)
-	}
-	promoted := time.Now()
-
-	// The client switches base URL and continues with its next sequence
-	// number. The promoted node recovered from the last replicated
-	// checkpoint, so the client may be ahead of it: the 409's
-	// X-Lpp-Want-Seq says where to rewind, and the tail is replayed
-	// under the same sequence numbers (idempotent by protocol).
-	next := killChunk // 0-based index of the next chunk to send
-	var firstAck, caughtUp time.Time
-	resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(next+1), chunks[next], chunkContentType("v1"), &rc)
-	if err != nil {
-		return fmt.Errorf("first post after failover: %w", err)
-	}
-	replayed := 0
-	if resp.StatusCode == http.StatusConflict {
-		want, perr := strconv.ParseUint(resp.Header.Get("X-Lpp-Want-Seq"), 10, 64)
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if perr != nil || want == 0 || want > uint64(next+1) {
-			return fmt.Errorf("409 without usable X-Lpp-Want-Seq %q (next seq %d)",
-				resp.Header.Get("X-Lpp-Want-Seq"), next+1)
+	// Round-robin the sessions chunk by chunk so the kill and the
+	// migration land amid interleaved cross-node traffic.
+	for round := 0; ; round++ {
+		if round == killRound && !killed {
+			for i := range nodes {
+				if nodes[i].base == victim {
+					nodes[i].stop()
+					nodes[i].srv.Kill()
+				}
+			}
+			killed = true
 		}
-		next = int(want) - 1
-	} else {
-		body, rerr := readOK(resp)
-		if rerr != nil {
-			return fmt.Errorf("first post after failover: %w", rerr)
-		}
-		// The replicated checkpoint already covered everything the
-		// client had acknowledged: caught up on the first ack.
-		firstAck = time.Now()
-		caughtUp = firstAck
-		acked[next] = body
-		next++
-	}
-	for i := next; i < len(chunks); i++ {
-		resp, err := postChunk(client, baseB+"/v1/sessions/cluster/events", uint64(i+1), chunks[i], chunkContentType("v1"), &rc)
-		if err != nil {
-			return fmt.Errorf("chunk %d after failover: %w", i+1, err)
-		}
-		body, rerr := readOK(resp)
-		if rerr != nil {
-			return fmt.Errorf("chunk %d after failover: %w", i+1, rerr)
-		}
-		if firstAck.IsZero() {
-			firstAck = time.Now()
-		}
-		if i < killChunk {
-			// The dead primary acknowledged this chunk; the promoted
-			// node must answer it identically or acknowledged events
-			// were lost.
-			replayed++
-			if !bytes.Equal(body, acked[i]) {
-				return fmt.Errorf("chunk %d replayed after failover diverges from the acknowledged response — acknowledged events lost", i+1)
+		if round == migrateRound {
+			// Drain one still-live session to the other surviving node.
+			for _, cs := range sessions {
+				src := rt.Owner(cs.id)
+				tgt := ""
+				for _, b := range bases {
+					if b != src && b != victim {
+						tgt = b
+						break
+					}
+				}
+				if src == victim || tgt == "" || cs.next >= len(cs.chunks) {
+					continue
+				}
+				migration, err = cluster.Migrate(client, cs.id, src, tgt)
+				if err != nil {
+					return fmt.Errorf("live migration of %s: %w", cs.id, err)
+				}
+				rt.Pin(cs.id, tgt)
+				break
 			}
 		}
-		acked[i] = body
-		// Caught up once every pre-kill acknowledgement is re-acked.
-		if caughtUp.IsZero() && i >= killChunk-1 {
-			caughtUp = time.Now()
+		active := 0
+		for _, cs := range sessions {
+			if cs.next >= len(cs.chunks) {
+				continue
+			}
+			active++
+			i := cs.next
+			sent := time.Now()
+			resp, err := postChunk(client, routerBase+"/v1/sessions/"+cs.id+"/events", uint64(i+1), cs.chunks[i], chunkContentType("v1"), &rc)
+			if err != nil {
+				return fmt.Errorf("%s chunk %d via router: %w", cs.id, i+1, err)
+			}
+			if resp.StatusCode == http.StatusConflict {
+				want, perr := strconv.ParseUint(resp.Header.Get("X-Lpp-Want-Seq"), 10, 64)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if perr != nil || want == 0 || want > uint64(i+1) {
+					return fmt.Errorf("%s: 409 without usable X-Lpp-Want-Seq %q (next %d)", cs.id, resp.Header.Get("X-Lpp-Want-Seq"), i+1)
+				}
+				rewinds++
+				cs.next = int(want) - 1
+				continue
+			}
+			body, rerr := readOK(resp)
+			if rerr != nil {
+				return fmt.Errorf("%s chunk %d via router: %w", cs.id, i+1, rerr)
+			}
+			latencies = append(latencies, time.Since(sent))
+			if !bytes.Equal(body, cs.ref[i]) {
+				return fmt.Errorf("%s chunk %d diverges from the uninterrupted run — acknowledged events lost", cs.id, i+1)
+			}
+			if cs.acked[i] != nil {
+				replayed++
+			}
+			cs.acked[i] = body
+			if n := perSession - i*chunkLen; n < chunkLen {
+				totalEvents += n
+			} else {
+				totalEvents += chunkLen
+			}
+			cs.next++
+		}
+		if active == 0 {
+			break
 		}
 	}
-	closeBody, err := deleteSession(client, baseB, "cluster")
-	if err != nil {
-		return fmt.Errorf("close after failover: %w", err)
+	for _, cs := range sessions {
+		closeBody, err := deleteSession(client, routerBase, cs.id)
+		if err != nil {
+			return fmt.Errorf("close %s via router: %w", cs.id, err)
+		}
+		if !bytes.Equal(closeBody, cs.refEnd) {
+			return fmt.Errorf("%s close summary diverges from the uninterrupted run", cs.id)
+		}
 	}
 	elapsed := time.Since(start)
 
-	// Parity against the uninterrupted run: every response the client
-	// holds — acknowledged by either node — and the close summary must
-	// be byte-identical.
-	for i := range chunks {
-		if !bytes.Equal(acked[i], reference[i]) {
-			return fmt.Errorf("chunk %d diverges from the uninterrupted run — acknowledged events lost", i+1)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
 		}
-	}
-	if !bytes.Equal(closeBody, referenceClose) {
-		return fmt.Errorf("close summary diverges from the uninterrupted run")
+		return latencies[int(q*float64(len(latencies)-1))].Seconds() * 1e3
 	}
 
+	perNodeNamed := make(map[string]int, nNodes)
+	for i, b := range bases {
+		perNodeNamed[fmt.Sprintf("node-%d", i)] = perNode[b]
+	}
 	rep := clusterReport{
-		GOMAXPROCS:          runtime.GOMAXPROCS(0),
-		NumCPU:              runtime.NumCPU(),
-		Events:              len(events),
-		Chunks:              len(chunks),
-		ChunkLen:            chunkLen,
-		CheckpointEvery:     checkpointEvery,
-		KillChunk:           killChunk,
-		Seconds:             elapsed.Seconds(),
-		ReplicaSent:         repStats.Sent,
-		ReplicaDropped:      repStats.Dropped,
-		ReplicaQueueAtKill:  repStats.Queue,
-		ReplicationLagP50Ms: repStats.LagP50.Seconds() * 1e3,
-		ReplicationLagP99Ms: repStats.LagP99.Seconds() * 1e3,
-		PromoteMs:           promoted.Sub(killAt).Seconds() * 1e3,
-		PromoteRecovered:    n,
-		FirstAckMs:          firstAck.Sub(killAt).Seconds() * 1e3,
-		CatchUpMs:           caughtUp.Sub(killAt).Seconds() * 1e3,
-		ChunksReplayed:      replayed,
-		EventsLost:          0,
-		Parity:              "byte-identical",
-		Note:                clusterNote,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		Nodes:            nNodes,
+		Vnodes:           cluster.DefaultVnodes,
+		Sessions:         nSessions,
+		Events:           perSession * nSessions,
+		Chunks:           maxChunks,
+		ChunkLen:         chunkLen,
+		Seconds:          elapsed.Seconds(),
+		SessionsPerNode:  perNodeNamed,
+		BalanceRatio:     balance,
+		CrossNodeP50Ms:   pct(0.50),
+		CrossNodeP99Ms:   pct(0.99),
+		RoutedEventsPerS: float64(totalEvents) / elapsed.Seconds(),
+		KillRound:        killRound,
+		ReroutedSessions: rerouted,
+		ReplayedChunks:   replayed,
+		RetriedConn:      rc.Conn,
+		Rewinds:          rewinds,
+		MigrationPauseMs: migration.PauseMs,
+		MigrationImage:   migration.ImageBytes,
+		MigrationSession: migration.Session,
+		EventsLost:       0,
+		Parity:           "byte-identical",
+		Note:             clusterNote,
 	}
 
-	fmt.Printf("cluster: %d events in %d chunks; primary killed after chunk %d of %d\n",
-		rep.Events, rep.Chunks, rep.KillChunk, rep.Chunks)
-	fmt.Printf("replication before death: %d sent, %d dropped, %d queued; lag p50 %.2fms p99 %.2fms\n",
-		rep.ReplicaSent, rep.ReplicaDropped, rep.ReplicaQueueAtKill,
-		rep.ReplicationLagP50Ms, rep.ReplicationLagP99Ms)
-	fmt.Printf("failover: promote %.2fms (%d session(s) recovered), first ack %.2fms, caught up %.2fms; %d chunk(s) replayed\n",
-		rep.PromoteMs, rep.PromoteRecovered, rep.FirstAckMs, rep.CatchUpMs, rep.ChunksReplayed)
-	fmt.Printf("parity: %s vs uninterrupted run; events lost: %d\n", rep.Parity, rep.EventsLost)
+	fmt.Printf("cluster: %d sessions × %d events over %d routed nodes; balance %v (max/min %.2f)\n",
+		rep.Sessions, perSession, rep.Nodes, rep.SessionsPerNode, rep.BalanceRatio)
+	fmt.Printf("cross-node ingest via router: p50 %.2fms p99 %.2fms, %.0f events/sec\n",
+		rep.CrossNodeP50Ms, rep.CrossNodeP99Ms, rep.RoutedEventsPerS)
+	fmt.Printf("chaos: node killed at round %d (%d sessions rerouted, %d chunks replayed, %d rewinds, %d conn retries)\n",
+		rep.KillRound, rep.ReroutedSessions, rep.ReplayedChunks, rep.Rewinds, rep.RetriedConn)
+	fmt.Printf("migration under load: %s paused %.2fms (image %d bytes)\n",
+		rep.MigrationSession, rep.MigrationPauseMs, rep.MigrationImage)
+	fmt.Printf("parity: %s vs uninterrupted runs; events lost: %d\n", rep.Parity, rep.EventsLost)
 
 	out := "BENCH_cluster.json"
 	if outDir != "" {

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"lpp/internal/httpx"
 	"lpp/internal/server"
 	"lpp/internal/trace"
 )
@@ -119,7 +120,7 @@ func encodeChunks(events []trace.Event, chunkLen int, format string) ([][]byte, 
 type ingestPassResult struct {
 	elapsed     time.Duration
 	lats        []time.Duration
-	rc          retryCounts
+	rc          httpx.RetryCounts
 	events      int64
 	boundaries  int64
 	predictions int64
@@ -137,7 +138,7 @@ func (r *ingestPassResult) fingerprint() string {
 func ingestPass(base string, pass int, sessionChunks [][][]byte, concurrency int, ct string) (*ingestPassResult, error) {
 	type workerState struct {
 		lats []time.Duration
-		rc   retryCounts
+		rc   httpx.RetryCounts
 		ev   int64
 		bd   int64
 		pr   int64
@@ -198,9 +199,9 @@ func ingestPass(base string, pass int, sessionChunks [][][]byte, concurrency int
 			return nil, states[i].err
 		}
 		res.lats = append(res.lats, states[i].lats...)
-		res.rc.r429 += states[i].rc.r429
-		res.rc.r5xx += states[i].rc.r5xx
-		res.rc.conn += states[i].rc.conn
+		res.rc.Status429 += states[i].rc.Status429
+		res.rc.Status5xx += states[i].rc.Status5xx
+		res.rc.Conn += states[i].rc.Conn
 		res.events += states[i].ev
 		res.boundaries += states[i].bd
 		res.predictions += states[i].pr
@@ -387,9 +388,9 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 		EventsPerSec:     float64(totalEvents) / res.elapsed.Seconds(),
 		LatencyP50Ms:     pct(0.50),
 		LatencyP99Ms:     pct(0.99),
-		Retries429:       res.rc.r429,
-		Retries5xx:       res.rc.r5xx,
-		RetriesConn:      res.rc.conn,
+		Retries429:       res.rc.Status429,
+		Retries5xx:       res.rc.Status5xx,
+		RetriesConn:      res.rc.Conn,
 		Note:             scalingNote(),
 	}
 	if inProcess {
@@ -406,9 +407,9 @@ func runIngest(addr, outDir string, sessions, concurrency, shards, perSession, c
 		fmt.Printf("allocations (whole process, client+server): %.1f/chunk, %.4f/event\n",
 			rep.AllocsPerChunk, rep.AllocsPerEvent)
 	}
-	if res.rc.r429+res.rc.r5xx+res.rc.conn > 0 {
+	if res.rc.Status429+res.rc.Status5xx+res.rc.Conn > 0 {
 		fmt.Printf("retries: %d on 429, %d on 5xx, %d on connection errors\n",
-			res.rc.r429, res.rc.r5xx, res.rc.conn)
+			res.rc.Status429, res.rc.Status5xx, res.rc.Conn)
 	}
 
 	// Head-to-head codec comparison on session 0's stream, no HTTP in

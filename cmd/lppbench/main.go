@@ -13,7 +13,7 @@
 //	lppbench -warmstart         # knowledge-store warm-start benchmark, write BENCH_warmstart.json
 //	lppbench -stream t.trace    # replay a trace against lppserve, write BENCH_stream.json
 //	lppbench -sessions 8 -concurrency 8   # concurrent multi-session ingest, write BENCH_ingest.json
-//	lppbench -cluster           # 2-node failover benchmark, write BENCH_cluster.json
+//	lppbench -cluster           # routed 3-node chaos benchmark, write BENCH_cluster.json
 //	lppbench -hostile [-family drift]     # differential torture harness, write BENCH_hostile.json
 package main
 
@@ -43,7 +43,7 @@ func main() {
 		addr     = flag.String("addr", "", "lppserve address for -stream/-sessions (default: in-process server)")
 		chunkLen = flag.Int("chunk", 16384, "events per chunk for -stream and -sessions")
 		sessions = flag.Int("sessions", 0, "multi-session ingest load mode: number of sessions (writes BENCH_ingest.json)")
-		cluster  = flag.Bool("cluster", false, "2-node replicated pair: kill the primary mid-ingest, promote the standby, verify zero loss (writes BENCH_cluster.json)")
+		cluster  = flag.Bool("cluster", false, "routed 3-node cluster: kill a node mid-ingest, live-migrate a session under load, verify zero loss (writes BENCH_cluster.json)")
 		conc     = flag.Int("concurrency", 0, "concurrent sessions in flight for -sessions (default: all)")
 		shards   = flag.Int("shards", 0, "session-table shard count for the in-process server (0 = server default)")
 		perSess  = flag.Int("events", 200_000, "events per session for -sessions")

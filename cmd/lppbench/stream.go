@@ -6,17 +6,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
+	"lpp/internal/httpx"
 	"lpp/internal/server"
 	"lpp/internal/trace"
 )
@@ -62,100 +61,12 @@ const streamNote = "single-CPU runner: client and server share one core, so " +
 	"throughput and chunk latency measure detection cost, not network or " +
 	"parallel ingest. Re-run on a multi-core machine for service-level numbers."
 
-// retryCounts tallies the transient failures the client rode out.
-type retryCounts struct {
-	r429, r5xx, conn, replayed int
-	hinted                     int
-}
-
-// maxAttempts bounds the retry loop for one chunk; with the capped
-// backoff below it spans roughly half a minute of server unavailability.
-const maxAttempts = 60
-
-// postChunk sends one chunk with the given Content-Type (v1 row-binary
-// or v2 columnar), retrying transient failures — 429 backpressure, 5xx,
-// and connection errors — resending the same body under the same
-// sequence number each time. The sequence number makes retries
-// idempotent: a chunk the server already applied is answered from its
-// response cache instead of being double-fed into the detector.
-//
-// On 429 the server says how long to wait — X-Lpp-Retry-After-Ms (a
-// hint sized to its queue depth and recent chunk latency) or the
-// standard Retry-After in seconds — and the client honors that instead
-// of guessing. A hinted wait does not grow the exponential backoff:
-// the server already paced us, so the next failure shouldn't be
-// punished for it. Blind backoff with jitter remains the fallback for
-// hint-less failures.
-func postChunk(client *http.Client, url string, seq uint64, body []byte, ct string, rc *retryCounts) (*http.Response, error) {
-	backoff := 5 * time.Millisecond
-	const maxBackoff = 500 * time.Millisecond
-	var lastErr error
-	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		req, err := http.NewRequest("POST", url, bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", ct)
-		req.Header.Set("X-Lpp-Seq", strconv.FormatUint(seq, 10))
-		resp, err := client.Do(req)
-		var hint time.Duration
-		switch {
-		case err != nil:
-			rc.conn++
-			lastErr = err
-		case resp.StatusCode == http.StatusTooManyRequests:
-			rc.r429++
-			hint = retryAfter(resp.Header)
-			lastErr = fmt.Errorf("server answered %s", resp.Status)
-		case resp.StatusCode >= 500:
-			rc.r5xx++
-			lastErr = fmt.Errorf("server answered %s", resp.Status)
-		default:
-			if resp.Header.Get("X-Lpp-Replayed") == "true" {
-				rc.replayed++
-			}
-			return resp, nil
-		}
-		if resp != nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
-		if hint > 0 {
-			rc.hinted++
-			time.Sleep(hint)
-			continue
-		}
-		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
-	}
-	return nil, fmt.Errorf("seq %d: gave up after %d attempts: %w", seq, maxAttempts, lastErr)
-}
-
-// retryAfter extracts the server's wait hint from a 429 response:
-// X-Lpp-Retry-After-Ms first (millisecond resolution), then the
-// standard Retry-After delay-seconds form. Zero means no usable hint.
-// Hints are clamped to 5s so a confused server can't stall the bench.
-func retryAfter(h http.Header) time.Duration {
-	const maxHint = 5 * time.Second
-	if v := h.Get("X-Lpp-Retry-After-Ms"); v != "" {
-		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
-			if d := time.Duration(ms) * time.Millisecond; d < maxHint {
-				return d
-			}
-			return maxHint
-		}
-	}
-	if v := h.Get("Retry-After"); v != "" {
-		if sec, err := strconv.ParseInt(v, 10, 64); err == nil && sec > 0 {
-			if d := time.Duration(sec) * time.Second; d < maxHint {
-				return d
-			}
-			return maxHint
-		}
-	}
-	return 0
+// postChunk sends one chunk through the shared retry policy
+// (internal/httpx): capped exponential backoff with jitter, 429 hints
+// honored via Retry-After / X-Lpp-Retry-After-Ms, idempotent re-sends
+// under the same sequence number.
+func postChunk(client *http.Client, url string, seq uint64, body []byte, ct string, rc *httpx.RetryCounts) (*http.Response, error) {
+	return httpx.PostChunk(client, url, seq, body, ct, rc)
 }
 
 // streamPassResult aggregates one full replay of the chunk stream. The
@@ -166,7 +77,7 @@ type streamPassResult struct {
 	elapsed time.Duration
 	lats    []time.Duration
 	kinds   map[string]int
-	rc      retryCounts
+	rc      httpx.RetryCounts
 }
 
 // streamPass replays pre-encoded chunks into one session under the seq
@@ -290,11 +201,11 @@ func runStream(path, addr, outDir string, chunkLen int, format string, minScale 
 		EventKinds:    kinds,
 		Boundaries:    kinds["boundary"],
 		Predictions:   kinds["prediction"],
-		Retries429:    rc.r429,
-		Retries5xx:    rc.r5xx,
-		RetriesConn:   rc.conn,
-		RetriesHinted: rc.hinted,
-		Replayed:      rc.replayed,
+		Retries429:    rc.Status429,
+		Retries5xx:    rc.Status5xx,
+		RetriesConn:   rc.Conn,
+		RetriesHinted: rc.Hinted,
+		Replayed:      rc.Replayed,
 		Note:          note,
 	}
 

@@ -37,6 +37,17 @@
 // distinguishes a serving node (200) from one that is a standby,
 // recovering, or draining (503); /healthz stays a pure liveness probe.
 //
+// With -router, the process serves no sessions itself: it fronts the
+// static membership given by -nodes as a consistent-hash cluster
+// router. Each member runs a normal lppserve with -advertise set to
+// the URL the other machines reach it at. Clients talk only to the
+// router: it places each session on the ring, forwards chunks to the
+// owning node, reroutes around dead members (health-gated by their
+// /readyz), follows sessions that migrated (421 X-Lpp-Owner), and
+// holds traffic through a live migration. POST /v1/cluster/migrate
+// drains a session to another member; GET /v1/cluster/status shows
+// membership and liveness.
+//
 // Usage:
 //
 //	lppserve [-addr :8080] [-queue 8] [-shards 16] [-max-sessions 256]
@@ -44,6 +55,8 @@
 //	         [-idle-timeout 0] [-drain 10s] [-consumers predictor:strict,cacheresize]
 //	         [-knowledge FILE] [-knowledge-cap 1024] [-knowledge-threshold 0.70]
 //	         [-peer URL] [-replica-queue 64] [-standby] [-promote]
+//	         [-advertise URL]
+//	lppserve -router -nodes URL,URL,URL [-addr :8090] [-vnodes 128]
 package main
 
 import (
@@ -57,9 +70,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lpp/internal/cluster"
 	"lpp/internal/knowledge"
 	"lpp/internal/online"
 	"lpp/internal/phase"
@@ -101,6 +116,11 @@ func run(args []string, ready chan<- string) error {
 		replicaQueue = fs.Int("replica-queue", 0, "replication queue depth; overflow drops oldest and resyncs (0 = default 64)")
 		standby      = fs.Bool("standby", false, "start as a replication target: refuse ingest until promoted (needs -data)")
 		promote      = fs.Bool("promote", false, "promote the standby already running at -addr, then exit")
+
+		advertise = fs.String("advertise", "", "this node's base URL as other cluster members (and the router) reach it; labels session ownership")
+		routerOn  = fs.Bool("router", false, "serve as the cluster router for the members in -nodes instead of serving sessions")
+		nodes     = fs.String("nodes", "", "comma-separated member base URLs of the routed cluster (with -router)")
+		vnodes    = fs.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default 128)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +130,12 @@ func run(args []string, ready chan<- string) error {
 	}
 	if *promote {
 		return promoteRunning(*addr)
+	}
+	if *routerOn {
+		return runRouter(*addr, *nodes, *vnodes, *drain, ready)
+	}
+	if *nodes != "" {
+		return fmt.Errorf("-nodes only applies with -router; members take -advertise instead")
 	}
 	// Validate the consumer spec at startup, not at first session.
 	var consumerFactory func() *phase.Chain
@@ -158,6 +184,7 @@ func run(args []string, ready chan<- string) error {
 		Peer:            *peer,
 		ReplicaQueue:    *replicaQueue,
 		Standby:         *standby,
+		Advertise:       *advertise,
 	})
 	if err != nil {
 		return err
@@ -230,6 +257,54 @@ func run(args []string, ready chan<- string) error {
 		log.Print("drained; all sessions checkpointed")
 	case <-ctx.Done():
 		log.Print("drain deadline exceeded; exiting on WAL durability alone")
+	}
+	return nil
+}
+
+// runRouter serves the cluster router: no sessions, no disk — just the
+// ring, the health poller, and the forwarding handler.
+func runRouter(addr, nodeList string, vnodes int, drain time.Duration, ready chan<- string) error {
+	var members []string
+	for _, n := range strings.Split(nodeList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			members = append(members, strings.TrimRight(n, "/"))
+		}
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("-router needs -nodes with at least one member URL")
+	}
+	ring, err := cluster.New(members, vnodes)
+	if err != nil {
+		return err
+	}
+	health := cluster.NewHealth(members, nil, 0)
+	defer health.Close()
+	rt := cluster.NewRouter(ring, health, nil)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: rt}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("lppserve router on %s fronting %d node(s): %s", ln.Addr(), len(members), strings.Join(members, ", "))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	select {
+	case sig := <-stop:
+		log.Printf("%v: draining router (deadline %v)", sig, drain)
+	case err := <-errc:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
 	}
 	return nil
 }

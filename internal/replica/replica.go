@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -33,6 +32,7 @@ import (
 	"time"
 
 	"lpp/internal/durable"
+	"lpp/internal/httpx"
 )
 
 // Checkpoint is one session's replicated state image.
@@ -158,7 +158,6 @@ func (it *item) key() string {
 type Replicator struct {
 	cfg    Config
 	client *http.Client
-	rng    *rand.Rand
 
 	mu         sync.Mutex
 	queue      []*item
@@ -198,7 +197,6 @@ func New(cfg Config) (*Replicator, error) {
 	r := &Replicator{
 		cfg:    cfg,
 		client: &http.Client{Transport: cfg.Transport},
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 		index:  make(map[string]*item),
 		// A fresh primary may already hold durable sessions the peer
 		// has never seen (restart after a crash): catch up first.
@@ -359,11 +357,11 @@ func (r *Replicator) Stats() Stats {
 }
 
 // loop is the sender goroutine: resync when needed, then drain the
-// queue in order, backing off (capped exponential, jittered) whenever
-// the peer misbehaves.
+// queue in order, backing off (capped exponential, jittered, shared
+// httpx policy) whenever the peer misbehaves.
 func (r *Replicator) loop() {
 	defer close(r.done)
-	backoff := r.cfg.MinBackoff
+	bo := httpx.Backoff{Min: r.cfg.MinBackoff, Max: r.cfg.MaxBackoff}
 	for {
 		select {
 		case <-r.stop:
@@ -376,13 +374,12 @@ func (r *Replicator) loop() {
 		if resync {
 			if err := r.resync(); err != nil {
 				r.noteError()
-				if !r.sleep(backoff) {
+				if !bo.Sleep(r.stop) {
 					return
 				}
-				backoff = r.grow(backoff)
 				continue
 			}
-			backoff = r.cfg.MinBackoff
+			bo.Reset()
 		}
 		it := r.pop()
 		if it == nil {
@@ -396,13 +393,12 @@ func (r *Replicator) loop() {
 		if err := r.send(it); err != nil {
 			r.pushFront(it)
 			r.noteError()
-			if !r.sleep(backoff) {
+			if !bo.Sleep(r.stop) {
 				return
 			}
-			backoff = r.grow(backoff)
 			continue
 		}
-		backoff = r.cfg.MinBackoff
+		bo.Reset()
 		r.noteSent(it)
 	}
 }
@@ -427,28 +423,6 @@ func (r *Replicator) noteSent(it *item) {
 		r.lagN++
 	}
 	r.mu.Unlock()
-}
-
-// sleep waits d plus jitter, returning false if stopped.
-func (r *Replicator) sleep(d time.Duration) bool {
-	r.mu.Lock()
-	jitter := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
-	r.mu.Unlock()
-	t := time.NewTimer(d + jitter)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-r.stop:
-		return false
-	}
-}
-
-func (r *Replicator) grow(backoff time.Duration) time.Duration {
-	if backoff *= 2; backoff > r.cfg.MaxBackoff {
-		return r.cfg.MaxBackoff
-	}
-	return backoff
 }
 
 // send delivers one item to the peer.

@@ -1,7 +1,12 @@
 package server
 
+// The engine layer: the per-session worker goroutine that is the sole
+// owner of a session's detector, consumer chain, and durable log.
+// Everything above it communicates through the chunk queue; the only
+// shared state is the session's atomic counters. Restore/checkpoint
+// and the snapshot framing live in engine_state.go.
+
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -13,7 +18,6 @@ import (
 	"lpp/internal/knowledge"
 	"lpp/internal/online"
 	"lpp/internal/phase"
-	"lpp/internal/replica"
 	"lpp/internal/trace"
 )
 
@@ -34,6 +38,10 @@ const (
 	// opConsumers reports the session's consumer-chain state (counters,
 	// snapshot hashes, reports) without feeding the detector.
 	opConsumers
+	// opExport checkpoints the session and returns the LPPCKPT1 image
+	// as the result body — the live-migration wire payload. Like
+	// opSuspend, the detector is not flushed and the worker exits.
+	opExport
 )
 
 // chunk is one unit of per-session work.
@@ -154,7 +162,7 @@ func (s *Server) run(sess *session) {
 			res := w.handle(c)
 			sess.seq.Store(w.lastSeq)
 			c.reply <- res
-			if c.op == opClose || c.op == opSuspend {
+			if c.op == opClose || c.op == opSuspend || c.op == opExport {
 				return
 			}
 		case <-sess.kill:
@@ -171,6 +179,8 @@ func (w *worker) handle(c chunk) result {
 		return w.suspend()
 	case opConsumers:
 		return w.consumers()
+	case opExport:
+		return w.export()
 	default:
 		return w.events(c)
 	}
@@ -196,79 +206,6 @@ func (w *worker) poison() {
 
 func (w *worker) quarantineResult(seq uint64) result {
 	return result{status: http.StatusInternalServerError, body: errBody("quarantined"), seq: seq}
-}
-
-// restore rebuilds the detector from durable state: load the
-// checkpoint, then replay the WAL suffix exactly as the chunks were
-// first processed (pressure 0, same order), so the recovered detector
-// emits the same boundaries an uninterrupted run would have.
-func (w *worker) restore() {
-	st, err := w.log.Load()
-	if err != nil {
-		w.s.m.walErrors.Add(1)
-		w.poison()
-		return
-	}
-	if st.Snapshot == nil && len(st.Entries) == 0 && st.Seq == 0 {
-		return // fresh session
-	}
-	if st.Snapshot != nil {
-		detSnap, chainSnap, framed, err := splitSnapshot(st.Snapshot)
-		if err != nil {
-			w.s.m.walErrors.Add(1)
-			w.poison()
-			return
-		}
-		// A checkpoint written with a consumer chain must be restored
-		// with one (and vice versa): anything else would silently drop
-		// or skip adaptation state, forking decisions after recovery.
-		if framed != (w.chain != nil) {
-			w.s.m.walErrors.Add(1)
-			w.poison()
-			return
-		}
-		nd, err := online.NewDetectorFromSnapshot(w.cfg, detSnap)
-		if err != nil {
-			w.s.m.walErrors.Add(1)
-			w.poison()
-			return
-		}
-		if w.chain != nil {
-			if err := w.chain.Restore(chainSnap); err != nil {
-				w.s.m.walErrors.Add(1)
-				w.poison()
-				return
-			}
-			// Deliveries restored from the checkpoint were counted by
-			// the process that made them; only count this process's.
-			w.consBase = w.chain.Stats()
-		}
-		w.det = nd
-		dst := nd.Stats()
-		w.baseSuppressed = dst.SuppressedBoundaries
-		w.baseRestarts = dst.GrammarRestarts
-		w.baseTruncated = dst.TruncatedPages
-	}
-	w.lastSeq = st.Seq
-	w.cached = st.Response
-	ok := w.safe(func() {
-		for _, e := range st.Entries {
-			w.pending = nil
-			w.det.SetPressure(0)
-			w.det.AccessBatch(e.Events)
-			if e.Flush {
-				w.det.Flush()
-			}
-			w.lastSeq = e.Seq
-			w.cached = encodeEvents(w.pending)
-		}
-	})
-	w.pending = nil
-	w.flushConsumerStats()
-	if ok {
-		w.updateStats()
-		w.s.m.recovered.Add(1)
-	}
 }
 
 func (w *worker) events(c chunk) result {
@@ -387,81 +324,6 @@ func (w *worker) consumers() result {
 	return result{status: http.StatusOK, body: append(b, '\n'), seq: w.lastSeq}
 }
 
-func (w *worker) checkpoint() {
-	var snap []byte
-	if !w.safe(func() {
-		snap = w.det.Snapshot()
-		if w.chain != nil {
-			snap = frameSnapshot(snap, w.chain.Snapshot())
-		}
-	}) {
-		return
-	}
-	if err := w.log.Checkpoint(w.lastSeq, snap, w.cached); err != nil {
-		w.s.m.walErrors.Add(1)
-		return
-	}
-	w.sinceCkpt = 0
-	w.s.m.checkpoints.Add(1)
-	// Replicate only what disk accepted: the peer must never hold an
-	// image the primary could not persist. snap and w.cached are fresh
-	// allocations owned by this checkpoint, safe to hand off.
-	if rep := w.s.rep.Load(); rep != nil {
-		rep.EnqueueCheckpoint(replica.Checkpoint{
-			Session:  w.sess.id,
-			Seq:      w.lastSeq,
-			Snapshot: snap,
-			Response: w.cached,
-		})
-	}
-}
-
-// busMagic frames a combined detector+chain checkpoint image. Legacy
-// checkpoints (no consumer chain) remain raw detector snapshots, which
-// start with "LPPSNAP" — the two are distinguishable by prefix.
-const busMagic = "LPPBUS1"
-
-// frameSnapshot combines a detector snapshot and a chain snapshot into
-// one checkpoint image.
-func frameSnapshot(det, chain []byte) []byte {
-	buf := make([]byte, 0, len(busMagic)+len(det)+len(chain)+2*binary.MaxVarintLen64)
-	buf = append(buf, busMagic...)
-	buf = binary.AppendUvarint(buf, uint64(len(det)))
-	buf = append(buf, det...)
-	buf = binary.AppendUvarint(buf, uint64(len(chain)))
-	buf = append(buf, chain...)
-	return buf
-}
-
-// splitSnapshot separates a checkpoint image into its detector and
-// chain parts. A raw (legacy, chain-less) detector snapshot returns
-// framed=false with the input as the detector part.
-func splitSnapshot(data []byte) (det, chain []byte, framed bool, err error) {
-	if len(data) < len(busMagic) || string(data[:len(busMagic)]) != busMagic {
-		return data, nil, false, nil
-	}
-	rest := data[len(busMagic):]
-	next := func() ([]byte, error) {
-		n, used := binary.Uvarint(rest)
-		if used <= 0 || n > uint64(len(rest)-used) {
-			return nil, fmt.Errorf("corrupt combined snapshot")
-		}
-		part := rest[used : used+int(n)]
-		rest = rest[used+int(n):]
-		return part, nil
-	}
-	if det, err = next(); err != nil {
-		return nil, nil, true, err
-	}
-	if chain, err = next(); err != nil {
-		return nil, nil, true, err
-	}
-	if len(rest) != 0 {
-		return nil, nil, true, fmt.Errorf("corrupt combined snapshot: %d trailing bytes", len(rest))
-	}
-	return det, chain, true, nil
-}
-
 func (w *worker) close() result {
 	if w.log != nil {
 		if err := w.log.Remove(); err != nil {
@@ -496,6 +358,42 @@ func (w *worker) suspend() result {
 		w.contributeKnowledge()
 	}
 	return result{status: http.StatusNoContent, seq: w.lastSeq}
+}
+
+// export answers opExport: snapshot the session at its last accepted
+// sequence number and hand back the LPPCKPT1 image — the disk format
+// doubles as the migration wire format. The image is also checkpointed
+// locally first, so a migration that dies between export and import
+// leaves the session recoverable right here; the local state is only
+// removed at migration complete. The worker exits afterwards (the
+// registry unlinked the session before dispatching the export).
+func (w *worker) export() result {
+	if w.quarantined {
+		// A quarantined detector's state cannot be trusted; shipping it
+		// to another node would just move the poison.
+		return result{status: http.StatusConflict, body: errBody("session quarantined; not migratable"), seq: w.lastSeq}
+	}
+	var snap []byte
+	if !w.safe(func() {
+		snap = w.det.Snapshot()
+		if w.chain != nil {
+			snap = frameSnapshot(snap, w.chain.Snapshot())
+		}
+	}) {
+		return w.quarantineResult(w.lastSeq)
+	}
+	if w.log != nil {
+		if err := w.log.Checkpoint(w.lastSeq, snap, w.cached); err != nil {
+			w.s.m.walErrors.Add(1)
+			return result{status: http.StatusInternalServerError, body: errBody("checkpoint failed"), seq: w.lastSeq}
+		}
+		w.sinceCkpt = 0
+		w.s.m.checkpoints.Add(1)
+		w.log.Close()
+	}
+	w.contributeKnowledge()
+	image := durable.EncodeCheckpoint(w.lastSeq, snap, w.cached)
+	return result{status: http.StatusOK, body: image, seq: w.lastSeq}
 }
 
 // contributeKnowledge folds the session's learned phase knowledge into

@@ -1,0 +1,162 @@
+package server
+
+// Engine durable-state plumbing: restoring a worker from its
+// checkpoint + WAL suffix, writing checkpoints (and streaming them to
+// the replica peer), and the LPPBUS1 framing that packs the detector
+// and consumer-chain snapshots into one checkpoint image.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lpp/internal/online"
+	"lpp/internal/replica"
+)
+
+// restore rebuilds the detector from durable state: load the
+// checkpoint, then replay the WAL suffix exactly as the chunks were
+// first processed (pressure 0, same order), so the recovered detector
+// emits the same boundaries an uninterrupted run would have.
+func (w *worker) restore() {
+	st, err := w.log.Load()
+	if err != nil {
+		w.s.m.walErrors.Add(1)
+		w.poison()
+		return
+	}
+	if st.Snapshot == nil && len(st.Entries) == 0 && st.Seq == 0 {
+		return // fresh session
+	}
+	if st.Snapshot != nil {
+		detSnap, chainSnap, framed, err := splitSnapshot(st.Snapshot)
+		if err != nil {
+			w.s.m.walErrors.Add(1)
+			w.poison()
+			return
+		}
+		// A checkpoint written with a consumer chain must be restored
+		// with one (and vice versa): anything else would silently drop
+		// or skip adaptation state, forking decisions after recovery.
+		if framed != (w.chain != nil) {
+			w.s.m.walErrors.Add(1)
+			w.poison()
+			return
+		}
+		nd, err := online.NewDetectorFromSnapshot(w.cfg, detSnap)
+		if err != nil {
+			w.s.m.walErrors.Add(1)
+			w.poison()
+			return
+		}
+		if w.chain != nil {
+			if err := w.chain.Restore(chainSnap); err != nil {
+				w.s.m.walErrors.Add(1)
+				w.poison()
+				return
+			}
+			// Deliveries restored from the checkpoint were counted by
+			// the process that made them; only count this process's.
+			w.consBase = w.chain.Stats()
+		}
+		w.det = nd
+		dst := nd.Stats()
+		w.baseSuppressed = dst.SuppressedBoundaries
+		w.baseRestarts = dst.GrammarRestarts
+		w.baseTruncated = dst.TruncatedPages
+	}
+	w.lastSeq = st.Seq
+	w.cached = st.Response
+	ok := w.safe(func() {
+		for _, e := range st.Entries {
+			w.pending = nil
+			w.det.SetPressure(0)
+			w.det.AccessBatch(e.Events)
+			if e.Flush {
+				w.det.Flush()
+			}
+			w.lastSeq = e.Seq
+			w.cached = encodeEvents(w.pending)
+		}
+	})
+	w.pending = nil
+	w.flushConsumerStats()
+	if ok {
+		w.updateStats()
+		w.s.m.recovered.Add(1)
+	}
+}
+
+func (w *worker) checkpoint() {
+	var snap []byte
+	if !w.safe(func() {
+		snap = w.det.Snapshot()
+		if w.chain != nil {
+			snap = frameSnapshot(snap, w.chain.Snapshot())
+		}
+	}) {
+		return
+	}
+	if err := w.log.Checkpoint(w.lastSeq, snap, w.cached); err != nil {
+		w.s.m.walErrors.Add(1)
+		return
+	}
+	w.sinceCkpt = 0
+	w.s.m.checkpoints.Add(1)
+	// Replicate only what disk accepted: the peer must never hold an
+	// image the primary could not persist. snap and w.cached are fresh
+	// allocations owned by this checkpoint, safe to hand off.
+	if rep := w.s.rep.Load(); rep != nil {
+		rep.EnqueueCheckpoint(replica.Checkpoint{
+			Session:  w.sess.id,
+			Seq:      w.lastSeq,
+			Snapshot: snap,
+			Response: w.cached,
+		})
+	}
+}
+
+// busMagic frames a combined detector+chain checkpoint image. Legacy
+// checkpoints (no consumer chain) remain raw detector snapshots, which
+// start with "LPPSNAP" — the two are distinguishable by prefix.
+const busMagic = "LPPBUS1"
+
+// frameSnapshot combines a detector snapshot and a chain snapshot into
+// one checkpoint image.
+func frameSnapshot(det, chain []byte) []byte {
+	buf := make([]byte, 0, len(busMagic)+len(det)+len(chain)+2*binary.MaxVarintLen64)
+	buf = append(buf, busMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(det)))
+	buf = append(buf, det...)
+	buf = binary.AppendUvarint(buf, uint64(len(chain)))
+	buf = append(buf, chain...)
+	return buf
+}
+
+// splitSnapshot separates a checkpoint image into its detector and
+// chain parts. A raw (legacy, chain-less) detector snapshot returns
+// framed=false with the input as the detector part.
+func splitSnapshot(data []byte) (det, chain []byte, framed bool, err error) {
+	if len(data) < len(busMagic) || string(data[:len(busMagic)]) != busMagic {
+		return data, nil, false, nil
+	}
+	rest := data[len(busMagic):]
+	next := func() ([]byte, error) {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || n > uint64(len(rest)-used) {
+			return nil, fmt.Errorf("corrupt combined snapshot")
+		}
+		part := rest[used : used+int(n)]
+		rest = rest[used+int(n):]
+		return part, nil
+	}
+	if det, err = next(); err != nil {
+		return nil, nil, true, err
+	}
+	if chain, err = next(); err != nil {
+		return nil, nil, true, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, true, fmt.Errorf("corrupt combined snapshot: %d trailing bytes", len(rest))
+	}
+	return det, chain, true, nil
+}

@@ -1,0 +1,168 @@
+package server
+
+// Engine-layer unit tests: the export operation and the migration
+// round trip. The contract under test is the paper's recovery-parity
+// bar applied to migration: a session moved between nodes mid-stream
+// answers every remaining chunk byte-identically to an uninterrupted
+// single-node run.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// migrate moves session id from a to b over the HTTP migration
+// protocol and returns the exported image size.
+func migrate(t *testing.T, a, b *Server, id string) int {
+	t.Helper()
+	rr := do(t, a.Handler(), "POST", "/v1/migrate/sessions/"+id+"/export")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("export: %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/x-lpp-checkpoint" {
+		t.Fatalf("export content type %q", ct)
+	}
+	image := rr.Body.Bytes()
+	req := httptest.NewRequest("PUT", "/v1/migrate/sessions/"+id, bytes.NewReader(image))
+	rr2 := httptest.NewRecorder()
+	b.Handler().ServeHTTP(rr2, req)
+	if rr2.Code != http.StatusNoContent {
+		t.Fatalf("import: %d: %s", rr2.Code, rr2.Body.String())
+	}
+	rr3 := do(t, a.Handler(), "POST", "/v1/migrate/sessions/"+id+"/complete?target="+b.Advertise())
+	if rr3.Code != http.StatusNoContent {
+		t.Fatalf("complete: %d: %s", rr3.Code, rr3.Body.String())
+	}
+	return len(image)
+}
+
+func TestLiveMigrationRoundTripParity(t *testing.T) {
+	events := syntheticEvents(7, 6, 6)
+	bounds := chunkBounds(len(events), 12)
+
+	// Reference: the same chunks against one uninterrupted server.
+	ref := mustServer(t, Config{DataDir: t.TempDir()})
+	var refBodies [][]byte
+	for i, b := range bounds {
+		rr := postSeq(t, ref.Handler(), "m1", uint64(i+1), events[b[0]:b[1]])
+		if rr.Code != http.StatusOK {
+			t.Fatalf("reference chunk %d: %d", i+1, rr.Code)
+		}
+		refBodies = append(refBodies, rr.Body.Bytes())
+	}
+	refFinal := do(t, ref.Handler(), "DELETE", "/v1/sessions/m1")
+	ref.Close()
+
+	a := mustServer(t, Config{DataDir: t.TempDir(), Advertise: "http://node-a"})
+	defer a.Close()
+	b := mustServer(t, Config{DataDir: t.TempDir(), Advertise: "http://node-b"})
+	defer b.Close()
+
+	cut := len(bounds) / 2
+	for i := 0; i < cut; i++ {
+		rr := postSeq(t, a.Handler(), "m1", uint64(i+1), events[bounds[i][0]:bounds[i][1]])
+		if rr.Code != http.StatusOK {
+			t.Fatalf("chunk %d on source: %d: %s", i+1, rr.Code, rr.Body.String())
+		}
+		if !bytes.Equal(rr.Body.Bytes(), refBodies[i]) {
+			t.Fatalf("chunk %d response diverged on source", i+1)
+		}
+	}
+
+	migrate(t, a, b, "m1")
+
+	// The source no longer owns the session and says who does.
+	rr := postSeq(t, a.Handler(), "m1", uint64(cut+1), events[bounds[cut][0]:bounds[cut][1]])
+	if rr.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("source after migration: %d, want 421", rr.Code)
+	}
+	if owner := rr.Header().Get("X-Lpp-Owner"); owner != "http://node-b" {
+		t.Fatalf("X-Lpp-Owner = %q", owner)
+	}
+
+	// The response cache rode the image: re-sending the last chunk the
+	// source acked replays byte-identically on the target.
+	rr = postSeq(t, b.Handler(), "m1", uint64(cut), events[bounds[cut-1][0]:bounds[cut-1][1]])
+	if rr.Code != http.StatusOK || rr.Header().Get("X-Lpp-Replayed") != "true" {
+		t.Fatalf("replay on target: %d, replayed=%q", rr.Code, rr.Header().Get("X-Lpp-Replayed"))
+	}
+	if !bytes.Equal(rr.Body.Bytes(), refBodies[cut-1]) {
+		t.Fatalf("replayed response diverged after migration")
+	}
+
+	// Remaining chunks continue on the target, byte-identical.
+	for i := cut; i < len(bounds); i++ {
+		rr := postSeq(t, b.Handler(), "m1", uint64(i+1), events[bounds[i][0]:bounds[i][1]])
+		if rr.Code != http.StatusOK {
+			t.Fatalf("chunk %d on target: %d: %s", i+1, rr.Code, rr.Body.String())
+		}
+		if !bytes.Equal(rr.Body.Bytes(), refBodies[i]) {
+			t.Fatalf("chunk %d response diverged on target", i+1)
+		}
+	}
+	final := do(t, b.Handler(), "DELETE", "/v1/sessions/m1")
+	if final.Code != http.StatusOK {
+		t.Fatalf("final delete: %d", final.Code)
+	}
+	if !bytes.Equal(final.Body.Bytes(), refFinal.Body.Bytes()) {
+		t.Fatalf("final flush diverged after migration")
+	}
+}
+
+func TestMigrateExportUnknownSession(t *testing.T) {
+	s := mustServer(t, Config{DataDir: t.TempDir()})
+	defer s.Close()
+	rr := do(t, s.Handler(), "POST", "/v1/migrate/sessions/ghost/export")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("export of unknown session: %d, want 404", rr.Code)
+	}
+}
+
+func TestMigrateAbortRevivesLocally(t *testing.T) {
+	events := syntheticEvents(8, 4, 4)
+	bounds := chunkBounds(len(events), 10)
+	s := mustServer(t, Config{DataDir: t.TempDir()})
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		rr := postSeq(t, s.Handler(), "ab", uint64(i+1), events[bounds[i][0]:bounds[i][1]])
+		if rr.Code != http.StatusOK {
+			t.Fatalf("chunk %d: %d", i+1, rr.Code)
+		}
+	}
+	rr := do(t, s.Handler(), "POST", "/v1/migrate/sessions/ab/export")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("export: %d: %s", rr.Code, rr.Body.String())
+	}
+	// Mid-migration the session refuses ingest...
+	rr = postSeq(t, s.Handler(), "ab", 3, events[bounds[2][0]:bounds[2][1]])
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest mid-migration: %d, want 503", rr.Code)
+	}
+	// ...but an abort puts the durable state back in charge.
+	rr = do(t, s.Handler(), "POST", "/v1/migrate/sessions/ab/abort")
+	if rr.Code != http.StatusNoContent {
+		t.Fatalf("abort: %d", rr.Code)
+	}
+	rr = postSeq(t, s.Handler(), "ab", 3, events[bounds[2][0]:bounds[2][1]])
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest after abort: %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestMigrateImportRefusedWhileLive(t *testing.T) {
+	s := mustServer(t, Config{DataDir: t.TempDir()})
+	defer s.Close()
+	events := syntheticEvents(9, 2, 3)
+	rr := postSeq(t, s.Handler(), "dup", 1, events)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest: %d", rr.Code)
+	}
+	req := httptest.NewRequest("PUT", "/v1/migrate/sessions/dup", bytes.NewReader([]byte("LPPCKPT1garbage")))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("import over a live session: %d, want 409", rec.Code)
+	}
+}

@@ -50,6 +50,8 @@ type metrics struct {
 	checkpoints    atomic.Int64
 	replayed       atomic.Int64
 	replicaApplied atomic.Int64
+	migrationsOut  atomic.Int64
+	migrationsIn   atomic.Int64
 
 	// Detector hardening totals across all sessions: boundaries
 	// suppressed by the MinBoundaryGap guard, grammar restarts forced
@@ -162,6 +164,10 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "lpp_checkpoints_total %d\n", m.checkpoints.Load())
 	fmt.Fprintf(w, "# TYPE lpp_replayed_chunks_total counter\n")
 	fmt.Fprintf(w, "lpp_replayed_chunks_total %d\n", m.replayed.Load())
+	fmt.Fprintf(w, "# TYPE lpp_migrations_out_total counter\n")
+	fmt.Fprintf(w, "lpp_migrations_out_total %d\n", m.migrationsOut.Load())
+	fmt.Fprintf(w, "# TYPE lpp_migrations_in_total counter\n")
+	fmt.Fprintf(w, "lpp_migrations_in_total %d\n", m.migrationsIn.Load())
 	fmt.Fprintf(w, "# TYPE lpp_detector_suppressed_boundaries_total counter\n")
 	fmt.Fprintf(w, "lpp_detector_suppressed_boundaries_total %d\n", m.detSuppressed.Load())
 	fmt.Fprintf(w, "# TYPE lpp_detector_grammar_restarts_total counter\n")

@@ -1,0 +1,212 @@
+package server
+
+// Live session migration. The protocol reuses the durable layer's
+// LPPCKPT1 checkpoint image as the wire format:
+//
+//	POST /v1/migrate/sessions/{id}/export   (source)
+//	    suspend the worker, checkpoint, return the image
+//	PUT  /v1/migrate/sessions/{id}          (target)
+//	    write the image through the durable layer, resume the session
+//	POST /v1/migrate/sessions/{id}/complete?target=URL  (source)
+//	    drop local durable state, mark the session remote
+//	POST /v1/migrate/sessions/{id}/abort    (source)
+//	    forget the claim; the session revives locally on next use
+//
+// Between export and complete the source answers 503 for the session
+// (state "migrating") so the router holds and retries traffic; after
+// complete it answers 421 with X-Lpp-Owner. An orchestrator that dies
+// mid-migration leaves the source holding a fresh local checkpoint, so
+// abort (or a restart, which forgets the in-memory claim) fully
+// recovers.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"lpp/internal/durable"
+	"lpp/internal/replica"
+)
+
+// handleMigrateExport suspends a session into an LPPCKPT1 image and
+// returns it, leaving the session in the migrating state.
+func (s *Server) handleMigrateExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.standby.Load() {
+		writeErr(w, http.StatusServiceUnavailable, errStandby.Error())
+		return
+	}
+	// Only sessions that exist somewhere are exportable: a live worker
+	// or suspended durable state. getSession(create) would mint a fresh
+	// session for any id, so check existence first.
+	if _, err := s.getSession(id, false); err != nil {
+		if s.store == nil || !s.store.Exists(id) {
+			writeErr(w, http.StatusNotFound, errNoSession.Error())
+			return
+		}
+	}
+	// Revive (or find) the session, then claim the migration. Claiming
+	// after the revival keeps the claim unambiguous: of two concurrent
+	// exports, exactly one wins markMigrating and the loser backs off
+	// without touching the winner's claim.
+	sess, err := s.getSession(id, true)
+	if err != nil {
+		var remote *remoteError
+		switch {
+		case errors.As(err, &remote):
+			w.Header().Set("X-Lpp-Owner", remote.owner)
+			writeErr(w, http.StatusMisdirectedRequest, err.Error())
+		case errors.Is(err, errMigrating):
+			writeErr(w, http.StatusConflict, err.Error())
+		default:
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		}
+		return
+	}
+	<-sess.ready
+	if err := s.markMigrating(id); err != nil {
+		var remote *remoteError
+		if errors.As(err, &remote) {
+			w.Header().Set("X-Lpp-Owner", remote.owner)
+			writeErr(w, http.StatusMisdirectedRequest, err.Error())
+			return
+		}
+		writeErr(w, http.StatusConflict, err.Error())
+		return
+	}
+	if !s.unlinkSession(sess) {
+		// The reaper (or a concurrent teardown) got the session between
+		// the revival and the claim; back off and let the caller retry.
+		s.unmarkMigrating(id)
+		writeErr(w, http.StatusServiceUnavailable, "session contended; retry")
+		return
+	}
+	c := chunk{op: opExport, reply: make(chan result, 1)}
+	select {
+	case sess.queue <- c:
+	case <-sess.done:
+		s.unmarkMigrating(id)
+		writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
+		return
+	}
+	var res result
+	select {
+	case res = <-c.reply:
+	case <-sess.done:
+		select {
+		case res = <-c.reply:
+		default:
+			s.unmarkMigrating(id)
+			writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
+			return
+		}
+	}
+	if res.status != http.StatusOK {
+		// The worker refused (quarantined, checkpoint failure) and has
+		// exited; durable state is untouched, so fall back to suspended.
+		s.unmarkMigrating(id)
+		writeResult(w, res)
+		return
+	}
+	s.m.migrationsOut.Add(1)
+	w.Header().Set("Content-Type", "application/x-lpp-checkpoint")
+	w.Header().Set("X-Lpp-Seq", strconv.FormatUint(res.seq, 10))
+	w.Write(res.body)
+}
+
+// handleMigrateImport ingests an exported session image and resumes
+// the session on this node.
+func (s *Server) handleMigrateImport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.standby.Load() {
+		writeErr(w, http.StatusConflict, "standby: promote before importing sessions")
+		return
+	}
+	if s.store == nil {
+		writeErr(w, http.StatusServiceUnavailable, "migration target requires durability (DataDir)")
+		return
+	}
+	if _, err := s.getSession(id, false); err == nil {
+		writeErr(w, http.StatusConflict, "session is live on this node")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaBody+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(body) > maxReplicaBody {
+		writeErr(w, http.StatusRequestEntityTooLarge, "checkpoint image too large")
+		return
+	}
+	seq, snap, resp, err := durable.DecodeCheckpoint(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.store.Session(id).Checkpoint(seq, snap, resp); err != nil {
+		s.m.walErrors.Add(1)
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Ours now, whatever this node used to think about the id.
+	s.adoptSession(id)
+	// Resume eagerly: the next chunk should hit a warm detector, not
+	// pay the restore on the request path.
+	sess, err := s.getSession(id, true)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	<-sess.ready
+	// Replicate the adopted session to this node's standby (if any) so
+	// the migration doesn't shrink the redundancy story.
+	if rep := s.rep.Load(); rep != nil {
+		rep.EnqueueCheckpoint(replica.Checkpoint{Session: id, Seq: seq, Snapshot: snap, Response: resp})
+	}
+	s.m.migrationsIn.Add(1)
+	w.Header().Set("X-Lpp-Seq", strconv.FormatUint(seq, 10))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMigrateComplete finishes a migration on the source: drop the
+// local durable copy and point the session at its new owner (?target=).
+func (s *Server) handleMigrateComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.placeMu.Lock()
+	_, ok := s.migrating[id]
+	s.placeMu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusConflict, "no migration in progress for session")
+		return
+	}
+	if s.store != nil {
+		if err := s.store.Session(id).Remove(); err != nil {
+			s.m.walErrors.Add(1)
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if rep := s.rep.Load(); rep != nil {
+			rep.EnqueueRemove(id)
+		}
+	}
+	s.completeMigration(id, r.URL.Query().Get("target"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMigrateAbort abandons a migration claim: the local durable
+// state (checkpointed at export) remains authoritative and the session
+// revives here on its next request.
+func (s *Server) handleMigrateAbort(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.placeMu.Lock()
+	_, ok := s.migrating[id]
+	s.placeMu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusConflict, "no migration in progress for session")
+		return
+	}
+	s.unmarkMigrating(id)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -15,16 +15,27 @@
 // a retransmit of the last accepted sequence number replays its cached
 // response instead of double-feeding the detector, and a gap answers
 // 409.
+//
+// The package is layered:
+//
+//   - transport (transport.go) — HTTP handlers, chunk/content-type
+//     negotiation (decode.go), sequence headers, backpressure mapping.
+//   - registry (registry.go) — the sharded session table, session
+//     lifecycle (local/suspended/migrating/remote), the idle reaper,
+//     and the Ownership interface the cluster router consults.
+//   - engine (engine.go, engine_state.go) — the per-session worker
+//     loop owning the detector, the phase chain, durability, and the
+//     knowledge/replica hooks.
+//
+// Migration endpoints (migrate_handlers.go) move a live session to
+// another node by exporting its LPPCKPT1 checkpoint image — the disk
+// format doubles as the wire format.
 package server
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,6 +106,11 @@ type Config struct {
 	// shard by ID; sessions on different shards never contend on a
 	// table lock. 1 reproduces the old single-mutex behavior.
 	Shards int
+	// Advertise is this node's base URL as other cluster members reach
+	// it (e.g. "http://10.0.0.1:8080"). It labels locally-owned
+	// sessions in GET /v1/sessions and the Ownership interface; empty
+	// means a single-node deployment.
+	Advertise string
 	// Peer, when non-empty, is the base URL of a standby replica.
 	// Session checkpoints (and knowledge snapshots) stream to it
 	// asynchronously so the peer can take over after a node death;
@@ -148,11 +164,17 @@ type Server struct {
 	mux   *http.ServeMux
 	store *durable.Store // nil when ephemeral
 
-	// shards stripes the session table by ID hash (see shard.go);
+	// shards stripes the session table by ID hash (registry.go);
 	// shardMask is len(shards)-1, a power-of-two mask.
 	shards    []shard
 	shardMask uint32
 	closed    atomic.Bool
+
+	// placeMu guards the placement maps: sessions this node no longer
+	// (remote) or temporarily doesn't (migrating) own. See registry.go.
+	placeMu   sync.Mutex
+	remote    map[string]string
+	migrating map[string]struct{}
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -195,6 +217,8 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[string]*session)
 	}
+	s.remote = make(map[string]string)
+	s.migrating = make(map[string]struct{})
 	s.m.rings = make([]latencyRing, s.cfg.Shards)
 	if s.cfg.DataDir == "" {
 		if s.cfg.Peer != "" {
@@ -245,19 +269,7 @@ func New(cfg Config) (*Server, error) {
 		s.m.initConsumers(names)
 	}
 	s.m.start = time.Now()
-	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/consumers", s.handleConsumers)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
-	s.mux.HandleFunc("PUT /v1/replica/sessions/{id}", s.handleReplicaPut)
-	s.mux.HandleFunc("DELETE /v1/replica/sessions/{id}", s.handleReplicaDelete)
-	s.mux.HandleFunc("PUT /v1/replica/knowledge", s.handleReplicaKnowledge)
-	s.mux.HandleFunc("POST /v1/replica/promote", s.handleReplicaPromote)
+	s.routes()
 	s.replicaSeqs = make(map[string]uint64)
 	s.standby.Store(s.cfg.Standby)
 	if s.cfg.Standby {
@@ -292,6 +304,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // ShardCount reports the resolved number of session-table lock stripes
 // (Config.Shards after defaulting and power-of-two rounding).
 func (s *Server) ShardCount() int { return len(s.shards) }
+
+// Advertise returns this node's advertised base URL ("" single-node).
+func (s *Server) Advertise() string { return s.cfg.Advertise }
 
 // RecoverSessions eagerly revives every session with durable state,
 // replaying each WAL so detectors are warm before traffic arrives. It
@@ -381,467 +396,5 @@ var (
 	errQueueFull       = errors.New("session queue full")
 	errSessionDown     = errors.New("session terminated")
 	errStandby         = errors.New("standby: not accepting ingest; promote this node or use the primary")
+	errMigrating       = errors.New("session is migrating; retry")
 )
-
-func (s *Server) getSession(id string, create bool) (*session, error) {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	// The closed check must happen inside the shard critical section:
-	// Close stores the flag before draining the shards, so a create
-	// serialized after the store is refused here, and one serialized
-	// before it is already in the map when the drain takes this lock.
-	if s.closed.Load() {
-		return nil, errServerClosed
-	}
-	// A standby's durable state belongs to the replication stream;
-	// reviving a session here would race the next replicated image.
-	if s.standby.Load() {
-		return nil, errStandby
-	}
-	if sess, ok := sh.sessions[id]; ok {
-		return sess, nil
-	}
-	if !create {
-		return nil, errNoSession
-	}
-	// The session cap is global while the table lock is per-shard, so
-	// the cap is claimed by CAS on the active-session counter (which
-	// tracks total table population exactly).
-	for {
-		n := s.m.sessionsActive.Load()
-		if n >= int64(s.cfg.MaxSessions) {
-			return nil, errTooManySessions
-		}
-		if s.m.sessionsActive.CompareAndSwap(n, n+1) {
-			break
-		}
-	}
-	sess := &session{
-		id:    id,
-		queue: make(chan chunk, s.cfg.QueueDepth),
-		kill:  make(chan struct{}),
-		done:  make(chan struct{}),
-		ready: make(chan struct{}),
-	}
-	sess.lastActive.Store(time.Now().UnixNano())
-	sh.sessions[id] = sess
-	s.m.sessionsTotal.Add(1)
-	go s.run(sess)
-	return sess, nil
-}
-
-// dropSession removes a dead session from its shard, if it is still the
-// registered one.
-func (s *Server) dropSession(sess *session) {
-	sh := s.shardFor(sess.id)
-	sh.mu.Lock()
-	if sh.sessions[sess.id] == sess {
-		delete(sh.sessions, sess.id)
-		s.m.sessionsActive.Add(-1)
-	}
-	sh.mu.Unlock()
-}
-
-// dispatch enqueues c on session id's worker and waits for its reply.
-// A session whose worker died (crash simulation, suspend race) is
-// dropped and — on the enqueue path — re-created once, which recovers
-// it from durable state.
-func (s *Server) dispatch(id string, c chunk) (result, error) {
-	for attempt := 0; ; attempt++ {
-		sess, err := s.getSession(id, true)
-		if err != nil {
-			return result{}, err
-		}
-		sess.lastActive.Store(time.Now().UnixNano())
-		select {
-		case sess.queue <- c:
-		case <-sess.done:
-			s.dropSession(sess)
-			if attempt == 0 {
-				continue
-			}
-			return result{}, errSessionDown
-		default:
-			return result{}, errQueueFull
-		}
-		select {
-		case res := <-c.reply:
-			return res, nil
-		case <-sess.done:
-			// The worker may have replied and exited in the same
-			// breath; the reply, if any, is already buffered.
-			select {
-			case res := <-c.reply:
-				return res, nil
-			default:
-			}
-			s.dropSession(sess)
-			return result{}, errSessionDown
-		}
-	}
-}
-
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	seq, err := parseSeq(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	st := getDecodeState()
-	events, cols, err := s.decodeChunk(r, st)
-	if err != nil {
-		putDecodeState(st)
-		writeErr(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	nEvents := len(events)
-	if cols != nil {
-		nEvents = cols.N
-		if s.store != nil {
-			// The WAL's entry format is row-shaped, so durable sessions
-			// materialize the columns once here (into the pooled slice)
-			// and take the event path; recovery replay stays identical
-			// for both wire formats.
-			st.events = cols.AppendEvents(st.events[:0])
-			events, cols = st.events, nil
-		}
-	}
-	start := time.Now()
-	c := chunk{op: opEvents, seq: seq, events: events, cols: cols, reply: make(chan result, 1)}
-	res, err := s.dispatch(id, c)
-	switch {
-	case err == nil:
-		// The worker replied, so nothing references the decoded events
-		// any more (the WAL encodes them before the reply).
-		putDecodeState(st)
-		if res.status == http.StatusOK && !res.replayed {
-			s.m.observeChunk(s.shardIndex(id), time.Since(start), nEvents)
-		}
-		writeResult(w, res)
-	case errors.Is(err, errQueueFull):
-		// Backpressure: the client should retry after draining; the
-		// chunk is not partially applied (and was never enqueued).
-		putDecodeState(st)
-		s.m.rejectedChunks.Add(1)
-		// Hint how long the drain actually takes (ms precision; the
-		// standard Retry-After below is a blunt whole second).
-		w.Header().Set("X-Lpp-Retry-After-Ms", strconv.FormatInt(s.retryHintMs(), 10))
-		writeErr(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, errSessionDown):
-		// The chunk may still sit in a dead worker's queue; leave the
-		// state to the garbage collector rather than alias its events.
-		writeErr(w, http.StatusServiceUnavailable, "session terminated; retry")
-	default:
-		putDecodeState(st)
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
-	}
-}
-
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	sess, ok := sh.sessions[id]
-	if ok {
-		delete(sh.sessions, id)
-	}
-	sh.mu.Unlock()
-	if !ok {
-		// Not in memory — but a suspended session may still hold
-		// durable state. Revive it so the close can flush the detector
-		// and return the final phase events before discarding.
-		if s.store == nil || !s.store.Exists(id) {
-			writeErr(w, http.StatusNotFound, errNoSession.Error())
-			return
-		}
-		revived, err := s.getSession(id, true)
-		if err != nil {
-			writeErr(w, http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		sh.mu.Lock()
-		if sh.sessions[id] == revived {
-			delete(sh.sessions, id)
-			ok = true
-		}
-		sh.mu.Unlock()
-		if !ok {
-			writeErr(w, http.StatusServiceUnavailable, "session contended; retry")
-			return
-		}
-		sess = revived
-	}
-	s.m.sessionsActive.Add(-1)
-	start := time.Now()
-	c := chunk{op: opClose, reply: make(chan result, 1)}
-	select {
-	case sess.queue <- c:
-	case <-sess.done:
-		// Dead worker. Keep the durable state: a retried DELETE will
-		// revive the session and flush it properly.
-		if s.store != nil && s.store.Exists(id) {
-			writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
-			return
-		}
-		writeResult(w, result{status: http.StatusOK})
-		return
-	}
-	var res result
-	select {
-	case res = <-c.reply:
-	case <-sess.done:
-		select {
-		case res = <-c.reply:
-		default:
-			writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
-			return
-		}
-	}
-	s.m.observeChunk(s.shardIndex(id), time.Since(start), 0)
-	writeResult(w, res)
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sess, err := s.getSession(id, false)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
-		return
-	}
-	quarantined := int64(0)
-	if sess.quarantined.Load() {
-		quarantined = 1
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int64{
-		"events":      sess.events.Load(),
-		"boundaries":  sess.boundaries.Load(),
-		"predictions": sess.predictions.Load(),
-		"dropped":     sess.dropped.Load(),
-		"shed":        sess.shed.Load(),
-		"seq":         int64(sess.seq.Load()),
-		"quarantined": quarantined,
-	})
-}
-
-// handleConsumers reports a session's run-time consumer state: per
-// consumer, its delivery counters, a hash of its snapshot (the
-// recovery-parity fingerprint), and its human report. A suspended
-// durable session is revived to answer.
-func (s *Server) handleConsumers(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if _, err := s.getSession(id, false); err != nil {
-		// Only revive sessions that actually exist somewhere: in-memory
-		// miss plus no durable state is a plain 404, not a create.
-		if s.store == nil || !s.store.Exists(id) {
-			writeErr(w, http.StatusNotFound, err.Error())
-			return
-		}
-	}
-	c := chunk{op: opConsumers, reply: make(chan result, 1)}
-	res, err := s.dispatch(id, c)
-	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(res.status)
-	w.Write(res.body)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.m.write(w)
-	if s.cfg.Knowledge != nil {
-		st := s.cfg.Knowledge.Stats()
-		fmt.Fprintf(w, "# TYPE lpp_knowledge_entries gauge\n")
-		fmt.Fprintf(w, "lpp_knowledge_entries %d\n", st.Entries)
-		fmt.Fprintf(w, "# TYPE lpp_knowledge_bytes gauge\n")
-		fmt.Fprintf(w, "lpp_knowledge_bytes %d\n", st.Bytes)
-		fmt.Fprintf(w, "# TYPE lpp_knowledge_hits_total counter\n")
-		fmt.Fprintf(w, "lpp_knowledge_hits_total %d\n", st.Hits)
-		fmt.Fprintf(w, "# TYPE lpp_knowledge_misses_total counter\n")
-		fmt.Fprintf(w, "lpp_knowledge_misses_total %d\n", st.Misses)
-		fmt.Fprintf(w, "# TYPE lpp_knowledge_lookups_total counter\n")
-		fmt.Fprintf(w, "lpp_knowledge_lookups_total %d\n", st.Lookups)
-		fmt.Fprintf(w, "# TYPE lpp_knowledge_evictions_total counter\n")
-		fmt.Fprintf(w, "lpp_knowledge_evictions_total %d\n", st.Evictions)
-	}
-	s.writeReplicaMetrics(w)
-}
-
-// handleKnowledge reports the knowledge store's inventory: counters
-// plus one summary per stored program.
-func (s *Server) handleKnowledge(w http.ResponseWriter, _ *http.Request) {
-	if s.cfg.Knowledge == nil {
-		writeErr(w, http.StatusNotFound, "no knowledge store configured")
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
-		Stats   knowledge.Stats     `json:"stats"`
-		Entries []knowledge.Summary `json:"entries"`
-	}{s.cfg.Knowledge.Stats(), s.cfg.Knowledge.Summaries()})
-}
-
-// reap periodically suspends idle sessions: checkpoint to disk, evict
-// from memory. The next request for the id recovers transparently.
-func (s *Server) reap() {
-	defer s.reapWG.Done()
-	t := time.NewTicker(s.cfg.ReapInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-t.C:
-			cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
-			var idle []*session
-			for i := range s.shards {
-				sh := &s.shards[i]
-				sh.mu.Lock()
-				for _, sess := range sh.sessions {
-					if sess.lastActive.Load() < cutoff {
-						idle = append(idle, sess)
-					}
-				}
-				sh.mu.Unlock()
-			}
-			for _, sess := range idle {
-				if s.suspendSession(sess) {
-					s.m.reaped.Add(1)
-				}
-			}
-		}
-	}
-}
-
-// suspendSession evicts sess after checkpointing it. Returns false if
-// another goroutine already owns the teardown.
-func (s *Server) suspendSession(sess *session) bool {
-	sh := s.shardFor(sess.id)
-	sh.mu.Lock()
-	if sh.sessions[sess.id] != sess {
-		sh.mu.Unlock()
-		return false
-	}
-	delete(sh.sessions, sess.id)
-	sh.mu.Unlock()
-	s.m.sessionsActive.Add(-1)
-	c := chunk{op: opSuspend, reply: make(chan result, 1)}
-	select {
-	case sess.queue <- c:
-		select {
-		case <-c.reply:
-		case <-sess.done:
-		}
-	case <-sess.done:
-	}
-	return true
-}
-
-// parseSeq extracts the client sequence number from the X-Lpp-Seq
-// header (or ?seq= for header-less clients). Absent means "assign the
-// next one"; sequence numbers start at 1.
-func parseSeq(r *http.Request) (uint64, error) {
-	v := r.Header.Get("X-Lpp-Seq")
-	if v == "" {
-		v = r.URL.Query().Get("seq")
-	}
-	if v == "" {
-		return 0, nil
-	}
-	seq, err := strconv.ParseUint(v, 10, 64)
-	if err != nil || seq == 0 {
-		return 0, fmt.Errorf("bad sequence number %q", v)
-	}
-	return seq, nil
-}
-
-// writeResult renders a worker result: the sequence headers, then the
-// NDJSON body (or the JSON error body for failures).
-func writeResult(w http.ResponseWriter, res result) {
-	if res.seq > 0 {
-		w.Header().Set("X-Lpp-Seq", strconv.FormatUint(res.seq, 10))
-	}
-	if res.replayed {
-		w.Header().Set("X-Lpp-Replayed", "true")
-	}
-	if res.wantSeq > 0 {
-		// Sequence-gap responses tell the client where to rewind to, so
-		// a failover client can replay its tail from the right chunk.
-		w.Header().Set("X-Lpp-Want-Seq", strconv.FormatUint(res.wantSeq, 10))
-	}
-	if res.status >= 400 {
-		w.Header().Set("Content-Type", "application/json")
-	} else {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	}
-	w.WriteHeader(res.status)
-	w.Write(res.body)
-}
-
-// writeErr sends a JSON error body; retryable statuses carry
-// Retry-After.
-func writeErr(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
-	}
-	w.WriteHeader(status)
-	w.Write(errBody(msg))
-}
-
-func errBody(msg string) []byte {
-	b, _ := json.Marshal(map[string]string{"error": msg})
-	return append(b, '\n')
-}
-
-// wireEvent is the NDJSON representation of a trace event (input) or
-// phase event (output).
-type wireEvent struct {
-	Kind   string `json:"kind"`
-	Addr   uint64 `json:"addr,omitempty"`
-	Block  uint64 `json:"block,omitempty"`
-	Instrs int    `json:"instrs,omitempty"`
-}
-
-// phaseWire is the NDJSON representation of one detector output event.
-type phaseWire struct {
-	Kind         string `json:"kind"`
-	Time         int64  `json:"time"`
-	Instructions int64  `json:"instructions"`
-	Phase        int    `json:"phase"`
-}
-
-// encodeEvents renders detector output as NDJSON body bytes.
-func encodeEvents(events []phase.Event) []byte {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, ev := range events {
-		enc.Encode(phaseWire{
-			Kind:         ev.Kind.String(),
-			Time:         ev.Time,
-			Instructions: ev.Instructions,
-			Phase:        ev.Phase,
-		})
-	}
-	return buf.Bytes()
-}
-
-func countKind(events []phase.Event, k phase.Kind) int64 {
-	var n int64
-	for _, ev := range events {
-		if ev.Kind == k {
-			n++
-		}
-	}
-	return n
-}

@@ -1,0 +1,383 @@
+package server
+
+// The transport layer: HTTP routes, header protocol (sequence numbers,
+// replay/rewind markers, backpressure hints), and the NDJSON wire
+// encoding of phase events. Handlers never touch a worker directly —
+// they decode, ask the registry to dispatch, and map the registry's
+// errors onto status codes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"lpp/internal/knowledge"
+	"lpp/internal/phase"
+)
+
+// routes installs the handler table.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/consumers", s.handleConsumers)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
+	s.mux.HandleFunc("PUT /v1/replica/sessions/{id}", s.handleReplicaPut)
+	s.mux.HandleFunc("DELETE /v1/replica/sessions/{id}", s.handleReplicaDelete)
+	s.mux.HandleFunc("PUT /v1/replica/knowledge", s.handleReplicaKnowledge)
+	s.mux.HandleFunc("POST /v1/replica/promote", s.handleReplicaPromote)
+	s.mux.HandleFunc("POST /v1/migrate/sessions/{id}/export", s.handleMigrateExport)
+	s.mux.HandleFunc("PUT /v1/migrate/sessions/{id}", s.handleMigrateImport)
+	s.mux.HandleFunc("POST /v1/migrate/sessions/{id}/complete", s.handleMigrateComplete)
+	s.mux.HandleFunc("POST /v1/migrate/sessions/{id}/abort", s.handleMigrateAbort)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	seq, err := parseSeq(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st := getDecodeState()
+	events, cols, err := s.decodeChunk(r, st)
+	if err != nil {
+		putDecodeState(st)
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	nEvents := len(events)
+	if cols != nil {
+		nEvents = cols.N
+		if s.store != nil {
+			// The WAL's entry format is row-shaped, so durable sessions
+			// materialize the columns once here (into the pooled slice)
+			// and take the event path; recovery replay stays identical
+			// for both wire formats.
+			st.events = cols.AppendEvents(st.events[:0])
+			events, cols = st.events, nil
+		}
+	}
+	start := time.Now()
+	c := chunk{op: opEvents, seq: seq, events: events, cols: cols, reply: make(chan result, 1)}
+	res, err := s.dispatch(id, c)
+	var remote *remoteError
+	switch {
+	case err == nil:
+		// The worker replied, so nothing references the decoded events
+		// any more (the WAL encodes them before the reply).
+		putDecodeState(st)
+		if res.status == http.StatusOK && !res.replayed {
+			s.m.observeChunk(s.shardIndex(id), time.Since(start), nEvents)
+		}
+		writeResult(w, res)
+	case errors.Is(err, errQueueFull):
+		// Backpressure: the client should retry after draining; the
+		// chunk is not partially applied (and was never enqueued).
+		putDecodeState(st)
+		s.m.rejectedChunks.Add(1)
+		// Hint how long the drain actually takes (ms precision; the
+		// standard Retry-After below is a blunt whole second).
+		w.Header().Set("X-Lpp-Retry-After-Ms", strconv.FormatInt(s.retryHintMs(), 10))
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errSessionDown):
+		// The chunk may still sit in a dead worker's queue; leave the
+		// state to the garbage collector rather than alias its events.
+		writeErr(w, http.StatusServiceUnavailable, "session terminated; retry")
+	case errors.Is(err, errMigrating):
+		// The session's image is in flight to another node; the router
+		// holds the chunk and retries until the handoff lands.
+		putDecodeState(st)
+		w.Header().Set("X-Lpp-Retry-After-Ms", strconv.FormatInt(s.retryHintMs(), 10))
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &remote):
+		// The session lives elsewhere now; tell the router where.
+		putDecodeState(st)
+		w.Header().Set("X-Lpp-Owner", remote.owner)
+		writeErr(w, http.StatusMisdirectedRequest, err.Error())
+	default:
+		putDecodeState(st)
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sess, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		// Not in memory — but a suspended session may still hold
+		// durable state. Revive it so the close can flush the detector
+		// and return the final phase events before discarding.
+		if s.store == nil || !s.store.Exists(id) {
+			writeErr(w, http.StatusNotFound, errNoSession.Error())
+			return
+		}
+		revived, err := s.getSession(id, true)
+		if err != nil {
+			var remote *remoteError
+			if errors.As(err, &remote) {
+				w.Header().Set("X-Lpp-Owner", remote.owner)
+				writeErr(w, http.StatusMisdirectedRequest, err.Error())
+				return
+			}
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		sh.mu.Lock()
+		if sh.sessions[id] == revived {
+			delete(sh.sessions, id)
+			ok = true
+		}
+		sh.mu.Unlock()
+		if !ok {
+			writeErr(w, http.StatusServiceUnavailable, "session contended; retry")
+			return
+		}
+		sess = revived
+	}
+	s.m.sessionsActive.Add(-1)
+	start := time.Now()
+	c := chunk{op: opClose, reply: make(chan result, 1)}
+	select {
+	case sess.queue <- c:
+	case <-sess.done:
+		// Dead worker. Keep the durable state: a retried DELETE will
+		// revive the session and flush it properly.
+		if s.store != nil && s.store.Exists(id) {
+			writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
+			return
+		}
+		writeResult(w, result{status: http.StatusOK})
+		return
+	}
+	var res result
+	select {
+	case res = <-c.reply:
+	case <-sess.done:
+		select {
+		case res = <-c.reply:
+		default:
+			writeErr(w, http.StatusServiceUnavailable, errSessionDown.Error())
+			return
+		}
+	}
+	s.m.observeChunk(s.shardIndex(id), time.Since(start), 0)
+	writeResult(w, res)
+}
+
+// handleSessions lists every session this node knows about — live,
+// suspended, migrating, and migrated-away — so placement and migration
+// are debuggable from curl.
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	entries := s.listSessions()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Node     string         `json:"node,omitempty"`
+		Sessions []sessionEntry `json:"sessions"`
+	}{s.cfg.Advertise, entries})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, err := s.getSession(id, false)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	quarantined := int64(0)
+	if sess.quarantined.Load() {
+		quarantined = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int64{
+		"events":      sess.events.Load(),
+		"boundaries":  sess.boundaries.Load(),
+		"predictions": sess.predictions.Load(),
+		"dropped":     sess.dropped.Load(),
+		"shed":        sess.shed.Load(),
+		"seq":         int64(sess.seq.Load()),
+		"quarantined": quarantined,
+	})
+}
+
+// handleConsumers reports a session's run-time consumer state: per
+// consumer, its delivery counters, a hash of its snapshot (the
+// recovery-parity fingerprint), and its human report. A suspended
+// durable session is revived to answer.
+func (s *Server) handleConsumers(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.getSession(id, false); err != nil {
+		// Only revive sessions that actually exist somewhere: in-memory
+		// miss plus no durable state is a plain 404, not a create.
+		if s.store == nil || !s.store.Exists(id) {
+			writeErr(w, http.StatusNotFound, err.Error())
+			return
+		}
+	}
+	c := chunk{op: opConsumers, reply: make(chan result, 1)}
+	res, err := s.dispatch(id, c)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.m.write(w)
+	if s.cfg.Knowledge != nil {
+		st := s.cfg.Knowledge.Stats()
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_entries gauge\n")
+		fmt.Fprintf(w, "lpp_knowledge_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_bytes gauge\n")
+		fmt.Fprintf(w, "lpp_knowledge_bytes %d\n", st.Bytes)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_hits_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_misses_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_lookups_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_lookups_total %d\n", st.Lookups)
+		fmt.Fprintf(w, "# TYPE lpp_knowledge_evictions_total counter\n")
+		fmt.Fprintf(w, "lpp_knowledge_evictions_total %d\n", st.Evictions)
+	}
+	s.writeReplicaMetrics(w)
+}
+
+// handleKnowledge reports the knowledge store's inventory: counters
+// plus one summary per stored program.
+func (s *Server) handleKnowledge(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Knowledge == nil {
+		writeErr(w, http.StatusNotFound, "no knowledge store configured")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Stats   knowledge.Stats     `json:"stats"`
+		Entries []knowledge.Summary `json:"entries"`
+	}{s.cfg.Knowledge.Stats(), s.cfg.Knowledge.Summaries()})
+}
+
+// parseSeq extracts the client sequence number from the X-Lpp-Seq
+// header (or ?seq= for header-less clients). Absent means "assign the
+// next one"; sequence numbers start at 1.
+func parseSeq(r *http.Request) (uint64, error) {
+	v := r.Header.Get("X-Lpp-Seq")
+	if v == "" {
+		v = r.URL.Query().Get("seq")
+	}
+	if v == "" {
+		return 0, nil
+	}
+	seq, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || seq == 0 {
+		return 0, fmt.Errorf("bad sequence number %q", v)
+	}
+	return seq, nil
+}
+
+// writeResult renders a worker result: the sequence headers, then the
+// NDJSON body (or the JSON error body for failures).
+func writeResult(w http.ResponseWriter, res result) {
+	if res.seq > 0 {
+		w.Header().Set("X-Lpp-Seq", strconv.FormatUint(res.seq, 10))
+	}
+	if res.replayed {
+		w.Header().Set("X-Lpp-Replayed", "true")
+	}
+	if res.wantSeq > 0 {
+		// Sequence-gap responses tell the client where to rewind to, so
+		// a failover client can replay its tail from the right chunk.
+		w.Header().Set("X-Lpp-Want-Seq", strconv.FormatUint(res.wantSeq, 10))
+	}
+	if res.status >= 400 {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// writeErr sends a JSON error body; retryable statuses carry
+// Retry-After.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	w.Write(errBody(msg))
+}
+
+func errBody(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return append(b, '\n')
+}
+
+// wireEvent is the NDJSON representation of a trace event (input) or
+// phase event (output).
+type wireEvent struct {
+	Kind   string `json:"kind"`
+	Addr   uint64 `json:"addr,omitempty"`
+	Block  uint64 `json:"block,omitempty"`
+	Instrs int    `json:"instrs,omitempty"`
+}
+
+// phaseWire is the NDJSON representation of one detector output event.
+type phaseWire struct {
+	Kind         string `json:"kind"`
+	Time         int64  `json:"time"`
+	Instructions int64  `json:"instructions"`
+	Phase        int    `json:"phase"`
+}
+
+// encodeEvents renders detector output as NDJSON body bytes.
+func encodeEvents(events []phase.Event) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range events {
+		enc.Encode(phaseWire{
+			Kind:         ev.Kind.String(),
+			Time:         ev.Time,
+			Instructions: ev.Instructions,
+			Phase:        ev.Phase,
+		})
+	}
+	return buf.Bytes()
+}
+
+func countKind(events []phase.Event, k phase.Kind) int64 {
+	var n int64
+	for _, ev := range events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}

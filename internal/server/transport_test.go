@@ -1,0 +1,98 @@
+package server
+
+// Transport-layer unit tests: the sessions listing endpoint and the
+// mapping of registry placement errors onto HTTP statuses and headers.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestSessionsListingEndpoint(t *testing.T) {
+	s := mustServer(t, Config{DataDir: t.TempDir(), Advertise: "http://node-a"})
+	defer s.Close()
+	events := encodeNDJSON(syntheticEvents(4, 1, 2))
+	for _, id := range []string{"alpha", "beta"} {
+		rr := post(t, s.Handler(), "/v1/sessions/"+id+"/events", "application/x-ndjson", events)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("ingest %s: %d", id, rr.Code)
+		}
+	}
+	sess, _ := s.getSession("beta", false)
+	s.suspendSession(sess)
+
+	rr := do(t, s.Handler(), "GET", "/v1/sessions")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /v1/sessions: %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var body struct {
+		Node     string         `json:"node"`
+		Sessions []sessionEntry `json:"sessions"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode listing: %v", err)
+	}
+	if body.Node != "http://node-a" {
+		t.Fatalf("node = %q, want the advertise URL", body.Node)
+	}
+	if len(body.Sessions) != 2 {
+		t.Fatalf("listed %d sessions, want 2: %+v", len(body.Sessions), body.Sessions)
+	}
+	// Sorted by id: alpha (live) then beta (suspended).
+	if body.Sessions[0].ID != "alpha" || body.Sessions[0].State != "local" || body.Sessions[0].Seq != 1 {
+		t.Fatalf("alpha entry = %+v", body.Sessions[0])
+	}
+	if body.Sessions[1].ID != "beta" || body.Sessions[1].State != "suspended" {
+		t.Fatalf("beta entry = %+v", body.Sessions[1])
+	}
+}
+
+func TestMigratingSessionAnswers503WithHint(t *testing.T) {
+	s := mustServer(t, Config{DataDir: t.TempDir()})
+	defer s.Close()
+	events := encodeNDJSON(syntheticEvents(5, 1, 2))
+	rr := post(t, s.Handler(), "/v1/sessions/m/events", "application/x-ndjson", events)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest: %d", rr.Code)
+	}
+	sess, _ := s.getSession("m", false)
+	s.suspendSession(sess)
+	if err := s.markMigrating("m"); err != nil {
+		t.Fatalf("markMigrating: %v", err)
+	}
+	rr = post(t, s.Handler(), "/v1/sessions/m/events", "application/x-ndjson", events)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest during migration: %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" || rr.Header().Get("X-Lpp-Retry-After-Ms") == "" {
+		t.Fatalf("503 during migration carries no retry hints: %v", rr.Header())
+	}
+}
+
+func TestRemoteSessionAnswers421WithOwner(t *testing.T) {
+	s := mustServer(t, Config{DataDir: t.TempDir(), Advertise: "http://node-a"})
+	defer s.Close()
+	events := encodeNDJSON(syntheticEvents(6, 1, 2))
+	rr := post(t, s.Handler(), "/v1/sessions/r/events", "application/x-ndjson", events)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest: %d", rr.Code)
+	}
+	sess, _ := s.getSession("r", false)
+	s.suspendSession(sess)
+	if err := s.markMigrating("r"); err != nil {
+		t.Fatalf("markMigrating: %v", err)
+	}
+	s.completeMigration("r", "http://node-b")
+
+	rr = post(t, s.Handler(), "/v1/sessions/r/events", "application/x-ndjson", events)
+	if rr.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("ingest of migrated session: %d, want 421", rr.Code)
+	}
+	if owner := rr.Header().Get("X-Lpp-Owner"); owner != "http://node-b" {
+		t.Fatalf("X-Lpp-Owner = %q, want the new owner", owner)
+	}
+}
